@@ -1,0 +1,24 @@
+//! Runs the covariance-model and stage-rate ablations. `--quick` for a
+//! smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::ablations::ablation_covariance(&scale)
+    );
+    println!();
+    print!(
+        "{}",
+        banyan_bench::experiments::ablations::ablation_stage_rate(&scale)
+    );
+    println!();
+    print!(
+        "{}",
+        banyan_bench::experiments::ablations::ablation_convolution(&scale)
+    );
+    println!();
+    print!(
+        "{}",
+        banyan_bench::experiments::ablations::ablation_discipline(&scale)
+    );
+}

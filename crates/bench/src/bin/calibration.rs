@@ -1,0 +1,9 @@
+//! Re-fits the paper's interpolation constants from simulation.
+//! `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::calibration::calibration(&scale)
+    );
+}

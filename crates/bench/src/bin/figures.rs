@@ -1,0 +1,6 @@
+//! Regenerates the series behind Figures 3-8 (total-waiting histograms vs
+//! the gamma approximation). `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!("{}", banyan_bench::experiments::totals::figures(&scale));
+}

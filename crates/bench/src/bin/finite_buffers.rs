@@ -1,0 +1,9 @@
+//! Finite-buffer extension sweep (paper §VI future work). `--quick` for a
+//! smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::extensions::finite_buffers(&scale)
+    );
+}

@@ -1,0 +1,9 @@
+//! Heavy-traffic probe (paper §VI open question). `--quick` for a smoke
+//! run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::extensions::heavy_traffic(&scale)
+    );
+}

@@ -1,0 +1,87 @@
+//! Runs every experiment and writes the outputs under `results/`.
+//! `--quick` for a smoke run. Optional args select a subset, e.g.
+//! `repro_all stage totals` (groups: stage, totals, calibration,
+//! ablations, extensions).
+use std::fs;
+use std::time::Instant;
+
+fn want(selected: &[String], group: &str) -> bool {
+    selected.is_empty() || selected.iter().any(|s| s == group)
+}
+
+fn emit(name: &str, t0: Instant, out: &str) {
+    let path = format!("results/{name}.txt");
+    fs::write(&path, out).expect("write result");
+    eprintln!("wrote {path} ({:.1}s)", t0.elapsed().as_secs_f64());
+    println!("{out}");
+}
+
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    let selected: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
+    const GROUPS: [&str; 5] = ["stage", "totals", "calibration", "ablations", "extensions"];
+    if let Some(bad) = selected.iter().find(|s| !GROUPS.contains(&s.as_str())) {
+        eprintln!("unknown group '{bad}'; valid groups: {}", GROUPS.join(", "));
+        std::process::exit(2);
+    }
+    fs::create_dir_all("results").expect("create results dir");
+
+    use banyan_bench::experiments::{ablations, calibration, correlations, extensions, stage_tables, totals};
+
+    if want(&selected, "stage") {
+        type Job = (&'static str, fn(&banyan_bench::profile::Scale) -> String);
+        let jobs: [Job; 6] = [
+            ("table01", stage_tables::table01),
+            ("table02", stage_tables::table02),
+            ("table03", stage_tables::table03),
+            ("table04", stage_tables::table04),
+            ("table05", stage_tables::table05),
+            ("table06", correlations::table06),
+        ];
+        for (name, job) in jobs {
+            let t0 = Instant::now();
+            emit(name, t0, &job(&scale));
+        }
+    }
+
+    if want(&selected, "totals") {
+        // One set of simulations feeds the table, the figures, and the
+        // tail-quality summary.
+        let t0 = Instant::now();
+        let runs = totals::TotalRuns::collect(&scale);
+        emit("table07_12", t0, &totals::table07_12_from(&runs));
+        emit("figures", t0, &totals::figures_from(&runs));
+        let csv = totals::figures_csv_from(&runs);
+        fs::write("results/figures.csv", &csv).expect("write csv");
+        eprintln!("wrote results/figures.csv");
+        emit("tail_quality", t0, &totals::tail_quality_from(&runs));
+    }
+
+    if want(&selected, "calibration") {
+        let t0 = Instant::now();
+        emit("calibration", t0, &calibration::calibration(&scale));
+    }
+
+    if want(&selected, "ablations") {
+        let t0 = Instant::now();
+        emit("ablation_covariance", t0, &ablations::ablation_covariance(&scale));
+        let t0 = Instant::now();
+        emit("ablation_stage_rate", t0, &ablations::ablation_stage_rate(&scale));
+        let t0 = Instant::now();
+        emit("ablation_convolution", t0, &ablations::ablation_convolution(&scale));
+        let t0 = Instant::now();
+        emit("ablation_discipline", t0, &ablations::ablation_discipline(&scale));
+    }
+
+    if want(&selected, "extensions") {
+        let t0 = Instant::now();
+        emit("finite_buffers", t0, &extensions::finite_buffers(&scale));
+        let t0 = Instant::now();
+        emit("heavy_traffic", t0, &extensions::heavy_traffic(&scale));
+        let t0 = Instant::now();
+        emit("stage_shapes", t0, &extensions::stage_shapes(&scale));
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 of the paper. `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::stage_tables::table04(&scale)
+    );
+}

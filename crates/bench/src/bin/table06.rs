@@ -1,0 +1,8 @@
+//! Regenerates Table VI (cross-stage correlations). `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!(
+        "{}",
+        banyan_bench::experiments::correlations::table06(&scale)
+    );
+}

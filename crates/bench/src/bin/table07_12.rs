@@ -1,0 +1,6 @@
+//! Regenerates Tables VII-XII (total waiting time, prediction vs simulation).
+//! `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!("{}", banyan_bench::experiments::totals::table07_12(&scale));
+}

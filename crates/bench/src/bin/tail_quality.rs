@@ -1,0 +1,6 @@
+//! Quantifies the gamma-approximation quality of every figure panel
+//! (KS/TV distances and tail errors). `--quick` for a smoke run.
+fn main() {
+    let scale = banyan_bench::scale_from_args();
+    print!("{}", banyan_bench::experiments::totals::tail_quality(&scale));
+}

@@ -1,0 +1,78 @@
+//! Table VI — correlations of waiting times between stages.
+//!
+//! `k = 2, p = 0.5, m = 1`. The paper reports the upper triangle of the
+//! stage-pair correlation matrix; the §V covariance model predicts
+//! `corr(w_i, w_{i+j}) ≈ a·b^{j−1}` with `a = (1 − 2ρ/5)·3ρ/(5k)` and
+//! `b = (1 − 2ρ/5)/k` — 0.12 and 0.4 here.
+
+use super::BASE_SEED;
+use crate::profile::{stage_profile, Scale};
+use crate::table::TextTable;
+use banyan_core::total_delay::TotalWaiting;
+use banyan_sim::traffic::Workload;
+
+const STAGES: u32 = 8;
+
+/// **Table VI** — cross-stage waiting-time correlation matrix plus the
+/// geometric covariance-model prediction.
+pub fn table06(scale: &Scale) -> String {
+    let stats = stage_profile(
+        2,
+        STAGES,
+        Workload::uniform(0.5, 1),
+        None,
+        true,
+        scale,
+        BASE_SEED + 60,
+    );
+    let corr = stats
+        .correlations
+        .as_ref()
+        .expect("correlations were requested");
+
+    let mut t = TextTable::new(
+        "Table VI. Correlations of waiting times between stages (k=2, p=0.5, m=1)",
+    );
+    let mut header = vec!["".to_string()];
+    header.extend((1..=STAGES).map(|j| format!("stage {j}")));
+    t.header(header);
+    for i in 0..STAGES as usize {
+        let mut cells = vec![format!("stage {}", i + 1)];
+        for j in 0..STAGES as usize {
+            if j < i {
+                cells.push(String::new());
+            } else {
+                cells.push(format!("{:.4}", corr.correlation(i, j)));
+            }
+        }
+        t.row(cells);
+    }
+
+    // Model prediction row: correlation by lag.
+    let model = TotalWaiting::new(2, STAGES, 0.5, 1);
+    let mut pred = vec!["MODEL a*b^(j-1)".to_string(), "1.0000".to_string()];
+    pred.extend((1..STAGES).map(|lag| format!("{:.4}", model.predicted_correlation(lag))));
+    t.row(pred);
+
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\ncovariance-model parameters: a = {:.4}, b = {:.4}\n",
+        model.cov_params().0,
+        model.cov_params().1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table06_quick_shape_and_model_row() {
+        let s = table06(&Scale::quick());
+        assert!(s.contains("Table VI."));
+        assert!(s.contains("MODEL"));
+        assert!(s.contains("a = 0.1200"));
+        assert!(s.contains("b = 0.4000"));
+    }
+}

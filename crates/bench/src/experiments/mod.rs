@@ -1,0 +1,63 @@
+//! The paper's evaluation, regenerated.
+//!
+//! One public function per table/figure group; each returns the rendered
+//! text (the binaries in `src/bin/` print it and `repro_all` collects
+//! everything into `results/`). All functions accept a
+//! [`crate::profile::Scale`] so the identical code paths run at smoke
+//! scale in tests and at full scale for `EXPERIMENTS.md`.
+//!
+//! | Paper artifact | Function |
+//! |----------------|----------|
+//! | Table I   (p varying, k=2, m=1)            | [`stage_tables::table01`] |
+//! | Table II  (k varying, p=0.5, m=1)          | [`stage_tables::table02`] |
+//! | Table III (m varying, ρ=0.5, k=2)          | [`stage_tables::table03`] |
+//! | Table IV  (size mixtures {4,8}, ρ=0.5)     | [`stage_tables::table04`] |
+//! | Table V   (q varying, p=0.5, k=2, m=1)     | [`stage_tables::table05`] |
+//! | Table VI  (cross-stage correlations)       | [`correlations::table06`] |
+//! | Tables VII–XII (total waiting, 6 configs)  | [`totals::table07_12`] |
+//! | Figs. 3–8 (total-wait histograms vs gamma) | [`totals::figures`] |
+//! | §IV constant fitting                       | [`calibration::calibration`] |
+//! | Covariance-model ablation                  | [`ablations::ablation_covariance`] |
+//! | Stage-rate ablation                        | [`ablations::ablation_stage_rate`] |
+
+pub mod ablations;
+pub mod calibration;
+pub mod correlations;
+pub mod extensions;
+pub mod stage_tables;
+pub mod totals;
+
+/// The six total-delay configurations of Tables VII–XII / Figs. 3–8
+/// (`k = 2` throughout): `(table label, figure number, p, m)`.
+pub const TOTAL_CONFIGS: [(&str, u32, f64, u32); 6] = [
+    ("VII", 3, 0.2, 1),
+    ("VIII", 4, 0.05, 4),
+    ("IX", 5, 0.5, 1),
+    ("X", 6, 0.125, 4),
+    ("XI", 7, 0.8, 1),
+    ("XII", 8, 0.2, 4),
+];
+
+/// Stage counts used by the total-delay experiments.
+pub const TOTAL_STAGE_COUNTS: [u32; 4] = [3, 6, 9, 12];
+
+/// Base RNG seed for all shipped experiments (deterministic outputs).
+pub const BASE_SEED: u64 = 0x1986_0317;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_stable_loads() {
+        for &(_, _, p, m) in &TOTAL_CONFIGS {
+            assert!(m as f64 * p < 1.0);
+        }
+    }
+
+    #[test]
+    fn figure_numbers_are_3_through_8() {
+        let figs: Vec<u32> = TOTAL_CONFIGS.iter().map(|c| c.1).collect();
+        assert_eq!(figs, vec![3, 4, 5, 6, 7, 8]);
+    }
+}

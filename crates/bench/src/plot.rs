@@ -1,0 +1,108 @@
+//! ASCII rendering of the paper's figures.
+//!
+//! Figs. 3–8 are histograms of the simulated total waiting time with the
+//! gamma approximation drawn through them. [`histogram_overlay`] renders
+//! the same picture in a terminal: one row per waiting-time value, a bar
+//! of `#` for the simulated probability, and a `*` marking the gamma
+//! model's value for that bin (overlapping the bar end when they agree —
+//! which is the point).
+
+use std::fmt::Write as _;
+
+/// Renders a simulated pmf with a model overlay.
+///
+/// * `sim` — simulated bin probabilities, index = waiting time;
+/// * `model` — model probability for each bin (same indexing);
+/// * `width` — maximum bar width in characters (>= 10).
+///
+/// Rows are printed up to the last index where either series exceeds
+/// `cutoff` (so empty tails don't flood the terminal).
+pub fn histogram_overlay(sim: &[f64], model: &[f64], width: usize, cutoff: f64) -> String {
+    assert!(width >= 10, "plot width must be at least 10 characters");
+    let rows = sim.len().max(model.len());
+    let last = (0..rows)
+        .rev()
+        .find(|&t| {
+            sim.get(t).copied().unwrap_or(0.0) > cutoff
+                || model.get(t).copied().unwrap_or(0.0) > cutoff
+        })
+        .unwrap_or(0);
+    let peak = sim
+        .iter()
+        .take(last + 1)
+        .chain(model.iter().take(last + 1))
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>9}  {:>9}  |{}| (# sim, * gamma)",
+        "t",
+        "sim",
+        "gamma",
+        "-".repeat(width)
+    );
+    for t in 0..=last {
+        let s = sim.get(t).copied().unwrap_or(0.0);
+        let m = model.get(t).copied().unwrap_or(0.0);
+        let sbar = ((s / peak) * width as f64).round() as usize;
+        let mpos = ((m / peak) * width as f64).round() as usize;
+        let mut bar: Vec<char> = vec![' '; width + 1];
+        for c in bar.iter_mut().take(sbar.min(width)) {
+            *c = '#';
+        }
+        bar[mpos.min(width)] = '*';
+        let bar: String = bar.into_iter().collect();
+        let _ = writeln!(out, "{t:>5}  {s:>9.5}  {m:>9.5}  |{bar}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_up_to_cutoff() {
+        let sim = [0.5, 0.3, 0.15, 0.04, 0.005, 0.0001, 0.0];
+        let model = [0.48, 0.32, 0.14, 0.05, 0.006, 0.0002];
+        let s = histogram_overlay(&sim, &model, 40, 1e-3);
+        // Rows 0..=4 shown (values above cutoff), 5.. suppressed.
+        assert_eq!(s.lines().count(), 1 + 5);
+        assert!(s.contains('#'));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn peak_bar_reaches_full_width() {
+        let sim = [1.0, 0.5];
+        let model = [0.0, 0.0];
+        let s = histogram_overlay(&sim, &model, 20, 1e-6);
+        let first_row = s.lines().nth(1).unwrap();
+        assert!(first_row.matches('#').count() >= 19, "{first_row}");
+    }
+
+    #[test]
+    fn marker_lands_proportionally() {
+        let sim = [1.0];
+        let model = [0.5];
+        let s = histogram_overlay(&sim, &model, 20, 1e-6);
+        let row = s.lines().nth(1).unwrap();
+        let bar = row.split('|').nth(1).unwrap();
+        let star = bar.find('*').unwrap();
+        assert!((9..=11).contains(&star), "star at {star} in {bar:?}");
+    }
+
+    #[test]
+    fn handles_all_zero_input() {
+        let s = histogram_overlay(&[0.0, 0.0], &[0.0], 12, 1e-9);
+        assert!(s.lines().count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn tiny_width_panics() {
+        histogram_overlay(&[0.1], &[0.1], 3, 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text table rendering for the reproduction harness.
+//!
+//! The paper's tables interleave simulation rows (stage 1…8), an ANALYSIS
+//! row (exact first-stage formulas) and an ESTIMATE row (the §IV/§V
+//! approximations); we render the same shape as aligned monospace text so
+//! the output can be diffed against the paper by eye and pasted into
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the header row.
+    pub fn header<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row of preformatted cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a row: a label followed by numeric cells formatted with
+    /// `digits` decimal places.
+    pub fn num_row(&mut self, label: impl Into<String>, values: &[f64], digits: usize) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.digits$}")));
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.resize(i + 1, 0);
+                }
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let w = widths.get(i).copied().unwrap_or(c.len());
+                    if i == 0 {
+                        format!("{c:<w$}")
+                    } else {
+                        format!("{c:>w$}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            let h = fmt_row(&self.header, &widths);
+            let rule = "-".repeat(h.len());
+            let _ = writeln!(out, "{h}");
+            let _ = writeln!(out, "{rule}");
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a `(mean, variance)` pair the way the paper's tables pair
+/// columns.
+pub fn pair(mean: f64, var: f64, digits: usize) -> (String, String) {
+    (format!("{mean:.digits$}"), format!("{var:.digits$}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo");
+        t.header(["stage", "w", "v"]);
+        t.row(["1st", "0.25", "0.25"]);
+        t.row(["ANALYSIS (long label)", "0.2", "0.3"]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All data lines have equal length (alignment).
+        assert_eq!(lines[2].len(), lines[1].len().max(lines[3].len()).max(lines[4].len()));
+    }
+
+    #[test]
+    fn num_row_formats_digits() {
+        let mut t = TextTable::new("");
+        t.num_row("r", &[0.123456, 2.0], 3);
+        let s = t.render();
+        assert!(s.contains("0.123"));
+        assert!(s.contains("2.000"));
+    }
+
+    #[test]
+    fn pair_helper() {
+        let (m, v) = pair(0.25, 0.3333333, 4);
+        assert_eq!(m, "0.2500");
+        assert_eq!(v, "0.3333");
+    }
+
+    #[test]
+    fn empty_title_omitted() {
+        let mut t = TextTable::new("");
+        t.row(["a"]);
+        assert_eq!(t.render(), "a\n");
+    }
+}

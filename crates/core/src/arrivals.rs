@@ -1,0 +1,471 @@
+//! Arrival processes at a first-stage output queue (§III of the paper).
+//!
+//! All types implement [`Pgf`] for the per-cycle *message count* at one
+//! output port of a `k`-input, `s`-output switch. The closed-form
+//! factorial moments are hand-derived and unit-tested against numerical
+//! differentiation of `eval`.
+
+use crate::gf::Pgf;
+use banyan_numerics::Complex;
+
+fn check_prob(p: f64, name: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{name} must be a probability in [0,1], got {p}"
+    );
+}
+
+/// Uniform traffic, single arrivals (§III-A-1).
+///
+/// Each of the `k` input ports receives a message with probability `p`
+/// per cycle; each message goes to any of the `s` outputs with equal
+/// probability. The count at one output is `Binomial(k, p/s)`:
+///
+/// ```text
+/// R(z) = (1 − p/s + (p/s)·z)^k,     λ = kp/s.
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct UniformBernoulli {
+    k: u32,
+    s: u32,
+    p: f64,
+}
+
+impl UniformBernoulli {
+    /// Creates the process for a `k × s` switch with input load `p`.
+    pub fn new(k: u32, s: u32, p: f64) -> Self {
+        assert!(k >= 1 && s >= 1, "switch must have at least one port");
+        check_prob(p, "p");
+        UniformBernoulli { k, s, p }
+    }
+
+    /// Square-switch convenience (`k = s`).
+    pub fn square(k: u32, p: f64) -> Self {
+        Self::new(k, k, p)
+    }
+
+    /// Per-output arrival probability `p/s`.
+    pub fn port_prob(&self) -> f64 {
+        self.p / self.s as f64
+    }
+
+    /// Number of switch inputs.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Pgf for UniformBernoulli {
+    fn eval(&self, z: f64) -> f64 {
+        let a = self.port_prob();
+        (1.0 - a + a * z).powi(self.k as i32)
+    }
+
+    fn eval_complex(&self, z: Complex) -> Complex {
+        let a = self.port_prob();
+        (Complex::from_real(1.0 - a) + z * a).powi(self.k as i32)
+    }
+
+    fn d1(&self) -> f64 {
+        self.k as f64 * self.port_prob()
+    }
+
+    fn d2(&self) -> f64 {
+        let k = self.k as f64;
+        let l = self.d1();
+        l * l * (1.0 - 1.0 / k)
+    }
+
+    fn d3(&self) -> f64 {
+        let k = self.k as f64;
+        let l = self.d1();
+        l * l * l * (1.0 - 1.0 / k) * (1.0 - 2.0 / k)
+    }
+
+    fn d4(&self) -> f64 {
+        let k = self.k as f64;
+        let l = self.d1();
+        l.powi(4) * (1.0 - 1.0 / k) * (1.0 - 2.0 / k) * (1.0 - 3.0 / k)
+    }
+}
+
+/// Uniform traffic with bulk arrivals of constant batch size `b`
+/// (§III-A-2): a message of `b` packets arrives at an input with
+/// probability `p` per cycle and all `b` packets join the same output
+/// queue at once.
+///
+/// ```text
+/// R(z) = (1 − p/s + (p/s)·z^b)^k,     λ = kpb/s.
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct UniformBulk {
+    k: u32,
+    s: u32,
+    p: f64,
+    b: u32,
+}
+
+impl UniformBulk {
+    /// Creates the process for a `k × s` switch, input load `p`, batch
+    /// size `b >= 1`.
+    pub fn new(k: u32, s: u32, p: f64, b: u32) -> Self {
+        assert!(k >= 1 && s >= 1, "switch must have at least one port");
+        assert!(b >= 1, "batch size must be at least 1");
+        check_prob(p, "p");
+        UniformBulk { k, s, p, b }
+    }
+
+    fn a(&self) -> f64 {
+        self.p / self.s as f64
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> u32 {
+        self.b
+    }
+}
+
+impl Pgf for UniformBulk {
+    fn eval(&self, z: f64) -> f64 {
+        let a = self.a();
+        (1.0 - a + a * z.powi(self.b as i32)).powi(self.k as i32)
+    }
+
+    fn eval_complex(&self, z: Complex) -> Complex {
+        let a = self.a();
+        (Complex::from_real(1.0 - a) + z.powi(self.b as i32) * a).powi(self.k as i32)
+    }
+
+    fn d1(&self) -> f64 {
+        self.k as f64 * self.a() * self.b as f64
+    }
+
+    fn d2(&self) -> f64 {
+        let k = self.k as f64;
+        let b = self.b as f64;
+        let l = self.d1();
+        // R''(1) = λ²(1−1/k) + λ(b−1)
+        l * l * (1.0 - 1.0 / k) + l * (b - 1.0)
+    }
+
+    fn d3(&self) -> f64 {
+        let k = self.k as f64;
+        let b = self.b as f64;
+        let l = self.d1();
+        // R'''(1) = λ³(1−1/k)(1−2/k) + 3λ²(1−1/k)(b−1) + λ(b−1)(b−2)
+        l * l * l * (1.0 - 1.0 / k) * (1.0 - 2.0 / k)
+            + 3.0 * l * l * (1.0 - 1.0 / k) * (b - 1.0)
+            + l * (b - 1.0) * (b - 2.0)
+    }
+
+    fn d4(&self) -> f64 {
+        // (φ^k)'''' at 1 with φ = 1 − a + a·z^b:
+        // k⁽⁴⁾(φ')⁴ + 6k⁽³⁾(φ')²φ'' + k⁽²⁾(4φ'φ''' + 3φ''²) + k⁽¹⁾φ''''.
+        let kf = self.k as f64;
+        let b = self.b as f64;
+        let a = self.a();
+        let p1 = a * b;
+        let p2 = a * b * (b - 1.0);
+        let p3 = a * b * (b - 1.0) * (b - 2.0);
+        let p4 = a * b * (b - 1.0) * (b - 2.0) * (b - 3.0);
+        kf * (kf - 1.0) * (kf - 2.0) * (kf - 3.0) * p1.powi(4)
+            + 6.0 * kf * (kf - 1.0) * (kf - 2.0) * p1 * p1 * p2
+            + kf * (kf - 1.0) * (4.0 * p1 * p3 + 3.0 * p2 * p2)
+            + kf * p4
+    }
+}
+
+/// Nonuniform "favorite output" traffic (§III-A-3), square switch
+/// (`k = s`), optional bulk size `b`.
+///
+/// Each input sends an arriving message to its favorite output with
+/// probability `q` and to a uniformly random output (including the
+/// favorite) with probability `1 − q`. Every output is the favorite of
+/// exactly one input, so the count at an output is the sum of one
+/// Bernoulli(`α`) "favored" source and `k − 1` Bernoulli(`β`) background
+/// sources, each contributing `b` packets:
+///
+/// ```text
+/// α = p(q + (1−q)/k),  β = p(1−q)/k,
+/// R(z) = (1 − α + α z^b) · (1 − β + β z^b)^{k−1},   λ = pb.
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct NonuniformFavorite {
+    k: u32,
+    p: f64,
+    q: f64,
+    b: u32,
+}
+
+impl NonuniformFavorite {
+    /// Creates the process for a square `k × k` switch, input load `p`,
+    /// hot-spot factor `q`, batch size `b`.
+    pub fn new(k: u32, p: f64, q: f64, b: u32) -> Self {
+        assert!(k >= 1, "switch must have at least one port");
+        assert!(b >= 1, "batch size must be at least 1");
+        check_prob(p, "p");
+        check_prob(q, "q");
+        NonuniformFavorite { k, p, q, b }
+    }
+
+    /// Probability that the favored input directs a message here.
+    pub fn alpha(&self) -> f64 {
+        self.p * (self.q + (1.0 - self.q) / self.k as f64)
+    }
+
+    /// Probability that one background input directs a message here.
+    pub fn beta(&self) -> f64 {
+        self.p * (1.0 - self.q) / self.k as f64
+    }
+
+    /// Factorial moments `(ψ', ψ'', ψ''', ψ'''')` at 1 of the background
+    /// product `(1 − β + β z^b)^{k−1}`.
+    fn background_moments(&self) -> (f64, f64, f64, f64) {
+        let r = (self.k - 1) as f64;
+        let b = self.b as f64;
+        let be = self.beta();
+        let p1 = be * b;
+        let p2 = be * b * (b - 1.0);
+        let p3 = be * b * (b - 1.0) * (b - 2.0);
+        let p4 = be * b * (b - 1.0) * (b - 2.0) * (b - 3.0);
+        let d1 = r * p1;
+        let d2 = r * (r - 1.0) * p1 * p1 + r * p2;
+        let d3 = r * (r - 1.0) * (r - 2.0) * p1.powi(3)
+            + 3.0 * r * (r - 1.0) * p1 * p2
+            + r * p3;
+        let d4 = r * (r - 1.0) * (r - 2.0) * (r - 3.0) * p1.powi(4)
+            + 6.0 * r * (r - 1.0) * (r - 2.0) * p1 * p1 * p2
+            + r * (r - 1.0) * (4.0 * p1 * p3 + 3.0 * p2 * p2)
+            + r * p4;
+        (d1, d2, d3, d4)
+    }
+}
+
+impl Pgf for NonuniformFavorite {
+    fn eval(&self, z: f64) -> f64 {
+        let zb = z.powi(self.b as i32);
+        let (a, be) = (self.alpha(), self.beta());
+        (1.0 - a + a * zb) * (1.0 - be + be * zb).powi(self.k as i32 - 1)
+    }
+
+    fn eval_complex(&self, z: Complex) -> Complex {
+        let zb = z.powi(self.b as i32);
+        let (a, be) = (self.alpha(), self.beta());
+        (Complex::from_real(1.0 - a) + zb * a)
+            * (Complex::from_real(1.0 - be) + zb * be).powi(self.k as i32 - 1)
+    }
+
+    fn d1(&self) -> f64 {
+        // λ = b(α + (k−1)β) = pb.
+        self.p * self.b as f64
+    }
+
+    fn d2(&self) -> f64 {
+        let b = self.b as f64;
+        let a1 = self.alpha() * b;
+        let a2 = self.alpha() * b * (b - 1.0);
+        let (p1, p2, _, _) = self.background_moments();
+        a2 + 2.0 * a1 * p1 + p2
+    }
+
+    fn d3(&self) -> f64 {
+        let b = self.b as f64;
+        let a1 = self.alpha() * b;
+        let a2 = self.alpha() * b * (b - 1.0);
+        let a3 = self.alpha() * b * (b - 1.0) * (b - 2.0);
+        let (p1, p2, p3, _) = self.background_moments();
+        a3 + 3.0 * a2 * p1 + 3.0 * a1 * p2 + p3
+    }
+
+    fn d4(&self) -> f64 {
+        let b = self.b as f64;
+        let al = self.alpha();
+        let a1 = al * b;
+        let a2 = al * b * (b - 1.0);
+        let a3 = al * b * (b - 1.0) * (b - 2.0);
+        let a4 = al * b * (b - 1.0) * (b - 2.0) * (b - 3.0);
+        let (p1, p2, p3, p4) = self.background_moments();
+        // Leibniz rule for (favored · background)⁗ at 1.
+        a4 + 4.0 * a3 * p1 + 6.0 * a2 * p2 + 4.0 * a1 * p3 + p4
+    }
+}
+
+/// Poisson arrivals with rate `λ` per cycle: `R(z) = e^{λ(z−1)}`.
+///
+/// Not a switch-traffic model per se, but the continuous-time limit used
+/// in §III-C (M/M/1) and §IV-B (M/D/1) sanity checks.
+#[derive(Clone, Copy, Debug)]
+pub struct PoissonArrivals {
+    lambda: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson arrival process with mean `lambda >= 0` per cycle.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "rate must be nonnegative and finite"
+        );
+        PoissonArrivals { lambda }
+    }
+}
+
+impl Pgf for PoissonArrivals {
+    fn eval(&self, z: f64) -> f64 {
+        (self.lambda * (z - 1.0)).exp()
+    }
+
+    fn eval_complex(&self, z: Complex) -> Complex {
+        ((z - 1.0) * self.lambda).exp()
+    }
+
+    fn d1(&self) -> f64 {
+        self.lambda
+    }
+
+    fn d2(&self) -> f64 {
+        self.lambda * self.lambda
+    }
+
+    fn d3(&self) -> f64 {
+        self.lambda.powi(3)
+    }
+
+    fn d4(&self) -> f64 {
+        self.lambda.powi(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf::numeric_derivatives;
+
+    fn check_moments<G: Pgf>(g: &G, tol1: f64, tol2: f64, tol3: f64) {
+        let (n1, n2, n3) = numeric_derivatives(g, 1e-3);
+        assert!((n1 - g.d1()).abs() < tol1, "d1: {n1} vs {}", g.d1());
+        assert!((n2 - g.d2()).abs() < tol2, "d2: {n2} vs {}", g.d2());
+        assert!((n3 - g.d3()).abs() < tol3, "d3: {n3} vs {}", g.d3());
+    }
+
+    #[test]
+    fn uniform_bernoulli_moments_match_numeric() {
+        for &(k, s, p) in &[(2u32, 2u32, 0.5), (4, 4, 0.9), (8, 8, 0.3), (4, 8, 0.7)] {
+            let g = UniformBernoulli::new(k, s, p);
+            check_moments(&g, 1e-8, 1e-6, 1e-3);
+            assert!((g.eval(1.0) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn uniform_bernoulli_known_lambda() {
+        let g = UniformBernoulli::new(4, 8, 0.6);
+        assert!((g.d1() - 4.0 * 0.6 / 8.0).abs() < 1e-15);
+        let sq = UniformBernoulli::square(2, 0.5);
+        assert!((sq.d1() - 0.5).abs() < 1e-15);
+        // R''(1) = λ²(1−1/k): k=2, λ=0.5 → 0.125.
+        assert!((sq.d2() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bulk_reduces_to_single_when_b_is_one() {
+        let bulk = UniformBulk::new(4, 4, 0.7, 1);
+        let single = UniformBernoulli::new(4, 4, 0.7);
+        for &z in &[0.0, 0.4, 0.9, 1.0] {
+            assert!((bulk.eval(z) - single.eval(z)).abs() < 1e-14);
+        }
+        assert!((bulk.d1() - single.d1()).abs() < 1e-15);
+        assert!((bulk.d2() - single.d2()).abs() < 1e-15);
+        assert!((bulk.d3() - single.d3()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bulk_moments_match_numeric() {
+        for &(k, s, p, b) in &[(2u32, 2u32, 0.2, 2u32), (4, 4, 0.15, 4), (2, 4, 0.3, 3)] {
+            let g = UniformBulk::new(k, s, p, b);
+            check_moments(&g, 1e-7, 1e-5, 1e-2);
+        }
+    }
+
+    #[test]
+    fn nonuniform_q_zero_equals_uniform() {
+        let nu = NonuniformFavorite::new(4, 0.6, 0.0, 1);
+        let un = UniformBernoulli::square(4, 0.6);
+        for &z in &[0.0, 0.5, 1.0] {
+            assert!((nu.eval(z) - un.eval(z)).abs() < 1e-14);
+        }
+        assert!((nu.d2() - un.d2()).abs() < 1e-14);
+        assert!((nu.d3() - un.d3()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn nonuniform_q_one_is_dedicated_link() {
+        // q = 1: only the favored input ever sends here; no contention,
+        // counts are Bernoulli(p) (times batch b).
+        let nu = NonuniformFavorite::new(4, 0.6, 1.0, 1);
+        assert!((nu.d1() - 0.6).abs() < 1e-15);
+        // Single Bernoulli source: E X(X−1) = 0.
+        assert!(nu.d2().abs() < 1e-15);
+        assert!(nu.d3().abs() < 1e-15);
+    }
+
+    #[test]
+    fn nonuniform_moments_match_numeric() {
+        for &(k, p, q, b) in &[
+            (2u32, 0.5, 0.1, 1u32),
+            (2, 0.5, 0.3, 1),
+            (4, 0.8, 0.5, 1),
+            (2, 0.2, 0.25, 2),
+        ] {
+            let g = NonuniformFavorite::new(k, p, q, b);
+            check_moments(&g, 1e-7, 1e-5, 1e-2);
+            assert!((g.d1() - p * b as f64).abs() < 1e-14, "λ must equal pb");
+        }
+    }
+
+    #[test]
+    fn nonuniform_hand_check_k2() {
+        // k=2, p=0.5, q=0.1, b=1: α = 0.275, β = 0.225, R'' = 2αβ.
+        let g = NonuniformFavorite::new(2, 0.5, 0.1, 1);
+        assert!((g.alpha() - 0.275).abs() < 1e-15);
+        assert!((g.beta() - 0.225).abs() < 1e-15);
+        assert!((g.d2() - 2.0 * 0.275 * 0.225).abs() < 1e-14);
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let g = PoissonArrivals::new(0.8);
+        check_moments(&g, 1e-8, 1e-6, 1e-3);
+        assert!((g.eval(1.0) - 1.0).abs() < 1e-15);
+        assert!((g.variance() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_converges_to_poisson() {
+        // k → ∞ with kp/s fixed: R(z) → e^{λ(z−1)}.
+        let lam = 0.7;
+        let pois = PoissonArrivals::new(lam);
+        let k = 4096u32;
+        let bin = UniformBernoulli::new(k, k, lam);
+        for &z in &[0.0, 0.5, 0.95] {
+            assert!(
+                (bin.eval(z) - pois.eval(z)).abs() < 1e-3,
+                "z={z}: {} vs {}",
+                bin.eval(z),
+                pois.eval(z)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_p_rejected() {
+        UniformBernoulli::new(2, 2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        UniformBulk::new(2, 2, 0.5, 0);
+    }
+}

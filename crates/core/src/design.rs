@@ -1,0 +1,225 @@
+//! Network design-space exploration — the use the formulas were built
+//! for.
+//!
+//! "In order to study the multitude of options available in actually
+//! building a machine, it is extremely useful to have formulas that
+//! approximate the performance of an interconnection network. In fact,
+//! formulas derived in a previous paper … have been heavily used in
+//! designing both the NYU Ultracomputer and RP3" (§I).
+//!
+//! Given a port count `N`, this module enumerates the `(k, n)` switch
+//! options with `k^n = N`, evaluates each with the §IV/§V models, and
+//! ranks them against a latency objective. Percentile objectives use the
+//! gamma approximation of the total waiting time — the variance-aware
+//! sizing the paper argues for ("it is not sufficient to have a low
+//! expected memory access time; high variance will impede performance").
+
+use crate::later_stages::StageConstants;
+use crate::total_delay::TotalWaiting;
+
+/// One candidate network organization for a given port count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// Switch arity.
+    pub k: u32,
+    /// Stage count (`k^n = ports`).
+    pub stages: u32,
+    /// Mean total delay (waiting + pipelined service) at the design load.
+    pub mean_delay: f64,
+    /// Standard deviation of the total waiting time.
+    pub std_waiting: f64,
+    /// The objective percentile of the total delay (gamma model).
+    pub delay_percentile: f64,
+    /// Largest load `p` (within 1e-3) whose objective percentile stays
+    /// under the budget, if a budget was given.
+    pub max_load: Option<f64>,
+}
+
+/// Objective for ranking design points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objective {
+    /// Design load (messages per port per cycle).
+    pub p: f64,
+    /// Constant message size.
+    pub m: u32,
+    /// Percentile of the total delay to optimize (e.g. 0.99).
+    pub percentile: f64,
+    /// Optional delay budget in cycles for the max-load search.
+    pub delay_budget: Option<f64>,
+}
+
+impl Objective {
+    /// A 99th-percentile objective at the given load, unit messages.
+    pub fn p99(p: f64) -> Self {
+        Objective {
+            p,
+            m: 1,
+            percentile: 0.99,
+            delay_budget: None,
+        }
+    }
+}
+
+/// Enumerates all `(k, n)` with `k^n = ports`, `k >= 2`, `n >= 1`.
+///
+/// Returns an empty vector when `ports` is not a nontrivial perfect
+/// power (i.e. `ports < 2`).
+pub fn factorizations(ports: u64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if ports < 2 {
+        return out;
+    }
+    for k in 2..=ports.min(1 << 16) {
+        let mut acc = 1u64;
+        let mut n = 0u32;
+        while acc < ports {
+            match acc.checked_mul(k) {
+                Some(next) => {
+                    acc = next;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if acc == ports && n >= 1 {
+            out.push((k as u32, n));
+        }
+    }
+    out
+}
+
+/// Evaluates every organization of an `N`-port network against the
+/// objective, sorted by the objective percentile (best first).
+///
+/// Options whose load is unstable (`ρ >= 1`) or that exceed the
+/// simulator/model limits are skipped. Uses the supplied interpolation
+/// constants (pass `StageConstants::default()` for the paper's).
+pub fn explore(
+    ports: u64,
+    objective: Objective,
+    constants: StageConstants,
+) -> Vec<DesignPoint> {
+    assert!(
+        objective.percentile > 0.0 && objective.percentile < 1.0,
+        "percentile must be in (0,1)"
+    );
+    let mut points: Vec<DesignPoint> = factorizations(ports)
+        .into_iter()
+        .filter(|&(_, n)| n <= 16)
+        .filter_map(|(k, n)| {
+            let rho = objective.m as f64 * objective.p;
+            if rho >= 1.0 {
+                return None;
+            }
+            let model =
+                TotalWaiting::with_constants(k, n, objective.p, objective.m, constants);
+            let delay_percentile = model.delay_quantile(objective.percentile);
+            let max_load = objective.delay_budget.map(|budget| {
+                let mut best = 0.0;
+                let mut p = 0.001;
+                while objective.m as f64 * p < 0.999 {
+                    let trial =
+                        TotalWaiting::with_constants(k, n, p, objective.m, constants);
+                    if trial.delay_quantile(objective.percentile) <= budget {
+                        best = p;
+                    }
+                    p += 0.001;
+                }
+                best
+            });
+            Some(DesignPoint {
+                k,
+                stages: n,
+                mean_delay: model.mean_total_delay(),
+                std_waiting: model.var_total().sqrt(),
+                delay_percentile,
+                max_load,
+            })
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.delay_percentile
+            .partial_cmp(&b.delay_percentile)
+            .expect("finite objective values")
+    });
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_of_4096() {
+        let mut f = factorizations(4096);
+        f.sort();
+        assert_eq!(f, vec![(2, 12), (4, 6), (8, 4), (16, 3), (64, 2), (4096, 1)]);
+    }
+
+    #[test]
+    fn factorizations_of_prime_is_trivial() {
+        assert_eq!(factorizations(7), vec![(7, 1)]);
+        assert!(factorizations(1).is_empty());
+        assert!(factorizations(0).is_empty());
+    }
+
+    #[test]
+    fn factorizations_of_non_power() {
+        let f = factorizations(12);
+        assert_eq!(f, vec![(12, 1)]); // 12 = 12¹ only (not a perfect power)
+    }
+
+    #[test]
+    fn explore_ranks_options() {
+        let pts = explore(4096, Objective::p99(0.5), StageConstants::default());
+        assert!(pts.len() >= 3);
+        // Sorted ascending by p99 delay.
+        for w in pts.windows(2) {
+            assert!(w[0].delay_percentile <= w[1].delay_percentile);
+        }
+        // At moderate load, fewer stages of wider switches win on
+        // percentile delay (shorter pipeline dominates the extra
+        // contention) — the classic Ultracomputer/RP3 trade-off.
+        let best = &pts[0];
+        let deepest = pts.iter().find(|p| p.k == 2).unwrap();
+        assert!(best.stages <= deepest.stages);
+    }
+
+    #[test]
+    fn explore_respects_budget() {
+        let obj = Objective {
+            p: 0.5,
+            m: 1,
+            percentile: 0.99,
+            delay_budget: Some(24.0),
+        };
+        let pts = explore(4096, obj, StageConstants::default());
+        for p in &pts {
+            let max = p.max_load.expect("budget given");
+            assert!((0.0..1.0).contains(&max));
+            if max > 0.0 {
+                // At the reported max load the budget must indeed hold.
+                let m = TotalWaiting::new(p.k, p.stages, max, 1);
+                assert!(m.delay_quantile(0.99) <= 24.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_objective_yields_nothing() {
+        let obj = Objective {
+            p: 0.3,
+            m: 4,
+            percentile: 0.99,
+            delay_budget: None,
+        };
+        assert!(explore(64, obj, StageConstants::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        explore(64, Objective { p: 0.5, m: 1, percentile: 1.0, delay_budget: None },
+            StageConstants::default());
+    }
+}

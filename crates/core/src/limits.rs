@@ -1,0 +1,160 @@
+//! Continuous-time limits of the discrete queue (§III-C, §IV-B).
+//!
+//! The paper checks its transform against classical queueing theory by
+//! scaling: with `n` cycles per time unit, geometric service with
+//! `μ → μ/n` and arrival probability `p → p/n`, the discrete queue
+//! converges to **M/M/1**; constant service `m → ∞` at fixed `ρ = mλ`
+//! gives **M/D/1**. Both are special cases of the **M/G/1**
+//! Pollaczek–Khinchine formulas implemented here, which serve as
+//! independent oracles for the limit tests and as handy references for
+//! users comparing against continuous-time models.
+
+/// Waiting-time moments of an M/G/1 queue (Poisson arrivals of rate `λ`,
+/// i.i.d. service with raw moments `E[S]`, `E[S²]`, `E[S³]`).
+///
+/// Pollaczek–Khinchine:
+///
+/// ```text
+/// E(w)   = λ·E[S²] / (2(1 − ρ)),                ρ = λ·E[S]
+/// Var(w) = E(w)² + λ·E[S³]/(3(1 − ρ)).
+/// ```
+///
+/// # Panics
+/// Panics unless `0 < ρ < 1` and the moments are consistent
+/// (nonnegative, `E[S²] >= E[S]²`).
+pub fn mg1_wait_moments(lambda: f64, es: f64, es2: f64, es3: f64) -> (f64, f64) {
+    assert!(lambda > 0.0, "arrival rate must be positive");
+    assert!(es > 0.0 && es2 >= es * es && es3 >= 0.0, "inconsistent service moments");
+    let rho = lambda * es;
+    assert!(rho < 1.0, "M/G/1 requires ρ < 1, got {rho}");
+    let mean = lambda * es2 / (2.0 * (1.0 - rho));
+    let var = mean * mean + lambda * es3 / (3.0 * (1.0 - rho));
+    (mean, var)
+}
+
+/// Waiting-time moments of an M/M/1 queue with arrival rate `λ` and
+/// service rate `μ` (`E(w) = ρ/(μ(1−ρ))`, `Var(w) = ρ(2−ρ)/(μ²(1−ρ)²)`).
+pub fn mm1_wait_moments(lambda: f64, mu: f64) -> (f64, f64) {
+    assert!(mu > 0.0, "service rate must be positive");
+    let rho = lambda / mu;
+    assert!((0.0..1.0).contains(&rho), "M/M/1 requires 0 <= ρ < 1");
+    let mean = rho / (mu * (1.0 - rho));
+    let var = rho * (2.0 - rho) / (mu * mu * (1.0 - rho) * (1.0 - rho));
+    (mean, var)
+}
+
+/// Waiting-time moments of an M/D/1 queue with arrival rate `λ` and
+/// deterministic service time `d` (M/G/1 with `E[S^k] = d^k`).
+pub fn md1_wait_moments(lambda: f64, d: f64) -> (f64, f64) {
+    mg1_wait_moments(lambda, d, d * d, d * d * d)
+}
+
+/// M/M/1 waiting-time CDF: `P(w <= x) = 1 − ρ·e^{−μ(1−ρ)x}` for `x >= 0`
+/// (an atom of size `1 − ρ` at zero).
+pub fn mm1_wait_cdf(lambda: f64, mu: f64, x: f64) -> f64 {
+    assert!(mu > 0.0);
+    let rho = lambda / mu;
+    assert!((0.0..1.0).contains(&rho));
+    if x < 0.0 {
+        0.0
+    } else {
+        1.0 - rho * (-mu * (1.0 - rho) * x).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::PoissonArrivals;
+    use crate::first_stage::FirstStage;
+    use crate::service::{ConstantService, GeometricService};
+
+    #[test]
+    fn mm1_is_special_case_of_mg1() {
+        // Exponential service: E[S^k] = k!/μ^k.
+        let (lam, mu) = (0.6, 1.0);
+        let (m1, v1) = mm1_wait_moments(lam, mu);
+        let (m2, v2) = mg1_wait_moments(lam, 1.0 / mu, 2.0 / (mu * mu), 6.0 / (mu * mu * mu));
+        assert!((m1 - m2).abs() < 1e-12);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_has_half_the_mm1_mean() {
+        // Classic fact: deterministic service halves the mean wait of
+        // exponential service at equal ρ.
+        let (lam, d) = (0.7, 1.0);
+        let (md, _) = md1_wait_moments(lam, d);
+        let (mm, _) = mm1_wait_moments(lam, 1.0 / d);
+        assert!((md - 0.5 * mm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_geometric_queue_converges_to_mm1() {
+        // §III-C: scale time by n; errors shrink monotonically.
+        let rho = 0.6;
+        let mut prev = f64::INFINITY;
+        for &n in &[4u32, 16, 64, 256] {
+            let q = FirstStage::new(
+                PoissonArrivals::new(rho / n as f64),
+                GeometricService::new(1.0 / n as f64),
+            )
+            .unwrap();
+            let (want_m, want_v) = mm1_wait_moments(rho, 1.0);
+            let got_m = q.mean_wait() / n as f64;
+            let got_v = q.var_wait() / (n as f64 * n as f64);
+            let err = (got_m - want_m).abs() / want_m + (got_v - want_v).abs() / want_v;
+            assert!(err < prev, "error should shrink with n: {err} vs {prev}");
+            prev = err;
+        }
+        assert!(prev < 0.02, "final combined error {prev}");
+    }
+
+    #[test]
+    fn discrete_constant_queue_converges_to_md1() {
+        // §IV-B: Poisson arrivals + constant size m → M/D/1 in scaled
+        // time.
+        let rho = 0.5;
+        let mut prev = f64::INFINITY;
+        for &m in &[4u32, 16, 64, 256] {
+            let q = FirstStage::new(
+                PoissonArrivals::new(rho / m as f64),
+                ConstantService::new(m),
+            )
+            .unwrap();
+            let (want_m, want_v) = md1_wait_moments(rho, 1.0);
+            let got_m = q.mean_wait() / m as f64;
+            let got_v = q.var_wait() / (m as f64 * m as f64);
+            let err = (got_m - want_m).abs() / want_m + (got_v - want_v).abs() / want_v;
+            assert!(err < prev, "error should shrink with m: {err} vs {prev}");
+            prev = err;
+        }
+        assert!(prev < 0.02, "final combined error {prev}");
+    }
+
+    #[test]
+    fn mm1_cdf_properties() {
+        let (lam, mu) = (0.5, 1.0);
+        assert!((mm1_wait_cdf(lam, mu, 0.0) - 0.5).abs() < 1e-15); // atom 1−ρ
+        assert_eq!(mm1_wait_cdf(lam, mu, -1.0), 0.0);
+        assert!(mm1_wait_cdf(lam, mu, 100.0) > 1.0 - 1e-12);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let c = mm1_wait_cdf(lam, mu, i as f64 * 0.1);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ < 1")]
+    fn mg1_rejects_overload() {
+        mg1_wait_moments(1.5, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn mg1_rejects_impossible_moments() {
+        mg1_wait_moments(0.5, 1.0, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! The analysis crate recovers the full waiting-time probability mass
+//! function by sampling the z-transform `t(z)` (paper Theorem 1) at the
+//! `N`-th roots of unity and applying an inverse DFT: if
+//! `t(z) = Σ_j P(w = j) z^j` and the mass beyond `N` is negligible, then
+//!
+//! ```text
+//! P(w = j) ≈ (1/N) Σ_{l=0}^{N-1} t(e^{2πil/N}) e^{-2πilj/N}.
+//! ```
+//!
+//! A plain radix-2 Cooley–Tukey transform is all that is required; input
+//! lengths are always powers of two (see [`next_pow2`]).
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and at least 1).
+///
+/// # Examples
+/// ```
+/// assert_eq!(banyan_numerics::next_pow2(0), 1);
+/// assert_eq!(banyan_numerics::next_pow2(1), 1);
+/// assert_eq!(banyan_numerics::next_pow2(5), 8);
+/// assert_eq!(banyan_numerics::next_pow2(1024), 1024);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place bit-reversal permutation.
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Core iterative Cooley–Tukey butterfly pass.
+///
+/// `sign` is `-1.0` for the forward transform (engineering convention
+/// `X_k = Σ x_j e^{-2πijk/N}`) and `+1.0` for the inverse (before the `1/N`
+/// normalization).
+fn fft_in_place(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT: `out[k] = Σ_j in[j]·e^{-2πijk/N}`.
+///
+/// The input length must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_in_place(data, -1.0);
+}
+
+/// Inverse DFT: `out[j] = (1/N) Σ_k in[k]·e^{+2πijk/N}`.
+///
+/// `ifft(fft(x)) == x` up to rounding. The input length must be a power of
+/// two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_in_place(data, 1.0);
+    let inv = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(inv);
+    }
+}
+
+/// Recovers the coefficients `c_0..c_{n-1}` of a power series from samples
+/// of the series at the `n`-th roots of unity.
+///
+/// `samples[l]` must equal `f(e^{2πil/n})` where `f(z) = Σ_j c_j z^j`. If
+/// the true series extends beyond `n` terms, coefficient `j` absorbs the
+/// aliased mass `Σ_r c_{j + rn}` — callers choose `n` large enough that the
+/// tail is negligible (for waiting-time pmfs the tail decays
+/// geometrically, so this converges fast).
+pub fn coefficients_from_unit_circle(samples: &[Complex]) -> Vec<f64> {
+    let mut buf = samples.to_vec();
+    assert!(
+        buf.len().is_power_of_two(),
+        "sample count must be a power of two"
+    );
+    // Samples are at angles +2πl/n, so the coefficients come out of the
+    // *forward* transform with the e^{-2πijl/n} kernel, normalized by 1/n.
+    fft(&mut buf);
+    let inv = 1.0 / buf.len() as f64;
+    buf.iter().map(|z| z.re * inv).collect()
+}
+
+/// Convolves two real sequences exactly (direct summation).
+///
+/// Used for composing small pmfs in tests; `O(n·m)` but with no rounding
+/// surprises. For the sizes used in this project this is fast enough.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() <= tol,
+                "mismatch: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::ONE; 8];
+        fft(&mut data);
+        assert!((data[0] - Complex::from_real(8.0)).abs() < 1e-12);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_random_like() {
+        // Deterministic pseudo-random data (no RNG dependency here).
+        let n = 64;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0;
+                let y = ((i * 40503 + 7) % 997) as f64 / 997.0;
+                Complex::new(x - 0.5, y - 0.5)
+            })
+            .collect();
+        let mut data = orig.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        assert_close(&data, &orig, 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut fast = orig.clone();
+        fft(&mut fast);
+        let naive: Vec<Complex> = (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| {
+                        orig[j]
+                            * Complex::cis(
+                                -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64,
+                            )
+                    })
+                    .sum()
+            })
+            .collect();
+        assert_close(&fast, &naive, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 32;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.25 * (i as f64).cos()))
+            .collect();
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = orig.clone();
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-10 * time_energy.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn coefficient_recovery_of_polynomial() {
+        // f(z) = 0.2 + 0.5 z + 0.3 z^3
+        let coeffs = [0.2, 0.5, 0.0, 0.3];
+        let n = 8usize;
+        let samples: Vec<Complex> = (0..n)
+            .map(|l| {
+                let z = Complex::cis(2.0 * std::f64::consts::PI * l as f64 / n as f64);
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| z.powi(j as i32) * c)
+                    .sum()
+            })
+            .collect();
+        let got = coefficients_from_unit_circle(&samples);
+        for (j, &c) in coeffs.iter().enumerate() {
+            assert!((got[j] - c).abs() < 1e-12, "coef {j}: {} vs {c}", got[j]);
+        }
+        for &g in &got[coeffs.len()..] {
+            assert!(g.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficient_recovery_of_geometric_series_aliases_tail() {
+        // f(z) = (1-r) / (1 - r z) = Σ (1-r) r^j z^j with r = 0.5.
+        let r: f64 = 0.5;
+        let n = 64usize;
+        let samples: Vec<Complex> = (0..n)
+            .map(|l| {
+                let z = Complex::cis(2.0 * std::f64::consts::PI * l as f64 / n as f64);
+                Complex::from_real(1.0 - r) / (Complex::ONE - z * r)
+            })
+            .collect();
+        let got = coefficients_from_unit_circle(&samples);
+        // Aliased coefficient j = (1-r) r^j / (1 - r^n); with r^64 ~ 5e-20
+        // the alias is invisible at f64 precision.
+        for (j, &g) in got.iter().take(20).enumerate() {
+            let want = (1.0 - r) * r.powi(j as i32);
+            assert!((g - want).abs() < 1e-14, "coef {j}");
+        }
+    }
+
+    #[test]
+    fn convolve_matches_hand_example() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0, 5.0];
+        assert_eq!(convolve(&a, &b), vec![3.0, 10.0, 13.0, 10.0]);
+        assert!(convolve(&[], &b).is_empty());
+    }
+
+    #[test]
+    fn convolution_of_pmfs_sums_to_one() {
+        let a = [0.25, 0.5, 0.25];
+        let b = [0.1, 0.9];
+        let c = convolve(&a, &b);
+        let s: f64 = c.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,166 @@
+//! Dense real polynomials.
+//!
+//! Generating functions of bounded discrete distributions (batch-size pmfs,
+//! service-time pmfs with finitely many sizes) are polynomials; this module
+//! provides the evaluation and differentiation used by the analysis crate,
+//! for both real and complex arguments.
+
+use crate::complex::Complex;
+
+/// A dense polynomial `c[0] + c[1] x + … + c[n] x^n` over `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Builds a polynomial from coefficients in ascending-degree order.
+    /// Trailing zeros are trimmed (the zero polynomial keeps one 0 term).
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Poly { coeffs }
+    }
+
+    /// The coefficients, ascending degree.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Horner evaluation at a real point.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Horner evaluation at a complex point.
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + c)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::new(vec![0.0]);
+        }
+        Poly::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| i as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// `r`-th derivative evaluated at `x` (direct falling-factorial form,
+    /// no intermediate allocations).
+    pub fn derivative_at(&self, r: u32, x: f64) -> f64 {
+        let mut sum = 0.0;
+        for (j, &c) in self.coeffs.iter().enumerate().skip(r as usize) {
+            let mut ff = 1.0;
+            for t in 0..r as usize {
+                ff *= (j - t) as f64;
+            }
+            sum += c * ff * x.powi((j - r as usize) as i32);
+        }
+        sum
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        Poly::new(crate::fft::convolve(&self.coeffs, other.coeffs()))
+    }
+
+    /// Integer power by repeated multiplication.
+    pub fn powi(&self, n: u32) -> Poly {
+        let mut acc = Poly::new(vec![1.0]);
+        for _ in 0..n {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner_matches_direct() {
+        let p = Poly::new(vec![1.0, -2.0, 0.5, 3.0]);
+        for &x in &[-2.0, -0.3, 0.0, 0.7, 1.0, 4.2] {
+            let direct = 1.0 - 2.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+            assert!((p.eval(x) - direct).abs() < 1e-12 * direct.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        let z = Poly::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_basics() {
+        // d/dx (1 + 2x + 3x²) = 2 + 6x
+        let p = Poly::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.derivative(), Poly::new(vec![2.0, 6.0]));
+        assert_eq!(Poly::new(vec![5.0]).derivative(), Poly::new(vec![0.0]));
+    }
+
+    #[test]
+    fn derivative_at_matches_chained_derivatives() {
+        let p = Poly::new(vec![0.3, 0.1, 0.0, 0.4, 0.2]);
+        let d1 = p.derivative();
+        let d2 = d1.derivative();
+        let d3 = d2.derivative();
+        for &x in &[0.0, 0.5, 1.0, 1.5] {
+            assert!((p.derivative_at(0, x) - p.eval(x)).abs() < 1e-13);
+            assert!((p.derivative_at(1, x) - d1.eval(x)).abs() < 1e-13);
+            assert!((p.derivative_at(2, x) - d2.eval(x)).abs() < 1e-13);
+            assert!((p.derivative_at(3, x) - d3.eval(x)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn complex_eval_consistent_with_real() {
+        let p = Poly::new(vec![0.2, 0.3, 0.5]);
+        let zr = p.eval_complex(Complex::from_real(0.8));
+        assert!((zr.re - p.eval(0.8)).abs() < 1e-14);
+        assert!(zr.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn pgf_property_eval_at_one() {
+        // A pmf-polynomial evaluates to 1 at z = 1.
+        let p = Poly::new(vec![0.1, 0.2, 0.3, 0.4]);
+        assert!((p.eval(1.0) - 1.0).abs() < 1e-15);
+        // And its derivative at 1 is the mean.
+        assert!((p.derivative_at(1, 1.0) - (0.2 + 0.6 + 1.2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_and_powi() {
+        // (1 + x)² = 1 + 2x + x²
+        let p = Poly::new(vec![1.0, 1.0]);
+        assert_eq!(p.powi(2), Poly::new(vec![1.0, 2.0, 1.0]));
+        assert_eq!(p.powi(0), Poly::new(vec![1.0]));
+        let q = Poly::new(vec![0.0, 1.0]);
+        assert_eq!(p.mul(&q), Poly::new(vec![0.0, 1.0, 1.0]));
+    }
+}

@@ -1,0 +1,207 @@
+//! Compensated summation and power-series helpers.
+//!
+//! Waiting-time pmfs and their moments involve sums of thousands of small
+//! terms of mixed magnitude; Kahan–Neumaier compensated summation keeps the
+//! accumulated rounding error at one ulp instead of `O(n)` ulps.
+
+/// Streaming Kahan–Neumaier compensated accumulator.
+///
+/// # Examples
+/// ```
+/// use banyan_numerics::KahanSum;
+/// let mut acc = KahanSum::new();
+/// for _ in 0..10 { acc.add(0.1); }
+/// assert!((acc.sum() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// Compensated sum of a slice.
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.sum()
+}
+
+/// Factorial moments `E[X]`, `E[X(X−1)]`, `E[X(X−1)(X−2)]` of a pmf given
+/// as `pmf[j] = P(X = j)`.
+///
+/// These are exactly the derivatives `G'(1)`, `G''(1)`, `G'''(1)` of the
+/// generating function `G(z) = Σ pmf[j] z^j`, which is the currency of the
+/// paper's Theorem 1 (Eqs. 2–3 consume `R''(1)`, `R'''(1)`, `U''(1)`,
+/// `U'''(1)`).
+pub fn factorial_moments(pmf: &[f64]) -> (f64, f64, f64) {
+    let mut m1 = KahanSum::new();
+    let mut m2 = KahanSum::new();
+    let mut m3 = KahanSum::new();
+    for (j, &p) in pmf.iter().enumerate() {
+        let j = j as f64;
+        m1.add(j * p);
+        m2.add(j * (j - 1.0) * p);
+        m3.add(j * (j - 1.0) * (j - 2.0) * p);
+    }
+    (m1.sum(), m2.sum(), m3.sum())
+}
+
+/// Mean and variance of a pmf `pmf[j] = P(X = j)`.
+pub fn pmf_mean_var(pmf: &[f64]) -> (f64, f64) {
+    let (m1, m2, _) = factorial_moments(pmf);
+    (m1, m2 + m1 - m1 * m1)
+}
+
+/// Normalizes a nonnegative sequence to sum to one.
+///
+/// Returns `None` when the total mass is zero or not finite.
+pub fn normalize(pmf: &mut [f64]) -> Option<f64> {
+    let total = kahan_sum(pmf);
+    if !(total.is_finite() && total > 0.0) {
+        return None;
+    }
+    for p in pmf.iter_mut() {
+        *p /= total;
+    }
+    Some(total)
+}
+
+/// Central finite-difference estimates of the first three derivatives of
+/// `f` at `x`, with step `h` (five-point stencils).
+///
+/// Used to cross-check the paper's closed-form derivative expressions
+/// (Eqs. 2–3 came out of "six applications of L'Hospital's rule" and an
+/// all-night Macsyma run — we verify our transcription numerically).
+pub fn finite_derivatives<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> (f64, f64, f64) {
+    let fm2 = f(x - 2.0 * h);
+    let fm1 = f(x - h);
+    let f0 = f(x);
+    let fp1 = f(x + h);
+    let fp2 = f(x + 2.0 * h);
+    let d1 = (fm2 - 8.0 * fm1 + 8.0 * fp1 - fp2) / (12.0 * h);
+    let d2 = (-fm2 + 16.0 * fm1 - 30.0 * f0 + 16.0 * fp1 - fp2) / (12.0 * h * h);
+    let d3 = (-fm2 + 2.0 * fm1 - 2.0 * fp1 + fp2) / (2.0 * h * h * h);
+    (d1, d2, d3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_input() {
+        // 1 + 1e-16 added 10^6 times: naive summation loses all the small
+        // terms; Kahan keeps them.
+        let mut acc = KahanSum::new();
+        acc.add(1.0);
+        for _ in 0..1_000_000 {
+            acc.add(1e-16);
+        }
+        let want = 1.0 + 1e-10;
+        assert!((acc.sum() - want).abs() < 1e-24, "{}", acc.sum());
+    }
+
+    #[test]
+    fn kahan_extend_and_slice_agree() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.618).sin()).collect();
+        let mut acc = KahanSum::new();
+        acc.extend(xs.iter().copied());
+        assert_eq!(acc.sum(), kahan_sum(&xs));
+    }
+
+    #[test]
+    fn factorial_moments_of_bernoulli() {
+        // X ~ Bernoulli(0.3): E X = 0.3, E X(X-1) = 0, E X(X-1)(X-2) = 0.
+        let (m1, m2, m3) = factorial_moments(&[0.7, 0.3]);
+        assert!((m1 - 0.3).abs() < 1e-15);
+        assert!(m2.abs() < 1e-15);
+        assert!(m3.abs() < 1e-15);
+    }
+
+    #[test]
+    fn factorial_moments_of_binomial() {
+        // Binomial(n=4, p=0.5): E X(X-1) = n(n-1)p² = 3, E X(X-1)(X-2) = n(n-1)(n-2)p³ = 3.
+        let pmf = [0.0625, 0.25, 0.375, 0.25, 0.0625];
+        let (m1, m2, m3) = factorial_moments(&pmf);
+        assert!((m1 - 2.0).abs() < 1e-14);
+        assert!((m2 - 3.0).abs() < 1e-14);
+        assert!((m3 - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pmf_mean_var_of_uniform_die() {
+        let pmf = [0.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0];
+        let (m, v) = pmf_mean_var(&pmf);
+        assert!((m - 3.5).abs() < 1e-14);
+        assert!((v - 35.0 / 12.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn normalize_scales_to_unity() {
+        let mut p = vec![1.0, 2.0, 1.0];
+        let total = normalize(&mut p).unwrap();
+        assert!((total - 4.0).abs() < 1e-15);
+        assert_eq!(p, vec![0.25, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_mass() {
+        let mut p = vec![0.0, 0.0];
+        assert!(normalize(&mut p).is_none());
+        let mut q = vec![f64::NAN];
+        assert!(normalize(&mut q).is_none());
+    }
+
+    #[test]
+    fn finite_derivatives_of_exp() {
+        let (d1, d2, d3) = finite_derivatives(|x| x.exp(), 0.4, 1e-3);
+        let e = 0.4f64.exp();
+        assert!((d1 - e).abs() < 1e-9);
+        assert!((d2 - e).abs() < 1e-6);
+        assert!((d3 - e).abs() < 1e-4);
+    }
+
+    #[test]
+    fn finite_derivatives_of_cubic_are_exact() {
+        // f = x³: f' = 3x², f'' = 6x, f''' = 6 — stencils are exact on cubics.
+        let (d1, d2, d3) = finite_derivatives(|x| x * x * x, 2.0, 1e-2);
+        assert!((d1 - 12.0).abs() < 1e-9);
+        assert!((d2 - 12.0).abs() < 1e-7);
+        assert!((d3 - 6.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Butterfly (indirect binary `k`-cube) wiring — a second banyan
+//! topology.
+//!
+//! The paper's analysis applies to any *banyan* (unique-path,
+//! self-routing) multistage network; the omega network of
+//! [`crate::topology`] is one member of the delta family, the butterfly
+//! another. In a `k`-ary butterfly, stage `i` (1-indexed) connects wire
+//! `w` to wires that differ from `w` only in the `i`-th most significant
+//! base-`k` digit; routing sets that digit to the destination's.
+//!
+//! Under uniform traffic the two wirings are statistically
+//! indistinguishable (both are delta networks; each stage's switch
+//! outputs see the same exchangeable traffic), which the test suite
+//! verifies — this is the topological-equivalence fact that lets the
+//! paper speak of "banyan networks" generically.
+
+/// An `n`-stage, `k`-ary butterfly network (`N = k^n` ports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ButterflyTopology {
+    k: u32,
+    stages: u32,
+    size: u64,
+}
+
+impl ButterflyTopology {
+    /// Builds the topology (`k >= 2`, `stages >= 1`, `N <= 2^24`).
+    pub fn new(k: u32, stages: u32) -> Self {
+        assert!(k >= 2, "switch size must be at least 2");
+        assert!(stages >= 1, "need at least one stage");
+        let size = (k as u64)
+            .checked_pow(stages)
+            .expect("network size overflows u64");
+        assert!(size <= 1 << 24, "network with {size} ports is unreasonably large");
+        ButterflyTopology { k, stages, size }
+    }
+
+    /// Switch arity `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Number of ports `N = k^n`.
+    pub fn ports(&self) -> u64 {
+        self.size
+    }
+
+    /// Weight of the digit consumed by `stage` (digit 1 = most
+    /// significant).
+    fn digit_weight(&self, stage: u32) -> u64 {
+        (self.k as u64).pow(self.stages - stage)
+    }
+
+    /// One routing step: replace the `stage`-th most significant digit
+    /// of the current wire with the destination's.
+    pub fn next_wire(&self, stage: u32, wire: u64, dest: u64) -> u64 {
+        debug_assert!((1..=self.stages).contains(&stage));
+        debug_assert!(wire < self.size && dest < self.size);
+        let w = self.digit_weight(stage);
+        let k = self.k as u64;
+        let own = (wire / w) % k;
+        let want = (dest / w) % k;
+        (wire as i64 + (want as i64 - own as i64) * w as i64) as u64
+    }
+
+    /// The full output-wire path from `input` to `dest`.
+    pub fn path(&self, input: u64, dest: u64) -> Vec<u64> {
+        let mut wire = input;
+        (1..=self.stages)
+            .map(|stage| {
+                wire = self.next_wire(stage, wire, dest);
+                wire
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_reaches_destination_exhaustively() {
+        for &(k, n) in &[(2u32, 3u32), (2, 4), (4, 2), (3, 3)] {
+            let t = ButterflyTopology::new(k, n);
+            for input in 0..t.ports() {
+                for dest in 0..t.ports() {
+                    let path = t.path(input, dest);
+                    assert_eq!(*path.last().unwrap(), dest, "k={k} n={n} {input}->{dest}");
+                    assert!(path.iter().all(|&w| w < t.ports()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digits_fixed_msb_first() {
+        let t = ButterflyTopology::new(2, 4);
+        // After stage i, the i most significant bits equal the dest's.
+        let input = 0b0110u64;
+        let dest = 0b1001u64;
+        let path = t.path(input, dest);
+        assert_eq!(path[0] >> 3, dest >> 3);
+        assert_eq!(path[1] >> 2, dest >> 2);
+        assert_eq!(path[2] >> 1, dest >> 1);
+        assert_eq!(path[3], dest);
+    }
+
+    #[test]
+    fn unique_path_property() {
+        // Same (input, dest) ⇒ same path (deterministic routing).
+        let t = ButterflyTopology::new(2, 3);
+        for input in 0..8 {
+            for dest in 0..8 {
+                assert_eq!(t.path(input, dest), t.path(input, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn load_balance_over_all_pairs() {
+        // Each stage-output wire is used equally often over all
+        // (input, dest) pairs — same structural fact as the omega.
+        let t = ButterflyTopology::new(2, 3);
+        for stage_idx in 0..3usize {
+            let mut counts = vec![0u32; 8];
+            for input in 0..8 {
+                for dest in 0..8 {
+                    counts[t.path(input, dest)[stage_idx] as usize] += 1;
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 8), "stage {stage_idx}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn stage_moves_are_local_to_one_digit() {
+        let t = ButterflyTopology::new(4, 3);
+        let wire = 37u64;
+        let dest = 58u64;
+        let mut prev = wire;
+        for (i, &next) in t.path(wire, dest).iter().enumerate() {
+            let stage = i as u32 + 1;
+            let w = (4u64).pow(3 - stage);
+            // Only the stage digit may change.
+            assert_eq!(prev / (w * 4), next / (w * 4), "higher digits fixed");
+            assert_eq!(prev % w, next % w, "lower digits fixed");
+            prev = next;
+        }
+    }
+}

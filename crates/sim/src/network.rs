@@ -1,0 +1,823 @@
+//! Clocked simulation of the full multistage banyan network.
+//!
+//! Implements exactly the model the paper analyzes (§I–II):
+//!
+//! * output-queued `k × k` switches with **infinite FIFO buffers**,
+//! * one service start per output port per cycle; a size-`m` message
+//!   occupies the port for `m` consecutive cycles,
+//! * arriving messages never interfere with departing ones; a queue can
+//!   accept any number of messages in one cycle,
+//! * **cut-through** forwarding: a message's head packet reaches the next
+//!   stage one cycle after its service starts, so the network service
+//!   time of an unobstructed message is `n + m − 1` cycles,
+//! * waiting time at a stage = cycles between the head packet's arrival
+//!   at the queue and the start of service (0 if served immediately);
+//!   service itself is *not* included — a message can have total waiting
+//!   time zero.
+//!
+//! The measurement protocol is warmup → measure → drain: statistics come
+//! only from messages injected during the measure window, and injection
+//! continues (untracked) during the drain so late tracked messages still
+//! experience steady-state congestion.
+
+use crate::butterfly::ButterflyTopology;
+use crate::topology::OmegaTopology;
+use crate::traffic::Workload;
+use banyan_stats::{CorrelationMatrix, IntHistogram, OnlineStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Hard cap on stages (fixed-size per-message wait record).
+pub const MAX_STAGES: usize = 16;
+
+/// How messages choose switch outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Real banyan destination-tag routing on a full `k^n`-port omega
+    /// network. Required for nonuniform (hot-spot) traffic.
+    Banyan,
+    /// Destination-tag routing on a `k^n`-port butterfly (indirect
+    /// `k`-cube) — a different wiring of the same banyan family;
+    /// statistically identical under uniform traffic (verified in
+    /// tests).
+    Butterfly,
+    /// Fixed-width "cylinder": every stage has `k^width_log_k` wires and
+    /// each message picks an independent uniform routing digit per stage.
+    ///
+    /// Under **uniform** traffic this is statistically identical to the
+    /// full banyan (a uniform destination's digits are i.i.d. uniform),
+    /// but the width no longer grows as `k^n` — this is how the `k = 8`,
+    /// 8-stage configuration of Table II stays simulable (a full banyan
+    /// would need 16.7M ports). The equivalence is verified in tests.
+    RandomDigit {
+        /// Stage width as a power of `k` (wires per stage =
+        /// `k^width_log_k`).
+        width_log_k: u32,
+    },
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Switch arity `k` (a banyan network has `k^stages` ports).
+    pub k: u32,
+    /// Number of stages `n`.
+    pub stages: u32,
+    /// Routing/width mode.
+    pub routing: Routing,
+    /// Output-buffer capacity in messages (`None` = infinite, the
+    /// paper's idealization). With finite buffers the model is
+    /// store-and-forward blocking: a server does not start forwarding
+    /// while the downstream queue is full, and an injection into a full
+    /// first-stage queue is rejected (counted, not retried). This is the
+    /// §VI "finite buffer delays" extension.
+    pub buffer_capacity: Option<usize>,
+    /// Offered traffic.
+    pub workload: Workload,
+    /// Cycles simulated before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles during which injected messages are tracked.
+    pub measure_cycles: u64,
+    /// Collect the full cross-stage correlation matrix (Table VI). Off by
+    /// default: it costs `O(n²)` updates per delivered message.
+    pub collect_correlations: bool,
+    /// Collect a full waiting-time histogram per stage (used to check
+    /// §V's "the distribution of waiting times seems to be about the
+    /// same for all stages"). Off by default.
+    pub collect_stage_histograms: bool,
+    /// RNG seed (simulations are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A reasonable default protocol for the given topology and workload.
+    pub fn new(k: u32, stages: u32, workload: Workload) -> Self {
+        NetworkConfig {
+            k,
+            stages,
+            routing: Routing::Banyan,
+            buffer_capacity: None,
+            workload,
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            collect_correlations: false,
+            collect_stage_histograms: false,
+            seed: 0x0BAD_5EED,
+        }
+    }
+
+    /// Switches to cylinder (random-digit) mode with `k^width_log_k`
+    /// wires per stage. Only valid for uniform traffic (`q = 0`).
+    pub fn with_random_digit_width(mut self, width_log_k: u32) -> Self {
+        self.routing = Routing::RandomDigit { width_log_k };
+        self
+    }
+}
+
+/// Aggregated simulation output (all statistics refer to *tracked*
+/// messages — those injected inside the measure window — except
+/// `injected_total`).
+#[derive(Clone, Debug)]
+pub struct NetworkStats {
+    /// Per-stage waiting-time statistics, index 0 = stage 1.
+    pub stage_waits: Vec<OnlineStats>,
+    /// Total (summed over stages) waiting time per message.
+    pub total_wait: OnlineStats,
+    /// Histogram of total waiting times (the Figs. 3–8 raw data).
+    pub total_hist: IntHistogram,
+    /// Cross-stage waiting-time correlations (Table VI), if collected.
+    pub correlations: Option<CorrelationMatrix>,
+    /// Per-stage waiting-time histograms, if collected.
+    pub stage_hists: Option<Vec<IntHistogram>>,
+    /// Tracked messages injected.
+    pub injected: u64,
+    /// Tracked messages delivered (equal to `injected` after a full run).
+    pub delivered: u64,
+    /// All messages injected, tracked or not.
+    pub injected_total: u64,
+    /// Injection attempts rejected because the first-stage buffer was
+    /// full (always 0 with infinite buffers), tracked or not.
+    pub rejected_total: u64,
+    /// Cycles actually simulated (including warmup and drain).
+    pub cycles: u64,
+}
+
+impl NetworkStats {
+    pub(crate) fn new(
+        stages: u32,
+        collect_correlations: bool,
+        collect_stage_histograms: bool,
+    ) -> Self {
+        NetworkStats {
+            stage_waits: vec![OnlineStats::new(); stages as usize],
+            total_wait: OnlineStats::new(),
+            total_hist: IntHistogram::new(),
+            correlations: collect_correlations.then(|| CorrelationMatrix::new(stages as usize)),
+            stage_hists: collect_stage_histograms
+                .then(|| vec![IntHistogram::new(); stages as usize]),
+            injected: 0,
+            delivered: 0,
+            injected_total: 0,
+            rejected_total: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Merges statistics from an independent replication.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        assert_eq!(
+            self.stage_waits.len(),
+            other.stage_waits.len(),
+            "stage count mismatch"
+        );
+        for (a, b) in self.stage_waits.iter_mut().zip(&other.stage_waits) {
+            a.merge(b);
+        }
+        self.total_wait.merge(&other.total_wait);
+        self.total_hist.merge(&other.total_hist);
+        match (&mut self.correlations, &other.correlations) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("correlation collection mismatch in merge"),
+        }
+        match (&mut self.stage_hists, &other.stage_hists) {
+            (Some(a), Some(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    x.merge(y);
+                }
+            }
+            (None, None) => {}
+            _ => panic!("stage-histogram collection mismatch in merge"),
+        }
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.injected_total += other.injected_total;
+        self.rejected_total += other.rejected_total;
+        self.cycles += other.cycles;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Message {
+    dest: u64,
+    size: u32,
+    /// Cycle at which the head packet arrived at the current queue.
+    entered: u64,
+    tracked: bool,
+    waits: [u32; MAX_STAGES],
+}
+
+#[derive(Clone, Debug, Default)]
+struct PortQueue {
+    fifo: VecDeque<Message>,
+    /// Earliest cycle at which the server may start a new service.
+    busy_until: u64,
+}
+
+/// The simulator itself. Construct with [`NetworkSim::new`], run to
+/// completion with [`NetworkSim::run`].
+pub struct NetworkSim {
+    topo: OmegaTopology,
+    butterfly: Option<ButterflyTopology>,
+    cfg: NetworkConfig,
+    /// `queues[(stage-1) * ports + wire]`.
+    queues: Vec<PortQueue>,
+    /// Per-stage list of wires whose queue may be non-empty (lazily
+    /// pruned) — the serve() work list.
+    active: Vec<Vec<u64>>,
+    /// Membership flags for `active`, indexed like `queues`.
+    in_active: Vec<bool>,
+    rng: SmallRng,
+    now: u64,
+    tracked_in_flight: u64,
+    stats: NetworkStats,
+}
+
+impl NetworkSim {
+    /// Builds a simulator for the given configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid workload parameters or `stages > MAX_STAGES`.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        cfg.workload.validate();
+        assert!(
+            (cfg.stages as usize) <= MAX_STAGES,
+            "at most {MAX_STAGES} stages supported"
+        );
+        if let Some(cap) = cfg.buffer_capacity {
+            assert!(cap >= 1, "buffer capacity must be at least 1 message");
+        }
+        let butterfly = matches!(cfg.routing, Routing::Butterfly)
+            .then(|| ButterflyTopology::new(cfg.k, cfg.stages));
+        let topo = match cfg.routing {
+            Routing::Banyan | Routing::Butterfly => OmegaTopology::new(cfg.k, cfg.stages),
+            Routing::RandomDigit { width_log_k } => {
+                assert!(
+                    cfg.workload.q == 0.0,
+                    "random-digit routing is only equivalent for uniform traffic"
+                );
+                OmegaTopology::new(cfg.k, width_log_k)
+            }
+        };
+        let total_queues = (topo.ports() * cfg.stages as u64) as usize;
+        NetworkSim {
+            topo,
+            butterfly,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            queues: vec![PortQueue::default(); total_queues],
+            active: vec![Vec::new(); cfg.stages as usize],
+            in_active: vec![false; total_queues],
+            now: 0,
+            tracked_in_flight: 0,
+            stats: NetworkStats::new(
+                cfg.stages,
+                cfg.collect_correlations,
+                cfg.collect_stage_histograms,
+            ),
+            cfg,
+        }
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &OmegaTopology {
+        &self.topo
+    }
+
+    #[inline]
+    fn queue_index(&self, stage: u32, wire: u64) -> usize {
+        ((stage as u64 - 1) * self.topo.ports() + wire) as usize
+    }
+
+    /// Output wire taken by a message on `wire` entering `stage`.
+    #[inline]
+    fn route(&mut self, stage: u32, wire: u64, dest: u64) -> u64 {
+        match self.cfg.routing {
+            Routing::Banyan => self.topo.next_wire(stage, wire, dest),
+            Routing::Butterfly => self
+                .butterfly
+                .as_ref()
+                .expect("butterfly topology constructed in new()")
+                .next_wire(stage, wire, dest),
+            Routing::RandomDigit { .. } => {
+                use rand::Rng;
+                let shuffled = self.topo.shuffle(wire);
+                let base = shuffled - shuffled % self.cfg.k as u64;
+                base + self.rng.gen_range(0..self.cfg.k as u64)
+            }
+        }
+    }
+
+    /// Injects this cycle's fresh arrivals into the first-stage queues.
+    fn inject(&mut self, tracked_window: bool) {
+        let ports = self.topo.ports();
+        for input in 0..ports {
+            if let Some((dest, size)) =
+                self.cfg
+                    .workload
+                    .sample_arrival(&mut self.rng, input, ports)
+            {
+                let wire = self.route(1, input, dest);
+                let idx = self.queue_index(1, wire);
+                if let Some(cap) = self.cfg.buffer_capacity {
+                    if self.queues[idx].fifo.len() >= cap {
+                        self.stats.rejected_total += 1;
+                        continue;
+                    }
+                }
+                self.stats.injected_total += 1;
+                if tracked_window {
+                    self.stats.injected += 1;
+                    self.tracked_in_flight += 1;
+                }
+                self.queues[idx].fifo.push_back(Message {
+                    dest,
+                    size,
+                    entered: self.now,
+                    tracked: tracked_window,
+                    waits: [0; MAX_STAGES],
+                });
+                self.activate(1, wire);
+            }
+        }
+    }
+
+    /// Starts at most one service at every eligible output port.
+    ///
+    /// Processing stages in increasing order is safe: a message forwarded
+    /// from stage `i` this cycle is stamped `entered = now + 1` and is
+    /// therefore ineligible at stage `i + 1` until the next cycle.
+    ///
+    /// Only queues on the stage's **active list** (non-empty fifo, lazily
+    /// pruned) are visited, so a lightly loaded network costs
+    /// O(messages) per cycle instead of O(ports × stages). The list is
+    /// taken out before iteration so forwards can grow the *next* stage's
+    /// list, and is **sorted by wire** first: same-cycle arrivals at a
+    /// downstream queue must enqueue in ascending-wire order so the
+    /// dynamics are bit-identical to a full ascending scan. (The
+    /// tie-break is not cosmetic — a sticky arbitrary order measurably
+    /// *decorrelates* consecutive-stage waits and would shift Table VI.)
+    fn serve(&mut self) {
+        let ports = self.topo.ports();
+        let stages = self.cfg.stages;
+        for stage in 1..=stages {
+            let mut list = std::mem::take(&mut self.active[stage as usize - 1]);
+            list.sort_unstable();
+            let mut retained = Vec::with_capacity(list.len());
+            for wire in list {
+                let idx = self.queue_index(stage, wire);
+                let q = &mut self.queues[idx];
+                if q.fifo.is_empty() {
+                    // Lazily drop emptied queues from the active list.
+                    self.in_active[idx] = false;
+                    continue;
+                }
+                if q.busy_until > self.now {
+                    retained.push(wire);
+                    continue;
+                }
+                let eligible = matches!(q.fifo.front(), Some(head) if head.entered <= self.now);
+                if !eligible {
+                    retained.push(wire);
+                    continue;
+                }
+                let mut msg = q.fifo.pop_front().expect("checked non-empty");
+                if stage < stages {
+                    let next = self.route(stage + 1, wire, msg.dest);
+                    let nidx = self.queue_index(stage + 1, next);
+                    if let Some(cap) = self.cfg.buffer_capacity {
+                        // Store-and-forward blocking: hold the message at
+                        // the head until the downstream buffer has room.
+                        if self.queues[nidx].fifo.len() >= cap {
+                            self.queues[idx].fifo.push_front(msg);
+                            retained.push(wire);
+                            continue;
+                        }
+                    }
+                    let q = &mut self.queues[idx];
+                    q.busy_until = self.now + msg.size as u64;
+                    msg.waits[stage as usize - 1] = (self.now - msg.entered) as u32;
+                    msg.entered = self.now + 1;
+                    self.queues[nidx].fifo.push_back(msg);
+                    self.activate(stage + 1, next);
+                } else {
+                    q.busy_until = self.now + msg.size as u64;
+                    msg.waits[stage as usize - 1] = (self.now - msg.entered) as u32;
+                    self.deliver(msg);
+                }
+                let idx = self.queue_index(stage, wire);
+                if self.queues[idx].fifo.is_empty() {
+                    self.in_active[idx] = false;
+                } else {
+                    retained.push(wire);
+                }
+            }
+            debug_assert!(retained.iter().all(|&w| w < ports));
+            self.active[stage as usize - 1] = retained;
+        }
+    }
+
+    /// Puts a queue on its stage's active list (idempotent).
+    #[inline]
+    fn activate(&mut self, stage: u32, wire: u64) {
+        let idx = self.queue_index(stage, wire);
+        if !self.in_active[idx] {
+            self.in_active[idx] = true;
+            self.active[stage as usize - 1].push(wire);
+        }
+    }
+
+    /// Records statistics for a message whose final-stage service just
+    /// started (all per-stage waits are known at that point).
+    fn deliver(&mut self, msg: Message) {
+        if !msg.tracked {
+            return;
+        }
+        self.tracked_in_flight -= 1;
+        self.stats.delivered += 1;
+        let n = self.cfg.stages as usize;
+        let mut total = 0u64;
+        for (i, &w) in msg.waits[..n].iter().enumerate() {
+            self.stats.stage_waits[i].push(w as f64);
+            total += w as u64;
+        }
+        self.stats.total_wait.push(total as f64);
+        self.stats.total_hist.record(total);
+        if let Some(corr) = &mut self.stats.correlations {
+            let mut obs = [0.0f64; MAX_STAGES];
+            for (o, &w) in obs.iter_mut().zip(&msg.waits[..n]) {
+                *o = w as f64;
+            }
+            corr.push(&obs[..n]);
+        }
+        if let Some(hists) = &mut self.stats.stage_hists {
+            for (h, &w) in hists.iter_mut().zip(&msg.waits[..n]) {
+                h.record(w as u64);
+            }
+        }
+    }
+
+    /// Advances one cycle.
+    fn step(&mut self, tracked_window: bool) {
+        self.inject(tracked_window);
+        self.serve();
+        self.now += 1;
+    }
+
+    /// Number of messages currently queued anywhere in the network.
+    pub fn in_flight(&self) -> usize {
+        self.queues.iter().map(|q| q.fifo.len()).sum()
+    }
+
+    /// Runs the full warmup → measure → drain protocol and returns the
+    /// statistics. The drain keeps injecting untracked background traffic
+    /// so tracked stragglers finish under steady-state conditions; it is
+    /// bounded by a generous safety factor and panics if tracked messages
+    /// are still stuck after it (which would indicate an unstable load).
+    pub fn run(mut self) -> NetworkStats {
+        for _ in 0..self.cfg.warmup_cycles {
+            self.step(false);
+        }
+        for _ in 0..self.cfg.measure_cycles {
+            self.step(true);
+        }
+        // Drain: generous bound — waiting times at ρ < 1 are short
+        // compared to this.
+        let max_drain = 200 * self.cfg.stages as u64
+            + self.cfg.measure_cycles
+            + 100_000;
+        let mut drained = 0u64;
+        while self.tracked_in_flight > 0 {
+            self.step(false);
+            drained += 1;
+            assert!(
+                drained <= max_drain,
+                "drain did not complete: {} tracked messages stuck (load too close to 1?)",
+                self.tracked_in_flight
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_network(cfg: NetworkConfig) -> NetworkStats {
+    NetworkSim::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::ServiceDist;
+
+    fn quick_cfg(k: u32, stages: u32, p: f64, m: u32) -> NetworkConfig {
+        NetworkConfig {
+            warmup_cycles: 500,
+            measure_cycles: 4_000,
+            ..NetworkConfig::new(k, stages, Workload::uniform(p, m))
+        }
+    }
+
+    #[test]
+    fn zero_load_delivers_nothing() {
+        let stats = run_network(quick_cfg(2, 3, 0.0, 1));
+        assert_eq!(stats.injected, 0);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.injected_total, 0);
+    }
+
+    #[test]
+    fn all_tracked_messages_are_delivered() {
+        let stats = run_network(quick_cfg(2, 4, 0.5, 1));
+        assert!(stats.injected > 0);
+        assert_eq!(stats.injected, stats.delivered);
+        assert_eq!(stats.total_wait.count(), stats.delivered);
+        assert_eq!(stats.total_hist.total(), stats.delivered);
+    }
+
+    #[test]
+    fn light_load_waits_are_tiny() {
+        let stats = run_network(quick_cfg(2, 3, 0.01, 1));
+        assert!(stats.total_wait.mean() < 0.05, "{}", stats.total_wait.mean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_network(quick_cfg(2, 3, 0.5, 1));
+        let b = run_network(quick_cfg(2, 3, 0.5, 1));
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.total_wait.mean(), b.total_wait.mean());
+        let mut c = quick_cfg(2, 3, 0.5, 1);
+        c.seed = 999;
+        let c = run_network(c);
+        assert_ne!(a.injected, c.injected);
+    }
+
+    #[test]
+    fn stage1_matches_exact_analysis() {
+        // k = 2, p = 0.5, m = 1: w₁ = 0.25, v₁ = 0.25 exactly (Eq. 6–7).
+        let mut cfg = quick_cfg(2, 3, 0.5, 1);
+        cfg.measure_cycles = 30_000;
+        let stats = run_network(cfg);
+        let w1 = stats.stage_waits[0].mean();
+        let v1 = stats.stage_waits[0].variance();
+        assert!((w1 - 0.25).abs() < 0.01, "w1 = {w1}");
+        assert!((v1 - 0.25).abs() < 0.02, "v1 = {v1}");
+    }
+
+    #[test]
+    fn stage1_matches_exact_analysis_m4() {
+        // k = 2, p = 0.125, m = 4 (ρ = 0.5): Eq. 8 gives
+        // w₁ = 0.5·(4 − 0.5)/(2·0.5) = 1.75.
+        let mut cfg = quick_cfg(2, 3, 0.125, 4);
+        cfg.measure_cycles = 60_000;
+        let stats = run_network(cfg);
+        let w1 = stats.stage_waits[0].mean();
+        assert!((w1 - 1.75).abs() < 0.08, "w1 = {w1}");
+    }
+
+    #[test]
+    fn later_stage_waits_exceed_first_stage() {
+        // §IV: w_i increases with i toward w_∞ > w₁ (unit service).
+        let mut cfg = quick_cfg(2, 6, 0.5, 1);
+        cfg.measure_cycles = 30_000;
+        let stats = run_network(cfg);
+        let w1 = stats.stage_waits[0].mean();
+        let w_deep = stats.stage_waits[4].mean();
+        assert!(w_deep > w1 * 1.05, "w1 = {w1}, w5 = {w_deep}");
+        // ...and approaches ~1.2·w₁ (r(0.5) for k = 2).
+        assert!(w_deep < w1 * 1.4);
+    }
+
+    #[test]
+    fn interior_stage_waits_drop_for_long_messages() {
+        // §IV-B: for m ≥ 2 the first stage is the *most* congested —
+        // interior sources are spaced by the service time.
+        let mut cfg = quick_cfg(2, 5, 0.125, 4);
+        cfg.measure_cycles = 40_000;
+        let stats = run_network(cfg);
+        let w1 = stats.stage_waits[0].mean();
+        let w4 = stats.stage_waits[3].mean();
+        assert!(w4 < w1, "w1 = {w1}, w4 = {w4}");
+    }
+
+    #[test]
+    fn correlations_are_small_and_positive_between_adjacent_stages() {
+        let mut cfg = quick_cfg(2, 6, 0.5, 1);
+        cfg.collect_correlations = true;
+        cfg.measure_cycles = 30_000;
+        let stats = run_network(cfg);
+        let corr = stats.correlations.as_ref().unwrap();
+        // Table VI: adjacent ≈ 0.12, decaying with distance.
+        let c12 = corr.correlation(2, 3);
+        assert!(c12 > 0.05 && c12 < 0.25, "adjacent corr = {c12}");
+        let c14 = corr.correlation(2, 5);
+        assert!(c14 < c12, "corr should decay with stage distance");
+    }
+
+    #[test]
+    fn merge_combines_replications() {
+        let a = run_network(quick_cfg(2, 3, 0.5, 1));
+        let mut b_cfg = quick_cfg(2, 3, 0.5, 1);
+        b_cfg.seed = 42;
+        let b = run_network(b_cfg);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.delivered, a.delivered + b.delivered);
+        assert_eq!(merged.total_hist.total(), a.total_hist.total() + b.total_hist.total());
+    }
+
+    #[test]
+    fn geometric_service_network_runs() {
+        let wl = Workload {
+            p: 0.2,
+            q: 0.0,
+            service: ServiceDist::Geometric(0.5),
+        };
+        let mut cfg = NetworkConfig::new(2, 3, wl);
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 4_000;
+        let stats = run_network(cfg);
+        assert_eq!(stats.injected, stats.delivered);
+        assert!(stats.total_wait.mean() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_traffic_reduces_waiting() {
+        let mut uni = quick_cfg(2, 4, 0.5, 1);
+        uni.measure_cycles = 20_000;
+        let u = run_network(uni);
+        let mut hot = NetworkConfig::new(2, 4, Workload::hotspot(0.5, 0.8));
+        hot.warmup_cycles = 500;
+        hot.measure_cycles = 20_000;
+        let h = run_network(hot);
+        assert!(
+            h.total_wait.mean() < u.total_wait.mean(),
+            "hotspot {} vs uniform {}",
+            h.total_wait.mean(),
+            u.total_wait.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_stages_rejected() {
+        NetworkSim::new(NetworkConfig::new(2, 17, Workload::uniform(0.1, 1)));
+    }
+
+    #[test]
+    fn infinite_buffers_never_reject() {
+        let stats = run_network(quick_cfg(2, 4, 0.8, 1));
+        assert_eq!(stats.rejected_total, 0);
+    }
+
+    #[test]
+    fn large_finite_buffers_match_infinite_at_moderate_load() {
+        // §I: "for light-to-moderate loads, moderate-sized buffers provide
+        // approximately the same performance as infinite buffers."
+        let mut inf = quick_cfg(2, 5, 0.5, 1);
+        inf.measure_cycles = 20_000;
+        let a = run_network(inf);
+        let mut fin = quick_cfg(2, 5, 0.5, 1);
+        fin.measure_cycles = 20_000;
+        fin.buffer_capacity = Some(16);
+        let b = run_network(fin);
+        assert_eq!(b.rejected_total, 0, "capacity 16 should never fill at p=0.5");
+        assert!(
+            (a.total_wait.mean() - b.total_wait.mean()).abs() < 0.03,
+            "{} vs {}",
+            a.total_wait.mean(),
+            b.total_wait.mean()
+        );
+    }
+
+    #[test]
+    fn tiny_buffers_reject_and_cap_waits() {
+        let mut cfg = quick_cfg(2, 4, 0.9, 1);
+        cfg.measure_cycles = 10_000;
+        cfg.buffer_capacity = Some(1);
+        let stats = run_network(cfg);
+        assert!(stats.rejected_total > 0, "capacity 1 at p=0.9 must reject");
+        assert_eq!(stats.injected, stats.delivered, "accepted messages still conserved");
+        // Offered load far exceeds what one buffer slot per port can
+        // carry: most injections bounce, and accepted messages see
+        // moderate (blocking-limited) waits rather than the enormous
+        // queues an infinite buffer would build at p = 0.9.
+        let accept = stats.injected_total as f64
+            / (stats.injected_total + stats.rejected_total) as f64;
+        assert!(accept < 0.6, "accept rate {accept}");
+        assert!(stats.total_wait.mean() < 10.0, "{}", stats.total_wait.mean());
+    }
+
+    #[test]
+    fn finite_buffers_are_conservative_under_all_loads() {
+        for &p in &[0.3, 0.6, 0.9] {
+            let mut cfg = quick_cfg(2, 3, p, 1);
+            cfg.measure_cycles = 5_000;
+            cfg.buffer_capacity = Some(2);
+            let stats = run_network(cfg);
+            assert_eq!(stats.injected, stats.delivered, "p={p}");
+        }
+    }
+
+    #[test]
+    fn stage_histograms_collected_and_consistent() {
+        let mut cfg = quick_cfg(2, 5, 0.5, 1);
+        cfg.collect_stage_histograms = true;
+        cfg.measure_cycles = 20_000;
+        let stats = run_network(cfg);
+        let hists = stats.stage_hists.as_ref().unwrap();
+        assert_eq!(hists.len(), 5);
+        for (i, h) in hists.iter().enumerate() {
+            assert_eq!(h.total(), stats.delivered);
+            assert!(
+                (h.mean() - stats.stage_waits[i].mean()).abs() < 1e-9,
+                "stage {i} histogram/accumulator mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_distributions_have_similar_shape() {
+        // §V: "The distribution of waiting times seems to be about the
+        // same for all stages." Compare stage-1 and deep-stage pmfs by
+        // total variation (they differ slightly — deep stages wait ~20%
+        // longer at p = 0.5 — but the shapes are close).
+        use banyan_stats::distance::total_variation;
+        let mut cfg = quick_cfg(2, 8, 0.5, 1);
+        cfg.collect_stage_histograms = true;
+        cfg.measure_cycles = 30_000;
+        let stats = run_network(cfg);
+        let hists = stats.stage_hists.as_ref().unwrap();
+        let first = &hists[0];
+        let deep = &hists[7];
+        let tv = total_variation(deep, |v| first.pmf_at(v));
+        assert!(tv < 0.06, "stage-1 vs stage-8 TV = {tv}");
+        // And deep stages resemble each other even more closely.
+        let tv78 = total_variation(&hists[7], |v| hists[6].pmf_at(v));
+        assert!(tv78 < 0.02, "stage-7 vs stage-8 TV = {tv78}");
+    }
+
+    #[test]
+    fn butterfly_statistically_matches_omega() {
+        // Two wirings of the same banyan family: identical per-stage
+        // statistics under uniform traffic.
+        let mut omega = quick_cfg(2, 6, 0.5, 1);
+        omega.measure_cycles = 20_000;
+        let a = run_network(omega);
+        let mut bfly = quick_cfg(2, 6, 0.5, 1);
+        bfly.measure_cycles = 20_000;
+        bfly.routing = Routing::Butterfly;
+        let b = run_network(bfly);
+        for i in 0..6 {
+            let wa = a.stage_waits[i].mean();
+            let wb = b.stage_waits[i].mean();
+            assert!((wa - wb).abs() < 0.02, "stage {i}: omega {wa} vs butterfly {wb}");
+        }
+        assert!((a.total_wait.mean() - b.total_wait.mean()).abs() < 0.05);
+        assert_eq!(b.injected, b.delivered);
+    }
+
+    #[test]
+    fn random_digit_mode_statistically_matches_banyan() {
+        // Uniform traffic: a full banyan and a fixed-width cylinder with
+        // i.i.d. random routing digits must produce the same per-stage
+        // waiting statistics.
+        let mut banyan = quick_cfg(2, 6, 0.5, 1);
+        banyan.measure_cycles = 20_000;
+        let b = run_network(banyan);
+        let mut cyl = quick_cfg(2, 6, 0.5, 1).with_random_digit_width(6);
+        cyl.measure_cycles = 20_000;
+        let c = run_network(cyl);
+        for i in 0..6 {
+            let wb = b.stage_waits[i].mean();
+            let wc = c.stage_waits[i].mean();
+            assert!((wb - wc).abs() < 0.02, "stage {i}: banyan {wb} vs cylinder {wc}");
+        }
+        assert!((b.total_wait.variance() - c.total_wait.variance()).abs() < 0.2);
+    }
+
+    #[test]
+    fn random_digit_mode_allows_wide_switches_with_narrow_network() {
+        // k = 8 with 4 stages on only 8² = 64 wires (a real banyan would
+        // need 4096 ports).
+        let cfg = NetworkConfig {
+            warmup_cycles: 500,
+            measure_cycles: 8_000,
+            ..NetworkConfig::new(8, 4, Workload::uniform(0.5, 1)).with_random_digit_width(2)
+        };
+        let stats = run_network(cfg);
+        assert_eq!(stats.injected, stats.delivered);
+        // Eq. 6 for k = 8, p = 0.5: w₁ = (7/8)·0.5/1 = 0.4375.
+        assert!((stats.stage_waits[0].mean() - 0.4375).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform traffic")]
+    fn random_digit_rejects_hotspot() {
+        let cfg =
+            NetworkConfig::new(2, 4, Workload::hotspot(0.5, 0.3)).with_random_digit_width(4);
+        NetworkSim::new(cfg);
+    }
+}

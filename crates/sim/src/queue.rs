@@ -1,0 +1,442 @@
+//! Single first-stage queue simulator (the exact §II model).
+//!
+//! Simulates one output port of a first-stage switch as a discrete-time
+//! batch-arrival queue via the Lindley recursion the paper's proof uses:
+//! with `s` the unfinished work at the end of the previous cycle, a batch
+//! of messages arriving this cycle with service times `v₁, …, v_a` (in
+//! arrival order) waits `w_i = s + v₁ + … + v_{i−1}`, and
+//! `s ← max(0, s + Σv − 1)`.
+//!
+//! This validates Theorem 1 (and every §III closed form) directly — the
+//! batch-count distributions below sample exactly the pgfs `R(z)` the
+//! analysis uses, including bulk and nonuniform classes that the network
+//! simulator does not exercise at a single port.
+
+use crate::traffic::ServiceDist;
+use banyan_stats::{CoMoment, IntHistogram, OnlineStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-cycle batch-size (message-count) distribution at the queue.
+#[derive(Clone, Debug)]
+pub enum ArrivalDist {
+    /// Uniform traffic on a `k × s` switch: `Binomial(k, p/s)` messages
+    /// per cycle (§III-A-1).
+    UniformSwitch {
+        /// Switch inputs.
+        k: u32,
+        /// Switch outputs.
+        s: u32,
+        /// Per-input arrival probability.
+        p: f64,
+    },
+    /// Bulk arrivals (§III-A-2): each of the `k` inputs contributes, with
+    /// probability `p/s`, a bulk of `b` messages.
+    BulkSwitch {
+        /// Switch inputs.
+        k: u32,
+        /// Switch outputs.
+        s: u32,
+        /// Per-input arrival probability.
+        p: f64,
+        /// Bulk size.
+        b: u32,
+    },
+    /// Nonuniform favorite-output traffic on a square switch (§III-A-3):
+    /// one favored input sends a bulk here with probability
+    /// `α = p(q + (1−q)/k)`, each of the other `k−1` with
+    /// `β = p(1−q)/k`.
+    Nonuniform {
+        /// Switch size (square).
+        k: u32,
+        /// Per-input arrival probability.
+        p: f64,
+        /// Hot-spot factor.
+        q: f64,
+        /// Bulk size.
+        b: u32,
+    },
+    /// Arbitrary batch-count pmf (`pmf[j]` = probability of `j` messages).
+    Tabulated(Vec<f64>),
+}
+
+impl ArrivalDist {
+    /// Mean messages per cycle `λ`.
+    pub fn lambda(&self) -> f64 {
+        match self {
+            ArrivalDist::UniformSwitch { k, s, p } => *k as f64 * p / *s as f64,
+            ArrivalDist::BulkSwitch { k, s, p, b } => *k as f64 * p * *b as f64 / *s as f64,
+            ArrivalDist::Nonuniform { p, b, .. } => p * *b as f64,
+            ArrivalDist::Tabulated(pmf) => {
+                pmf.iter().enumerate().map(|(j, &g)| j as f64 * g).sum()
+            }
+        }
+    }
+
+    /// Draws the number of messages arriving in one cycle.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            ArrivalDist::UniformSwitch { k, s, p } => {
+                let a = p / *s as f64;
+                (0..*k).filter(|_| rng.gen_bool(a)).count() as u32
+            }
+            ArrivalDist::BulkSwitch { k, s, p, b } => {
+                let a = p / *s as f64;
+                (0..*k).filter(|_| rng.gen_bool(a)).count() as u32 * b
+            }
+            ArrivalDist::Nonuniform { k, p, q, b } => {
+                let alpha = p * (q + (1.0 - q) / *k as f64);
+                let beta = p * (1.0 - q) / *k as f64;
+                let mut n = u32::from(rng.gen_bool(alpha));
+                n += (1..*k).filter(|_| rng.gen_bool(beta)).count() as u32;
+                n * b
+            }
+            ArrivalDist::Tabulated(pmf) => {
+                let mut u: f64 = rng.gen();
+                for (j, &g) in pmf.iter().enumerate() {
+                    if u < g {
+                        return j as u32;
+                    }
+                    u -= g;
+                }
+                (pmf.len() - 1) as u32
+            }
+        }
+    }
+}
+
+/// Configuration of a single-queue run.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Batch-count distribution per cycle.
+    pub arrivals: ArrivalDist,
+    /// Per-message service-time distribution.
+    pub service: ServiceDist,
+    /// Cycles before measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueueConfig {
+    /// Default protocol for the given distributions.
+    pub fn new(arrivals: ArrivalDist, service: ServiceDist) -> Self {
+        QueueConfig {
+            arrivals,
+            service,
+            warmup_cycles: 10_000,
+            measure_cycles: 500_000,
+            seed: 0xFACE_FEED,
+        }
+    }
+}
+
+/// Output of a single-queue run.
+#[derive(Clone, Debug)]
+pub struct QueueStats {
+    /// Waiting-time moments over measured messages.
+    pub wait: OnlineStats,
+    /// Waiting-time histogram.
+    pub hist: IntHistogram,
+    /// End-of-cycle unfinished work (the `s` of Theorem 1's proof; its
+    /// transform is `Ψ(z)`).
+    pub backlog: OnlineStats,
+    /// Histogram of the end-of-cycle unfinished work — the empirical
+    /// counterpart of the inverted `Ψ(z)` pmf.
+    pub backlog_hist: IntHistogram,
+    /// Fraction of measured cycles ending with zero backlog,
+    /// `P(s = 0) = Ψ(0)`.
+    pub idle_fraction: f64,
+    /// Long-run fraction of busy cycles (utilization ≈ ρ).
+    pub utilization: f64,
+    /// Lag-1..=4 autocorrelation of the busy indicator — the queue's
+    /// *output* process. Nonzero values are exactly why the paper cannot
+    /// analyze stage 2 exactly ("the inputs at successive cycles are not
+    /// independent", §IV): this output feeds the next stage.
+    pub output_autocorr: [f64; 4],
+}
+
+impl QueueStats {
+    /// Merges an independent replication.
+    pub fn merge(&mut self, other: &QueueStats) {
+        // Scalar fractions combine by simple averaging (replications use
+        // identical cycle counts in this project).
+        self.utilization = 0.5 * (self.utilization + other.utilization);
+        self.idle_fraction = 0.5 * (self.idle_fraction + other.idle_fraction);
+        for (a, b) in self.output_autocorr.iter_mut().zip(&other.output_autocorr) {
+            *a = 0.5 * (*a + b);
+        }
+        self.wait.merge(&other.wait);
+        self.hist.merge(&other.hist);
+        self.backlog.merge(&other.backlog);
+        self.backlog_hist.merge(&other.backlog_hist);
+    }
+}
+
+/// Runs the Lindley-recursion simulation.
+pub fn run_queue(cfg: &QueueConfig) -> QueueStats {
+    cfg.service.validate();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut s: u64 = 0; // unfinished work at end of previous cycle
+    let mut wait = OnlineStats::new();
+    let mut hist = IntHistogram::new();
+    let mut backlog_stats = OnlineStats::new();
+    let mut backlog_hist = IntHistogram::new();
+    let mut busy_cycles: u64 = 0;
+    let mut idle_ends: u64 = 0;
+    let mut autocorr = [CoMoment::new(), CoMoment::new(), CoMoment::new(), CoMoment::new()];
+    let mut busy_history = [0.0f64; 4];
+    let mut history_len = 0usize;
+
+    for cycle in 0..(cfg.warmup_cycles + cfg.measure_cycles) {
+        let measuring = cycle >= cfg.warmup_cycles;
+        let count = cfg.arrivals.sample(&mut rng);
+        let mut batch_work: u64 = 0;
+        for _ in 0..count {
+            let v = cfg.service.sample(&mut rng) as u64;
+            let w = s + batch_work;
+            if measuring {
+                wait.push(w as f64);
+                hist.record(w);
+            }
+            batch_work += v;
+        }
+        let backlog = s + batch_work;
+        let busy = if backlog > 0 { 1.0 } else { 0.0 };
+        if measuring && backlog > 0 {
+            busy_cycles += 1;
+        }
+        s = backlog.saturating_sub(1);
+        if measuring {
+            backlog_stats.push(s as f64);
+            backlog_hist.record(s);
+            if s == 0 {
+                idle_ends += 1;
+            }
+            // Output-process autocorrelation at lags 1..=4
+            // (busy_history[j] = busy indicator j+1 cycles ago).
+            for lag in 1..=4usize {
+                if history_len >= lag {
+                    autocorr[lag - 1].push(busy_history[lag - 1], busy);
+                }
+            }
+            // Shift ring: history[0] = most recent.
+            busy_history.rotate_right(1);
+            busy_history[0] = busy;
+            history_len = (history_len + 1).min(4);
+        }
+    }
+
+    QueueStats {
+        wait,
+        hist,
+        backlog: backlog_stats,
+        backlog_hist,
+        idle_fraction: idle_ends as f64 / cfg.measure_cycles.max(1) as f64,
+        utilization: busy_cycles as f64 / cfg.measure_cycles.max(1) as f64,
+        output_autocorr: [
+            autocorr[0].correlation(),
+            autocorr[1].correlation(),
+            autocorr[2].correlation(),
+            autocorr[3].correlation(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(arrivals: ArrivalDist, service: ServiceDist) -> QueueStats {
+        run_queue(&QueueConfig {
+            warmup_cycles: 5_000,
+            measure_cycles: 400_000,
+            ..QueueConfig::new(arrivals, service)
+        })
+    }
+
+    #[test]
+    fn uniform_unit_service_matches_eq6_eq7() {
+        // k = 2, p = 0.5: E(w) = 0.25, Var(w) = 0.25.
+        let stats = quick(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+            ServiceDist::Constant(1),
+        );
+        assert!((stats.wait.mean() - 0.25).abs() < 0.01, "{}", stats.wait.mean());
+        assert!(
+            (stats.wait.variance() - 0.25).abs() < 0.02,
+            "{}",
+            stats.wait.variance()
+        );
+        assert!((stats.utilization - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_m4_matches_eq8() {
+        // k = 2, p = 0.125, m = 4: ρ = 0.5, E(w) = 0.5·3.5/(2·0.5) = 1.75.
+        let stats = quick(
+            ArrivalDist::UniformSwitch {
+                k: 2,
+                s: 2,
+                p: 0.125,
+            },
+            ServiceDist::Constant(4),
+        );
+        assert!((stats.wait.mean() - 1.75).abs() < 0.06, "{}", stats.wait.mean());
+    }
+
+    #[test]
+    fn bulk_arrivals_match_closed_form() {
+        // k = 2, p = 0.1, b = 4, unit service: λ = kpb/s = 0.4,
+        // E(w) = (b−1 + (1−1/k)λ)/(2(1−λ)) = (3 + 0.2)/1.2 = 2.667.
+        let stats = quick(
+            ArrivalDist::BulkSwitch {
+                k: 2,
+                s: 2,
+                p: 0.1,
+                b: 4,
+            },
+            ServiceDist::Constant(1),
+        );
+        let want = 3.2 / 1.2;
+        assert!(
+            (stats.wait.mean() - want).abs() < 0.08,
+            "{} vs {want}",
+            stats.wait.mean()
+        );
+    }
+
+    #[test]
+    fn nonuniform_q1_never_waits() {
+        // q = 1, b = 1: single dedicated source, unit service — the queue
+        // is always empty when a message arrives.
+        let stats = quick(
+            ArrivalDist::Nonuniform {
+                k: 2,
+                p: 0.9,
+                q: 1.0,
+                b: 1,
+            },
+            ServiceDist::Constant(1),
+        );
+        assert_eq!(stats.wait.max(), 0.0);
+        assert!((stats.wait.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonuniform_hand_checked_mean() {
+        // k = 2, p = 0.5, q = 0.1: w₁ exact = R''/(2λ(1−λ)) with
+        // R'' = 2αβ = 0.12375 → 0.2475.
+        let stats = quick(
+            ArrivalDist::Nonuniform {
+                k: 2,
+                p: 0.5,
+                q: 0.1,
+                b: 1,
+            },
+            ServiceDist::Constant(1),
+        );
+        assert!((stats.wait.mean() - 0.2475).abs() < 0.01, "{}", stats.wait.mean());
+    }
+
+    #[test]
+    fn geometric_service_matches_theorem1() {
+        // k = 2, p = 0.3, μ = 0.75: exact mean from the generic formula:
+        // E(w) = (R''/μ + 2λ²(1−μ)/μ²)/(2λ(1−λ/μ)), R'' = λ²/2, λ = 0.3
+        // = (0.045/0.75 + 2·0.09·0.25/0.5625)/(0.6·0.6) = 0.3888…
+        let stats = quick(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.3 },
+            ServiceDist::Geometric(0.75),
+        );
+        let want = (0.045 / 0.75 + 2.0 * 0.09 * 0.25 / 0.5625) / (2.0 * 0.3 * (1.0 - 0.4));
+        assert!(
+            (stats.wait.mean() - want).abs() < 0.02,
+            "{} vs {want}",
+            stats.wait.mean()
+        );
+    }
+
+    #[test]
+    fn tabulated_arrivals_respected() {
+        // Deterministic one arrival per cycle, unit service: the queue is
+        // a D/D/1 at ρ = 1⁻ … use P(1) = 0.6, P(0) = 0.4 instead.
+        let stats = quick(
+            ArrivalDist::Tabulated(vec![0.4, 0.6]),
+            ServiceDist::Constant(1),
+        );
+        // Single arrivals, unit service: nobody ever waits behind a
+        // batch-mate, and the backlog never exceeds 0 after service:
+        // w ≡ 0.
+        assert_eq!(stats.wait.max(), 0.0);
+        assert!((stats.utilization - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn lambda_helpers() {
+        assert!((ArrivalDist::UniformSwitch { k: 4, s: 8, p: 0.6 }.lambda() - 0.3).abs() < 1e-15);
+        assert!(
+            (ArrivalDist::BulkSwitch { k: 2, s: 2, p: 0.1, b: 4 }.lambda() - 0.4).abs() < 1e-15
+        );
+        assert!(
+            (ArrivalDist::Nonuniform { k: 2, p: 0.5, q: 0.3, b: 2 }.lambda() - 1.0).abs()
+                < 1e-15
+        );
+        assert!((ArrivalDist::Tabulated(vec![0.5, 0.25, 0.25]).lambda() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = QueueConfig::new(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+            ServiceDist::Constant(1),
+        );
+        let a = run_queue(&cfg);
+        let b = run_queue(&cfg);
+        assert_eq!(a.wait.mean(), b.wait.mean());
+        assert_eq!(a.wait.count(), b.wait.count());
+        assert_eq!(a.backlog.mean(), b.backlog.mean());
+    }
+
+    #[test]
+    fn output_process_has_memory() {
+        // §IV's premise: the output of a queue (the next stage's input)
+        // is NOT a memoryless stream — the busy indicator has positive
+        // autocorrelation that decays with lag.
+        let stats = quick(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+            ServiceDist::Constant(1),
+        );
+        let ac = stats.output_autocorr;
+        assert!(ac[0] > 0.05, "lag-1 autocorr {:.4} should be clearly positive", ac[0]);
+        assert!(ac[0] > ac[1] && ac[1] > ac[2], "autocorrelation should decay: {ac:?}");
+        assert!(ac[3] < ac[0] / 2.0, "long-lag memory should fade: {ac:?}");
+    }
+
+    #[test]
+    fn bernoulli_stream_without_queueing_is_memoryless() {
+        // Sanity check of the estimator itself: single arrivals with unit
+        // service never queue (w ≡ 0) and the busy process is i.i.d.
+        // Bernoulli — autocorrelation ≈ 0.
+        let stats = quick(
+            ArrivalDist::Tabulated(vec![0.5, 0.5]),
+            ServiceDist::Constant(1),
+        );
+        for (lag, &ac) in stats.output_autocorr.iter().enumerate() {
+            assert!(ac.abs() < 0.01, "lag {} autocorr {ac}", lag + 1);
+        }
+    }
+
+    #[test]
+    fn backlog_and_idle_fraction_tracked() {
+        // k = 2, p = 0.5, unit service: P(s = 0) = (1−ρ)/R(0)
+        // = 0.5/0.5625 = 0.888…, and E[s] = V₂/(2(1−ρ)) = 0.125.
+        let stats = quick(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+            ServiceDist::Constant(1),
+        );
+        assert!((stats.idle_fraction - 0.5 / 0.5625).abs() < 0.01, "{}", stats.idle_fraction);
+        assert!((stats.backlog.mean() - 0.125).abs() < 0.01, "{}", stats.backlog.mean());
+    }
+}

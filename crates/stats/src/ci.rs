@@ -1,0 +1,218 @@
+//! Confidence intervals for steady-state simulation output.
+//!
+//! Waiting times of successive messages are autocorrelated, so the naive
+//! `s/√n` standard error understates the uncertainty. The standard remedy —
+//! and what we use when reporting sim-vs-analysis agreement in
+//! `EXPERIMENTS.md` — is the **method of batch means**: split the run into
+//! `B` contiguous batches, average each batch, and treat the batch averages
+//! as (nearly) independent.
+
+use crate::online::OnlineStats;
+
+/// Batch-means accumulator: feeds observations into fixed-size batches and
+/// keeps streaming statistics of the batch averages.
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batches: OnlineStats,
+    overall: OnlineStats,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (> 0).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batches: OnlineStats::new(),
+            overall: OnlineStats::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Overall (per-observation) statistics.
+    pub fn overall(&self) -> &OnlineStats {
+        &self.overall
+    }
+
+    /// Point estimate: mean of completed batch means (falls back to the
+    /// overall mean if no batch completed).
+    pub fn mean(&self) -> f64 {
+        if self.batches.count() > 0 {
+            self.batches.mean()
+        } else {
+            self.overall.mean()
+        }
+    }
+
+    /// Half-width of an approximate `level` confidence interval for the
+    /// steady-state mean, from the batch means. Requires >= 2 completed
+    /// batches; returns `None` otherwise.
+    ///
+    /// `level` is e.g. `0.95`; the normal critical value is used (batch
+    /// counts in this project are >= 30, where Student-t and normal agree
+    /// to the digits we report).
+    pub fn half_width(&self, level: f64) -> Option<f64> {
+        if self.batches.count() < 2 {
+            return None;
+        }
+        let z = normal_quantile(0.5 + level / 2.0);
+        Some(z * self.batches.std_err())
+    }
+
+    /// The confidence interval `(lo, hi)` at `level`, if computable.
+    pub fn interval(&self, level: f64) -> Option<(f64, f64)> {
+        let h = self.half_width(level)?;
+        Some((self.mean() - h, self.mean() + h))
+    }
+}
+
+/// Standard-normal quantile (inverse CDF) via the Acklam rational
+/// approximation (~1e-9 absolute accuracy), refined with one Halley step
+/// against `erf`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement using Φ(x) = (1 + erf(x/√2))/2.
+    let e = 0.5 * (1.0 + banyan_numerics::special::erf(x / std::f64::consts::SQRT_2)) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-12);
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((normal_quantile(0.841_344_746_068_542_9) - 1.0).abs() < 1e-7);
+        assert!((normal_quantile(0.025) + 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((normal_quantile(0.999) - 3.090_232_306_167_813).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn normal_quantile_rejects_bounds() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn batch_means_basic() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..100 {
+            bm.push((i % 10) as f64);
+        }
+        assert_eq!(bm.batch_count(), 10);
+        // Every batch mean is exactly 4.5 → zero variance CI.
+        assert!((bm.mean() - 4.5).abs() < 1e-12);
+        let (lo, hi) = bm.interval(0.95).unwrap();
+        assert!((lo - 4.5).abs() < 1e-9 && (hi - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_covers_true_mean_for_iid_data() {
+        // Deterministic LCG noise, mean 0.5.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..100_000 {
+            bm.push(next());
+        }
+        let (lo, hi) = bm.interval(0.99).unwrap();
+        assert!(lo < 0.5 && 0.5 < hi, "({lo}, {hi})");
+        assert!(hi - lo < 0.01, "CI too wide: {}", hi - lo);
+    }
+
+    #[test]
+    fn incomplete_batch_not_counted() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..15 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 1);
+        assert_eq!(bm.overall().count(), 15);
+        assert!(bm.half_width(0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        BatchMeans::new(0);
+    }
+}

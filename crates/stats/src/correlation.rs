@@ -1,0 +1,225 @@
+//! Streaming correlation matrix over a fixed set of jointly observed
+//! series.
+//!
+//! Table VI of the paper is the matrix of correlations between a message's
+//! waiting times at stages 1..8 of a `k = 2`, `p = 0.5`, `m = 1` network.
+//! Each message that traverses all stages contributes one joint
+//! observation vector.
+
+use crate::online::{CoMoment, OnlineStats};
+
+/// Streaming estimator of the full pairwise correlation/covariance matrix
+/// of a `d`-dimensional observation vector.
+#[derive(Clone, Debug)]
+pub struct CorrelationMatrix {
+    dim: usize,
+    marginals: Vec<OnlineStats>,
+    /// Upper-triangle (i < j) pair accumulators, row-major.
+    pairs: Vec<CoMoment>,
+}
+
+impl CorrelationMatrix {
+    /// Creates an estimator for `dim`-dimensional observations.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        CorrelationMatrix {
+            dim,
+            marginals: vec![OnlineStats::new(); dim],
+            pairs: vec![CoMoment::new(); dim * (dim - 1) / 2],
+        }
+    }
+
+    /// Dimension of the observation vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of observation vectors seen.
+    pub fn count(&self) -> u64 {
+        self.marginals[0].count()
+    }
+
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.dim);
+        // Offset of row i within the packed upper triangle.
+        i * self.dim - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Adds one joint observation. `obs.len()` must equal `dim`.
+    pub fn push(&mut self, obs: &[f64]) {
+        assert_eq!(obs.len(), self.dim, "observation dimension mismatch");
+        for (s, &x) in self.marginals.iter_mut().zip(obs) {
+            s.push(x);
+        }
+        for i in 0..self.dim {
+            for j in (i + 1)..self.dim {
+                let idx = self.pair_index(i, j);
+                self.pairs[idx].push(obs[i], obs[j]);
+            }
+        }
+    }
+
+    /// Marginal statistics of coordinate `i`.
+    pub fn marginal(&self, i: usize) -> &OnlineStats {
+        &self.marginals[i]
+    }
+
+    /// Pearson correlation between coordinates `i` and `j` (1.0 on the
+    /// diagonal).
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.pairs[self.pair_index(i, j)].correlation()
+    }
+
+    /// Covariance between coordinates `i` and `j` (variance on the
+    /// diagonal).
+    pub fn covariance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.marginals[i].variance();
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.pairs[self.pair_index(i, j)].covariance()
+    }
+
+    /// The full correlation matrix, row-major.
+    pub fn correlation_matrix(&self) -> Vec<Vec<f64>> {
+        (0..self.dim)
+            .map(|i| (0..self.dim).map(|j| self.correlation(i, j)).collect())
+            .collect()
+    }
+
+    /// Variance of the coordinate sum, `Σ_i Σ_j cov(i, j)` — this is the
+    /// quantity §V approximates with the geometric covariance model.
+    pub fn sum_variance(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.dim {
+            total += self.marginals[i].variance();
+            for j in (i + 1)..self.dim {
+                total += 2.0 * self.pairs[self.pair_index(i, j)].covariance();
+            }
+        }
+        total
+    }
+
+    /// Merges another estimator (same dimension) into this one.
+    pub fn merge(&mut self, other: &CorrelationMatrix) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in merge");
+        for (a, b) in self.marginals.iter_mut().zip(&other.marginals) {
+            a.merge(b);
+        }
+        for (a, b) in self.pairs.iter_mut().zip(&other.pairs) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_one() {
+        let mut m = CorrelationMatrix::new(3);
+        m.push(&[1.0, 2.0, 3.0]);
+        m.push(&[2.0, 1.0, 5.0]);
+        for i in 0..3 {
+            assert_eq!(m.correlation(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_access() {
+        let mut m = CorrelationMatrix::new(3);
+        for i in 0..50 {
+            let x = i as f64;
+            m.push(&[x, 2.0 * x + (i % 3) as f64, -x]);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.correlation(i, j), m.correlation(j, i));
+                assert_eq!(m.covariance(i, j), m.covariance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_and_anti_correlation() {
+        let mut m = CorrelationMatrix::new(3);
+        for i in 0..100 {
+            let x = (i as f64 * 0.77).sin();
+            m.push(&[x, 2.0 * x + 1.0, -x]);
+        }
+        assert!((m.correlation(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.correlation(0, 2) + 1.0).abs() < 1e-12);
+        assert!((m.correlation(1, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_variance_matches_direct_computation() {
+        let mut m = CorrelationMatrix::new(3);
+        let mut sums = OnlineStats::new();
+        for i in 0..500 {
+            let a = ((i * 13) % 7) as f64;
+            let b = ((i * 5) % 11) as f64;
+            let c = ((i * 3) % 5) as f64 + 0.5 * a;
+            m.push(&[a, b, c]);
+            sums.push(a + b + c);
+        }
+        assert!((m.sum_variance() - sums.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let obs: Vec<[f64; 2]> = (0..300)
+            .map(|i| [((i * 17) % 29) as f64, ((i * 11) % 31) as f64])
+            .collect();
+        let mut a = CorrelationMatrix::new(2);
+        let mut b = CorrelationMatrix::new(2);
+        for (i, o) in obs.iter().enumerate() {
+            if i < 120 {
+                a.push(o);
+            } else {
+                b.push(o);
+            }
+        }
+        a.merge(&b);
+        let mut whole = CorrelationMatrix::new(2);
+        for o in &obs {
+            whole.push(o);
+        }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.correlation(0, 1) - whole.correlation(0, 1)).abs() < 1e-12);
+        assert!((a.covariance(0, 1) - whole.covariance(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_matrix_shape() {
+        let mut m = CorrelationMatrix::new(4);
+        for i in 0..20 {
+            m.push(&[i as f64, (i * i) as f64, (i % 3) as f64, 1.5]);
+        }
+        let mat = m.correlation_matrix();
+        assert_eq!(mat.len(), 4);
+        assert!(mat.iter().all(|row| row.len() == 4));
+        assert!((0..4).all(|i| mat[i][i] == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dimension_panics() {
+        let mut m = CorrelationMatrix::new(2);
+        m.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        CorrelationMatrix::new(0);
+    }
+}

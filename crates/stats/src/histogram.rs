@@ -1,0 +1,245 @@
+//! Integer-valued histograms.
+//!
+//! Waiting times in a clocked network are integers (cycles), so the
+//! empirical distributions the paper plots (Figs. 3–8) are histograms over
+//! `0, 1, 2, …`. [`IntHistogram`] grows on demand, converts to a pmf,
+//! reports moments/percentiles, and merges across simulation shards.
+
+use banyan_numerics::series::{kahan_sum, pmf_mean_var};
+
+/// A dynamically growing histogram over nonnegative integer values.
+#[derive(Clone, Debug, Default)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max_value(&self) -> Option<u64> {
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u64)
+    }
+
+    /// Raw counts, index = value. May have trailing zeros.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical probability `P(X = value)`.
+    pub fn pmf_at(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// The empirical pmf as a dense vector (empty when no observations).
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let t = self.total as f64;
+        let last = self.max_value().unwrap() as usize;
+        self.counts[..=last].iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Empirical CDF `P(X <= value)`.
+    pub fn cdf_at(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto = (value as usize + 1).min(self.counts.len());
+        let c: u64 = self.counts[..upto].iter().sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Empirical mean.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let terms: Vec<f64> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .collect();
+        kahan_sum(&terms) / self.total as f64
+    }
+
+    /// Empirical (population) variance.
+    pub fn variance(&self) -> f64 {
+        let pmf = self.pmf();
+        if pmf.is_empty() {
+            return 0.0;
+        }
+        pmf_mean_var(&pmf).1
+    }
+
+    /// Smallest value `v` with `P(X <= v) >= q`, for `q ∈ (0, 1]`.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(v as u64);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> IntHistogram {
+        let mut h = IntHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = IntHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.variance(), 0.0);
+        assert!(h.pmf().is_empty());
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.cdf_at(10), 0.0);
+    }
+
+    #[test]
+    fn counts_and_pmf() {
+        let h = hist(&[0, 1, 1, 3]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.pmf(), vec![0.25, 0.5, 0.0, 0.25]);
+        assert_eq!(h.pmf_at(1), 0.5);
+        assert_eq!(h.max_value(), Some(3));
+    }
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let h = hist(&[0, 1, 1, 2]);
+        assert!((h.mean() - 1.0).abs() < 1e-15);
+        // E X² = (0 + 1 + 1 + 4)/4 = 1.5; var = 0.5
+        assert!((h.variance() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let h = hist(&[2, 5, 5, 9]);
+        let mut prev = 0.0;
+        for v in 0..12 {
+            let c = h.cdf_at(v);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(h.cdf_at(9), 1.0);
+        assert_eq!(h.cdf_at(100), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = hist(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.quantile(0.1), Some(1));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(10));
+        // q=0 clamps to the first observation.
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = IntHistogram::new();
+        a.record_n(4, 7);
+        let b = hist(&[4, 4, 4, 4, 4, 4, 4]);
+        assert_eq!(a.counts()[..5], b.counts()[..5]);
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = hist(&[0, 1, 5]);
+        let b = hist(&[1, 2, 2, 8]);
+        a.merge(&b);
+        let whole = hist(&[0, 1, 5, 1, 2, 2, 8]);
+        assert_eq!(a.total(), whole.total());
+        assert_eq!(a.pmf(), whole.pmf());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = hist(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]);
+        let s: f64 = h.pmf().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_out_of_range_panics() {
+        hist(&[1]).quantile(1.5);
+    }
+}

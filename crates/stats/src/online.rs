@@ -1,0 +1,424 @@
+//! Streaming first/second-moment accumulators (Welford) and pairwise
+//! co-moments.
+//!
+//! Simulations in this project run for up to hundreds of millions of
+//! message–stage events, so nothing may store samples. All accumulators
+//! here are O(1) space, numerically stable (no catastrophic cancellation),
+//! and **mergeable** via the parallel Chan–Golub–LeVeque update so sharded
+//! simulation replicas combine exactly.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation (Welford / Pébay update, third order).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m3 += term * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance `M2/n` (the paper's tables report long-run
+    /// variances; for the sample sizes involved the `n` vs `n−1` choice is
+    /// far below simulation noise). 0 when fewer than 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance `M2/(n−1)`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard deviation (population).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Third central moment `E[(X − μ)³]` (0 with fewer than 3
+    /// observations).
+    pub fn third_central_moment(&self) -> f64 {
+        if self.n < 3 {
+            0.0
+        } else {
+            self.m3 / self.n as f64
+        }
+    }
+
+    /// Skewness `μ₃/σ³` (0 when degenerate).
+    pub fn skewness(&self) -> f64 {
+        let sd = self.std_dev();
+        if sd == 0.0 {
+            0.0
+        } else {
+            self.third_central_moment() / (sd * sd * sd)
+        }
+    }
+
+    /// Standard error of the mean, `s/√n` (uses the unbiased variance).
+    pub fn std_err(&self) -> f64 {
+        if self.n < 2 {
+            f64::INFINITY
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel combine).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        // Pébay's parallel combine, third order.
+        self.m3 += other.m3
+            + delta.powi(3) * n1 * n2 * (n1 - n2) / (n * n)
+            + 3.0 * delta * (n1 * other.m2 - n2 * self.m2) / n;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Streaming covariance accumulator for a pair of jointly observed series.
+///
+/// Table VI of the paper reports the correlation of a message's waiting
+/// times at pairs of stages; each message contributes one `(w_i, w_j)`
+/// observation per pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoMoment {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl CoMoment {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one joint observation `(x, y)`.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / n;
+        self.mean_y += dy / n;
+        // Uses the pre-update dx and post-update y-mean: the standard
+        // stable pairwise update.
+        self.cxy += dx * (y - self.mean_y);
+        self.m2x += dx * (x - self.mean_x);
+        self.m2y += dy * (y - self.mean_y);
+    }
+
+    /// Number of joint observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Population covariance.
+    pub fn covariance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.cxy / self.n as f64
+        }
+    }
+
+    /// Pearson correlation coefficient in `[-1, 1]` (0 when degenerate).
+    pub fn correlation(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let denom = (self.m2x * self.m2y).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.cxy / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CoMoment) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.cxy += other.cxy + dx * dy * n1 * n2 / n;
+        self.m2x += other.m2x + dx * dx * n1 * n2 / n;
+        self.m2y += other.m2y + dy * dy * n1 * n2 / n;
+        self.mean_x += dx * n2 / n;
+        self.mean_y += dy * n2 / n;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(xs: &[f64]) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        s
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+        assert_eq!(s.std_err(), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = batch(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-15);
+        assert!((s.variance() - 4.0).abs() < 1e-15);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-14);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..503).map(|i| ((i * 37) % 101) as f64 * 0.17 - 3.0).collect();
+        for split in [0usize, 1, 250, 502, 503] {
+            let mut a = batch(&xs[..split]);
+            let b = batch(&xs[split..]);
+            a.merge(&b);
+            let whole = batch(&xs);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12);
+            assert!((a.variance() - whole.variance()).abs() < 1e-12);
+            assert!(
+                (a.third_central_moment() - whole.third_central_moment()).abs() < 1e-9,
+                "m3 merge at split {split}"
+            );
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn third_moment_matches_direct_computation() {
+        let xs = [1.0, 2.0, 2.0, 3.0, 7.0, 9.0];
+        let s = batch(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mu3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / xs.len() as f64;
+        assert!((s.third_central_moment() - mu3).abs() < 1e-12);
+        let sd = s.std_dev();
+        assert!((s.skewness() - mu3 / (sd * sd * sd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skewness() {
+        let s = batch(&[-3.0, -1.0, 0.0, 1.0, 3.0]);
+        assert!(s.third_central_moment().abs() < 1e-12);
+        assert_eq!(batch(&[5.0, 5.0, 5.0]).skewness(), 0.0);
+    }
+
+    #[test]
+    fn exponential_like_data_is_right_skewed() {
+        // Deterministic "exponential quantile" sample: skewness ≈ 2.
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| -(1.0 - (i as f64 + 0.5) / n as f64).ln())
+            .collect();
+        let s = batch(&xs);
+        assert!((s.skewness() - 2.0).abs() < 0.1, "{}", s.skewness());
+    }
+
+    #[test]
+    fn welford_is_shift_stable() {
+        // Same data shifted by 1e9: naive sum-of-squares would lose all
+        // precision; Welford keeps the variance intact.
+        let base = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 1e9).collect();
+        let v0 = batch(&base).variance();
+        let v1 = batch(&shifted).variance();
+        assert!((v0 - v1).abs() < 1e-7, "{v0} vs {v1}");
+    }
+
+    #[test]
+    fn comoment_perfect_linear_dependence() {
+        let mut c = CoMoment::new();
+        for i in 0..100 {
+            let x = i as f64;
+            c.push(x, 3.0 * x - 7.0);
+        }
+        assert!((c.correlation() - 1.0).abs() < 1e-12);
+        let mut d = CoMoment::new();
+        for i in 0..100 {
+            let x = i as f64;
+            d.push(x, -0.5 * x + 2.0);
+        }
+        assert!((d.correlation() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comoment_independent_alternation_is_uncorrelated() {
+        let mut c = CoMoment::new();
+        // x cycles with period 2, y with period 4 in quadrature: sample
+        // covariance is exactly 0 over full periods.
+        for i in 0..400 {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let y = match i % 4 {
+                0 => 1.0,
+                1 => 1.0,
+                2 => -1.0,
+                _ => -1.0,
+            };
+            c.push(x, y);
+        }
+        assert!(c.correlation().abs() < 1e-12);
+    }
+
+    #[test]
+    fn comoment_known_covariance() {
+        let mut c = CoMoment::new();
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 1.0, 4.0, 3.0];
+        for (&x, &y) in xs.iter().zip(&ys) {
+            c.push(x, y);
+        }
+        // means 2.5, 2.5; cov = ((-1.5)(-0.5)+(-0.5)(-1.5)+(0.5)(1.5)+(1.5)(0.5))/4 = 0.75
+        assert!((c.covariance() - 0.75).abs() < 1e-14);
+        assert_eq!(c.count(), 4);
+    }
+
+    #[test]
+    fn comoment_merge_equals_concatenation() {
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = ((i * 13) % 17) as f64;
+                let y = ((i * 7) % 23) as f64 + 0.3 * x;
+                (x, y)
+            })
+            .collect();
+        for split in [0usize, 1, 100, 199, 200] {
+            let mut a = CoMoment::new();
+            for &(x, y) in &pts[..split] {
+                a.push(x, y);
+            }
+            let mut b = CoMoment::new();
+            for &(x, y) in &pts[split..] {
+                b.push(x, y);
+            }
+            a.merge(&b);
+            let mut whole = CoMoment::new();
+            for &(x, y) in &pts {
+                whole.push(x, y);
+            }
+            assert!((a.covariance() - whole.covariance()).abs() < 1e-10);
+            assert!((a.correlation() - whole.correlation()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_correlation_is_zero() {
+        let mut c = CoMoment::new();
+        for _ in 0..10 {
+            c.push(1.0, 2.0);
+        }
+        assert_eq!(c.correlation(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sectioning (replication) estimates with error bars for *derived*
+//! statistics.
+//!
+//! The tables report simulated variances, and a variance estimate has
+//! sampling error too. The classic sectioning method: split the stream
+//! into `B` contiguous sections, compute the statistic per section, and
+//! use the spread of the section values as the error bar — valid for any
+//! statistic, and robust to the autocorrelation of queueing output (each
+//! section is long compared to the correlation time).
+
+use crate::ci::normal_quantile;
+use crate::online::OnlineStats;
+
+/// Streams observations into `B` equal sections and reports the mean and
+/// variance *per section*, with confidence intervals across sections.
+#[derive(Clone, Debug)]
+pub struct Sectioned {
+    section_len: u64,
+    current: OnlineStats,
+    /// Per-section means.
+    section_means: Vec<f64>,
+    /// Per-section (population) variances.
+    section_vars: Vec<f64>,
+}
+
+impl Sectioned {
+    /// Creates an accumulator with the given section length (> 1).
+    pub fn new(section_len: u64) -> Self {
+        assert!(section_len > 1, "sections need at least two observations");
+        Sectioned {
+            section_len,
+            current: OnlineStats::new(),
+            section_means: Vec::new(),
+            section_vars: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.section_len {
+            self.section_means.push(self.current.mean());
+            self.section_vars.push(self.current.variance());
+            self.current = OnlineStats::new();
+        }
+    }
+
+    /// Number of completed sections.
+    pub fn sections(&self) -> usize {
+        self.section_means.len()
+    }
+
+    fn ci_of(values: &[f64], level: f64) -> Option<(f64, f64)> {
+        if values.len() < 2 {
+            return None;
+        }
+        let mut s = OnlineStats::new();
+        for &v in values {
+            s.push(v);
+        }
+        let z = normal_quantile(0.5 + level / 2.0);
+        let h = z * s.std_err();
+        Some((s.mean(), h))
+    }
+
+    /// `(estimate, half-width)` of the mean at the given confidence
+    /// level; `None` with fewer than two sections.
+    pub fn mean_ci(&self, level: f64) -> Option<(f64, f64)> {
+        Self::ci_of(&self.section_means, level)
+    }
+
+    /// `(estimate, half-width)` of the **variance** at the given
+    /// confidence level — the error bar the tables' `v` columns need.
+    pub fn var_ci(&self, level: f64) -> Option<(f64, f64)> {
+        Self::ci_of(&self.section_vars, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sections_fill_and_count() {
+        let mut s = Sectioned::new(10);
+        for i in 0..95 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.sections(), 9); // the 96th..100th never arrive
+    }
+
+    #[test]
+    fn mean_ci_covers_uniform_mean() {
+        let mut s = Sectioned::new(1_000);
+        for x in lcg_stream(50_000, 42) {
+            s.push(x);
+        }
+        let (est, h) = s.mean_ci(0.99).unwrap();
+        assert!((est - 0.5).abs() < h, "mean {est} ± {h}");
+        assert!(h < 0.01);
+    }
+
+    #[test]
+    fn var_ci_covers_uniform_variance() {
+        // Var of U(0,1) = 1/12 ≈ 0.08333.
+        let mut s = Sectioned::new(1_000);
+        for x in lcg_stream(100_000, 7) {
+            s.push(x);
+        }
+        let (est, h) = s.var_ci(0.99).unwrap();
+        assert!((est - 1.0 / 12.0).abs() < h + 1e-4, "var {est} ± {h}");
+        assert!(h < 0.005);
+    }
+
+    #[test]
+    fn too_few_sections_gives_none() {
+        let mut s = Sectioned::new(100);
+        for i in 0..150 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.sections(), 1);
+        assert!(s.mean_ci(0.95).is_none());
+        assert!(s.var_ci(0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn section_len_one_panics() {
+        Sectioned::new(1);
+    }
+}

@@ -1,0 +1,16 @@
+fn main() {
+    use banyan_sim::network::{run_network, NetworkConfig};
+    use banyan_sim::traffic::Workload;
+    use banyan_core::models::eq7_var_wait;
+    for (p, m) in [(0.05f64, 4u32), (0.125, 4), (0.2, 4), (0.1, 2), (0.4, 2), (0.025, 8), (0.1, 8)] {
+        let mut cfg = NetworkConfig::new(2, 8, Workload::uniform(p, m));
+        cfg.warmup_cycles = 20_000; cfg.measure_cycles = 200_000; cfg.seed = 99;
+        let s = run_network(cfg);
+        let n = s.stage_waits.len();
+        let v = 0.5*(s.stage_waits[n-1].variance()+s.stage_waits[n-2].variance());
+        let w = 0.5*(s.stage_waits[n-1].mean()+s.stage_waits[n-2].mean());
+        let rho = p * m as f64;
+        let base = (m as f64).powi(2) * eq7_var_wait(2, rho);
+        println!("p={p} m={m} rho={rho}: w_deep={w:.4} v_deep={v:.4} v/base={:.4}", v/base);
+    }
+}

@@ -1,0 +1,88 @@
+//! RP3-style memory traffic: mixed read/write sizes and hot-spot locality.
+//!
+//! ```text
+//! cargo run --release --example rp3_memory_traffic
+//! ```
+//!
+//! Two effects the paper analyzes beyond the uniform unit-size base case:
+//!
+//! * **Multiple message sizes** (§III-D-2, §IV-C): "read requests are
+//!   likely to have different sizes than write requests". We model short
+//!   read requests (1 packet) mixed with long write requests (4 packets)
+//!   and show how the write fraction degrades waiting times at fixed
+//!   request rate.
+//! * **Nonuniform favorite-output traffic** (§III-A-3, §IV-D): "each
+//!   input is likely to have a distinct favorite output port (e.g., the
+//!   output port connecting a processor to its private memory)". We show
+//!   how locality `q` relieves contention, validated by simulation.
+
+use banyan_repro::prelude::*;
+
+fn main() {
+    let k = 2u32;
+
+    // ---- Part 1: read/write mixtures ------------------------------------
+    println!("=== Part 1: read/write size mixture (k = {k}, request rate fixed) ===");
+    println!("reads: 1 packet; writes: 4 packets; p = 0.15 requests/cycle/port\n");
+    println!(
+        "{:>8}  {:>6} {:>8} {:>8} {:>10} {:>10}",
+        "writes%", "rho", "E[w1]", "Var[w1]", "E[w_inf]", "Var[w_inf]"
+    );
+    let consts = StageConstants::default();
+    let p = 0.15;
+    for &wfrac in &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let sizes = vec![(1u32, 1.0 - wfrac), (4u32, wfrac)];
+        let mbar: f64 = sizes.iter().map(|&(m, g)| m as f64 * g).sum();
+        if mbar * p >= 1.0 {
+            println!("{:>8}  saturated (rho = {:.2})", wfrac * 100.0, mbar * p);
+            continue;
+        }
+        let q = mixed_queue(k, p, sizes).expect("stable");
+        let winf = consts.w_inf_multi(p, k, mbar, q.mean_wait());
+        let vinf = consts.v_inf_multi(p, k, mbar, q.var_wait());
+        println!(
+            "{:>8.0}  {:>6.3} {:>8.3} {:>8.3} {:>10.3} {:>10.3}",
+            wfrac * 100.0,
+            mbar * p,
+            q.mean_wait(),
+            q.var_wait(),
+            winf,
+            vinf,
+        );
+    }
+    println!(
+        "\nNote the paper's warning (§VI): at fixed intensity, waiting grows\n\
+         linearly and variance quadratically with message size — long writes\n\
+         dominate the tail.\n"
+    );
+
+    // ---- Part 2: locality (favorite memory module) ----------------------
+    println!("=== Part 2: hot-spot locality q (k = {k}, p = 0.5, unit messages) ===\n");
+    println!(
+        "{:>5}  {:>8} {:>8} {:>10} | {:>10} {:>10}",
+        "q", "E[w1]", "w_inf", "w_inf sim", "Var[w1]", "v_inf sim"
+    );
+    for &qf in &[0.0, 0.2, 0.4, 0.6, 0.8] {
+        let exact = nonuniform_queue(k, 0.5, qf, 1).expect("stable");
+        let winf = consts.w_inf_nonuniform(0.5, k, qf, exact.mean_wait());
+        // Simulate an 8-stage network with each processor favoring its
+        // own memory module.
+        let mut cfg = NetworkConfig::new(k, 8, Workload::hotspot(0.5, qf));
+        cfg.warmup_cycles = 3_000;
+        cfg.measure_cycles = 30_000;
+        let stats = run_network(cfg);
+        let ns = stats.stage_waits.len();
+        let deep_w = 0.5
+            * (stats.stage_waits[ns - 1].mean() + stats.stage_waits[ns - 2].mean());
+        let deep_v = 0.5
+            * (stats.stage_waits[ns - 1].variance()
+                + stats.stage_waits[ns - 2].variance());
+        println!(
+            "{qf:>5.1}  {:>8.4} {winf:>8.4} {deep_w:>10.4} | {:>10.4} {deep_v:>10.4}",
+            exact.mean_wait(),
+            exact.var_wait(),
+        );
+    }
+    println!("\nLocality empties the shared part of the network: by q = 0.8 the");
+    println!("deep-stage waiting is a small fraction of the uniform-traffic value.");
+}

@@ -1,0 +1,124 @@
+//! Design-space exploration for an Ultracomputer/RP3-class machine.
+//!
+//! ```text
+//! cargo run --release --example ultracomputer
+//! ```
+//!
+//! The paper's formulas "have been heavily used in designing both the NYU
+//! Ultracomputer and RP3" (§I). This example replays that use case: a
+//! 4096-processor shared-memory machine whose processor–memory network
+//! can be built from 2×2 (12 stages), 4×4 (6 stages), or 8×8 (4 stages)
+//! switches. For each option and a sweep of offered loads it reports the
+//! predicted memory-access waiting time — mean, standard deviation, and
+//! the gamma-model 99th percentile (the variance matters: "the speed of
+//! the slowest processor dictates the system speed", §I) — and the
+//! maximum load that keeps the 99th-percentile network waiting under a
+//! latency budget.
+
+use banyan_repro::core::design::{explore, Objective};
+use banyan_repro::prelude::*;
+
+struct Option_ {
+    k: u32,
+    stages: u32,
+}
+
+fn main() {
+    let ports: u64 = 4096;
+    let options = [
+        Option_ { k: 2, stages: 12 },
+        Option_ { k: 4, stages: 6 },
+        Option_ { k: 8, stages: 4 },
+    ];
+    let m = 1u32; // single-packet requests
+
+    println!("=== 4096-PE machine: processor->memory network options ===\n");
+    for opt in &options {
+        assert_eq!((opt.k as u64).pow(opt.stages), ports);
+        println!(
+            "--- {}x{} switches, {} stages (service through network: {} cycles) ---",
+            opt.k,
+            opt.k,
+            opt.stages,
+            opt.stages + m - 1
+        );
+        println!(
+            "{:>6}  {:>10} {:>10} {:>10} {:>12}",
+            "p", "E[total w]", "std", "p99 (gamma)", "E[delay]"
+        );
+        for &p in &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+            let model = TotalWaiting::new(opt.k, opt.stages, p, m);
+            let mean = model.mean_total();
+            let var = model.var_total();
+            let p99 = model
+                .gamma()
+                .map(|g| g.quantile(0.99))
+                .unwrap_or(0.0);
+            println!(
+                "{p:>6.2}  {mean:>10.3} {:>10.3} {p99:>10.2} {:>12.3}",
+                var.sqrt(),
+                model.mean_total_delay()
+            );
+        }
+        // Largest load whose 99th-percentile *waiting* stays under budget.
+        let budget = 2.0 * opt.stages as f64; // 2 cycles of slack per stage
+        let mut best = 0.0;
+        let mut p = 0.01;
+        while p < 0.995 {
+            let model = TotalWaiting::new(opt.k, opt.stages, p, m);
+            let p99 = model.gamma().map(|g| g.quantile(0.99)).unwrap_or(0.0);
+            if p99 <= budget {
+                best = p;
+            }
+            p += 0.005;
+        }
+        println!(
+            "max load with p99 waiting <= {budget:.0} cycles: p ≈ {best:.3}\n"
+        );
+    }
+
+    // The same exploration through the library's design module, ranked
+    // by p99 delay with a budget, over *all* factorizations of 4096.
+    println!("--- design::explore ranking at p = 0.5 (p99 objective, budget 30 cycles) ---");
+    let ranked = explore(
+        ports,
+        Objective {
+            p: 0.5,
+            m: 1,
+            percentile: 0.99,
+            delay_budget: Some(30.0),
+        },
+        StageConstants::default(),
+    );
+    for pt in &ranked {
+        println!(
+            "  {:>4}x{:<4} {} stages: p99 delay {:>7.2}, mean {:>6.2}, max load {:.3}",
+            pt.k,
+            pt.k,
+            pt.stages,
+            pt.delay_percentile,
+            pt.mean_delay,
+            pt.max_load.unwrap_or(0.0)
+        );
+    }
+    println!();
+
+    // Spot-check the middle option against simulation at p = 0.5.
+    println!("--- spot check: 4x4 option at p = 0.5, simulated ---");
+    let model = TotalWaiting::new(4, 6, 0.5, 1);
+    let mut cfg = NetworkConfig::new(4, 6, Workload::uniform(0.5, 1));
+    cfg.warmup_cycles = 2_000;
+    cfg.measure_cycles = 6_000;
+    let stats = run_network(cfg);
+    println!(
+        "predicted total waiting mean {:.3}, simulated {:.3}  ({} messages)",
+        model.mean_total(),
+        stats.total_wait.mean(),
+        stats.delivered
+    );
+    println!(
+        "predicted variance {:.3}, simulated {:.3}",
+        model.var_total(),
+        stats.total_wait.variance()
+    );
+}

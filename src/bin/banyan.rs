@@ -1,0 +1,205 @@
+//! `banyan` — command-line front end to the waiting-time models and the
+//! simulator, in the spirit of the design studies the formulas were
+//! built for (Ultracomputer / RP3 sizing).
+//!
+//! ```text
+//! banyan first-stage --k 2 --p 0.5 --m 1
+//! banyan first-stage --k 2 --p 0.5 --geometric-mu 0.5
+//! banyan total --k 2 --stages 12 --p 0.5 --m 1 [--quantiles]
+//! banyan simulate --k 2 --stages 6 --p 0.5 --m 1 [--cycles N] [--q HOT] [--capacity C]
+//! banyan pmf --k 2 --p 0.5 --m 1 --len 32
+//! ```
+//!
+//! Flags are `--name value`; anything unknown is an error. This binary
+//! deliberately avoids external argument-parsing crates.
+
+use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, Flags};
+use banyan_repro::prelude::*;
+use std::process::ExitCode;
+
+fn cmd_first_stage(flags: &Flags) -> Result<(), String> {
+    let k: u32 = get(flags, "k", 2)?;
+    let p: f64 = get_prob(flags, "p", 0.5)?;
+    let q: f64 = get_prob(flags, "q", 0.0)?;
+    let b: u32 = get(flags, "b", 1)?;
+    match service_from_flags(flags)? {
+        ServiceDist::Geometric(mu) => {
+            let fs = geometric_queue(k, p, mu).map_err(|e| e.to_string())?;
+            print_first_stage(&fs);
+        }
+        ServiceDist::Mixed(sizes) => {
+            let fs = mixed_queue(k, p, sizes).map_err(|e| e.to_string())?;
+            print_first_stage(&fs);
+        }
+        ServiceDist::Constant(m) => {
+            if q > 0.0 {
+                if m != 1 {
+                    return Err("--q currently supports m = 1 only".into());
+                }
+                let fs = nonuniform_queue(k, p, q, b).map_err(|e| e.to_string())?;
+                print_first_stage(&fs);
+            } else if b > 1 {
+                if m != 1 {
+                    return Err("--b currently supports m = 1 only".into());
+                }
+                let fs = bulk_queue(k, p, b).map_err(|e| e.to_string())?;
+                print_first_stage(&fs);
+            } else {
+                let fs = uniform_queue(k, p, m).map_err(|e| e.to_string())?;
+                print_first_stage(&fs);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_first_stage<R: Pgf, U: Pgf>(fs: &FirstStage<R, U>) {
+    println!("traffic intensity rho = {:.6}", fs.rho());
+    println!("E(w)   = {:.6}", fs.mean_wait());
+    println!("Var(w) = {:.6}", fs.var_wait());
+    println!("E(delay)   = {:.6}", fs.mean_delay());
+    println!("Var(delay) = {:.6}", fs.var_delay());
+    let (es, vs) = fs.unfinished_work_moments();
+    println!("E(backlog) = {:.6}, Var(backlog) = {:.6}", es, vs);
+    println!("P(idle)    = {:.6}", fs.idle_probability());
+    if let Some(r) = fs.tail_decay_rate() {
+        println!("tail: P(w=j) ~ C * {r:.6}^j");
+    }
+    for &q in &[0.5, 0.9, 0.99, 0.999] {
+        println!("wait p{:<4} = {}", (q * 1000.0) as u32, fs.wait_quantile(q));
+    }
+}
+
+fn cmd_total(flags: &Flags) -> Result<(), String> {
+    let k: u32 = get(flags, "k", 2)?;
+    let n: u32 = get(flags, "stages", 6)?;
+    let p: f64 = get_prob(flags, "p", 0.5)?;
+    let m: u32 = get(flags, "m", 1)?;
+    if (m as f64) * p >= 1.0 {
+        return Err(format!("unstable load: rho = {}", m as f64 * p));
+    }
+    let t = TotalWaiting::new(k, n, p, m);
+    println!("stages = {n}, rho = {:.4}", t.rho());
+    println!("E(total waiting)   = {:.6}", t.mean_total());
+    println!("Var(total waiting) = {:.6}  (independence: {:.6})",
+        t.var_total(), t.var_total_independent());
+    println!("total service (cut-through) = {}", t.total_service());
+    println!("E(total delay)     = {:.6}", t.mean_total_delay());
+    let (a, b) = t.cov_params();
+    println!("covariance model: a = {a:.4}, b = {b:.4}");
+    if let Some(g) = t.gamma() {
+        println!("gamma approx: shape = {:.4}, scale = {:.4}", g.shape(), g.scale());
+        if flags.contains_key("quantiles") {
+            for &q in &[0.5, 0.9, 0.99, 0.999] {
+                println!(
+                    "delay p{:<4} = {:.2}",
+                    (q * 1000.0) as u32,
+                    t.delay_quantile(q)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let k: u32 = get(flags, "k", 2)?;
+    let n: u32 = get(flags, "stages", 6)?;
+    let p: f64 = get_prob(flags, "p", 0.5)?;
+    let q: f64 = get_prob(flags, "q", 0.0)?;
+    let cycles: u64 = get(flags, "cycles", 20_000u64)?;
+    let seed: u64 = get(flags, "seed", 1u64)?;
+    let service = service_from_flags(flags)?;
+    let mut cfg = NetworkConfig::new(k, n, Workload { p, q, service });
+    cfg.measure_cycles = cycles;
+    cfg.warmup_cycles = (cycles / 10).max(500);
+    cfg.seed = seed;
+    if let Some(cap) = flags.get("capacity") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| "invalid --capacity".to_string())?;
+        if cap == 0 {
+            return Err("--capacity must be at least 1 message".into());
+        }
+        cfg.buffer_capacity = Some(cap);
+    }
+    let stats = run_network(cfg);
+    println!("delivered {} messages over {} cycles", stats.delivered, stats.cycles);
+    if stats.rejected_total > 0 {
+        let offered = stats.injected_total + stats.rejected_total;
+        println!(
+            "rejected {} of {} offered ({:.2}%)",
+            stats.rejected_total,
+            offered,
+            100.0 * stats.rejected_total as f64 / offered as f64
+        );
+    }
+    for (i, w) in stats.stage_waits.iter().enumerate() {
+        println!(
+            "stage {:>2}: E(w) = {:.4}  Var(w) = {:.4}",
+            i + 1,
+            w.mean(),
+            w.variance()
+        );
+    }
+    println!(
+        "total waiting: mean = {:.4}, var = {:.4}, p99 = {}",
+        stats.total_wait.mean(),
+        stats.total_wait.variance(),
+        stats.total_hist.quantile(0.99).unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn cmd_pmf(flags: &Flags) -> Result<(), String> {
+    let k: u32 = get(flags, "k", 2)?;
+    let p: f64 = get_prob(flags, "p", 0.5)?;
+    let m: u32 = get(flags, "m", 1)?;
+    let len: usize = get(flags, "len", 32usize)?;
+    let fs = uniform_queue(k, p, m).map_err(|e| e.to_string())?;
+    let pmf = fs.pmf(len);
+    println!("{:>5}  {:>12}  {:>12}", "w", "P(w)", "P(W<=w)");
+    let mut acc = 0.0;
+    for (v, &pr) in pmf.iter().enumerate() {
+        acc += pr;
+        println!("{v:>5}  {pr:>12.8}  {acc:>12.8}");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
+commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  pmf          print the exact first-stage waiting distribution\n\
+common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "first-stage" => cmd_first_stage(&flags),
+        "total" => cmd_total(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "pmf" => cmd_pmf(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

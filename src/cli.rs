@@ -1,0 +1,163 @@
+//! Argument parsing for the `banyan` CLI (no external parser crates).
+//!
+//! Flags are `--name value`; a trailing flag with no value is boolean
+//! (`"true"`). [`service_from_flags`] builds a [`ServiceDist`] from
+//! `--m`, `--geometric-mu`, or `--mix SIZE:PROB,SIZE:PROB,…`.
+
+use banyan_sim::traffic::ServiceDist;
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+pub type Flags = HashMap<String, String>;
+
+/// Parses `--name value` pairs; a flag without a following value becomes
+/// the boolean `"true"`.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut map = Flags::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{a}'"));
+        };
+        // A token starting with "--" is the next flag, not this flag's
+        // value — so `--quantiles --p 0.5` parses as boolean + pair.
+        match it.peek() {
+            Some(v) if !v.starts_with("--") => {
+                map.insert(name.to_string(), it.next().expect("peeked").clone());
+            }
+            _ => {
+                map.insert(name.to_string(), "true".to_string());
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Fetches a typed flag with a default.
+pub fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{name}")),
+    }
+}
+
+/// Fetches a probability flag, rejecting values outside `[0, 1]` with a
+/// clean error (instead of letting the model constructors panic).
+pub fn get_prob(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    let v: f64 = get(flags, name, default)?;
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("--{name} must be a probability in [0, 1], got {v}"))
+    }
+}
+
+/// Builds the service distribution from `--geometric-mu`, `--mix`, or
+/// `--m` (in that priority order; default constant 1).
+pub fn service_from_flags(flags: &Flags) -> Result<ServiceDist, String> {
+    if let Some(mu) = flags.get("geometric-mu") {
+        let mu: f64 = mu
+            .parse()
+            .map_err(|_| "invalid --geometric-mu".to_string())?;
+        return Ok(ServiceDist::Geometric(mu));
+    }
+    if let Some(mix) = flags.get("mix") {
+        let mut sizes = Vec::new();
+        for part in mix.split(',') {
+            let (m, g) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --mix entry '{part}' (want SIZE:PROB)"))?;
+            sizes.push((
+                m.parse().map_err(|_| "bad size in --mix".to_string())?,
+                g.parse().map_err(|_| "bad prob in --mix".to_string())?,
+            ));
+        }
+        return Ok(ServiceDist::Mixed(sizes));
+    }
+    Ok(ServiceDist::Constant(get(flags, "m", 1u32)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_booleans() {
+        let f = parse_flags(&args(&["--k", "4", "--p", "0.5", "--quantiles"])).unwrap();
+        assert_eq!(f.get("k").unwrap(), "4");
+        assert_eq!(f.get("p").unwrap(), "0.5");
+        assert_eq!(f.get("quantiles").unwrap(), "true");
+    }
+
+    #[test]
+    fn boolean_flag_before_other_flags() {
+        let f = parse_flags(&args(&["--quantiles", "--p", "0.8"])).unwrap();
+        assert_eq!(f.get("quantiles").unwrap(), "true");
+        assert_eq!(f.get("p").unwrap(), "0.8");
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = parse_flags(&args(&["bogus"])).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn typed_get_with_default() {
+        let f = parse_flags(&args(&["--k", "8"])).unwrap();
+        assert_eq!(get(&f, "k", 2u32).unwrap(), 8);
+        assert_eq!(get(&f, "stages", 6u32).unwrap(), 6);
+        assert!((get(&f, "p", 0.5f64).unwrap() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn typed_get_reports_bad_values() {
+        let f = parse_flags(&args(&["--k", "banana"])).unwrap();
+        let err = get(&f, "k", 2u32).unwrap_err();
+        assert!(err.contains("banana"));
+    }
+
+    #[test]
+    fn service_default_is_unit() {
+        let f = Flags::new();
+        assert_eq!(service_from_flags(&f).unwrap(), ServiceDist::Constant(1));
+    }
+
+    #[test]
+    fn service_constant_m() {
+        let f = parse_flags(&args(&["--m", "4"])).unwrap();
+        assert_eq!(service_from_flags(&f).unwrap(), ServiceDist::Constant(4));
+    }
+
+    #[test]
+    fn service_geometric() {
+        let f = parse_flags(&args(&["--geometric-mu", "0.25"])).unwrap();
+        assert_eq!(
+            service_from_flags(&f).unwrap(),
+            ServiceDist::Geometric(0.25)
+        );
+    }
+
+    #[test]
+    fn service_mix() {
+        let f = parse_flags(&args(&["--mix", "4:0.5,8:0.5"])).unwrap();
+        assert_eq!(
+            service_from_flags(&f).unwrap(),
+            ServiceDist::Mixed(vec![(4, 0.5), (8, 0.5)])
+        );
+    }
+
+    #[test]
+    fn service_mix_rejects_malformed() {
+        let f = parse_flags(&args(&["--mix", "4-0.5"])).unwrap();
+        assert!(service_from_flags(&f).is_err());
+        let f = parse_flags(&args(&["--mix", "x:0.5"])).unwrap();
+        assert!(service_from_flags(&f).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Smoke tests for the `banyan` CLI binary.
+
+use std::process::Command;
+
+fn banyan(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_banyan"))
+        .args(args)
+        .output()
+        .expect("spawn banyan binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn first_stage_reports_exact_values() {
+    let (ok, stdout, _) = banyan(&["first-stage", "--k", "2", "--p", "0.5"]);
+    assert!(ok);
+    assert!(stdout.contains("E(w)   = 0.250000"), "{stdout}");
+    assert!(stdout.contains("Var(w) = 0.250000"));
+    assert!(stdout.contains("P(idle)"));
+}
+
+#[test]
+fn first_stage_supports_geometric_and_mix() {
+    let (ok, stdout, _) = banyan(&["first-stage", "--p", "0.3", "--geometric-mu", "0.75"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("rho = 0.4"));
+    let (ok, stdout, _) = banyan(&["first-stage", "--p", "0.05", "--mix", "4:0.5,8:0.5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("rho = 0.3"));
+}
+
+#[test]
+fn total_command_prints_model() {
+    let (ok, stdout, _) = banyan(&["total", "--stages", "12", "--p", "0.5", "--quantiles"]);
+    assert!(ok);
+    assert!(stdout.contains("E(total waiting)   = 3.516"), "{stdout}");
+    assert!(stdout.contains("a = 0.1200, b = 0.4000"));
+    assert!(stdout.contains("delay p999"));
+}
+
+#[test]
+fn simulate_command_runs_small_network() {
+    let (ok, stdout, _) = banyan(&[
+        "simulate", "--stages", "3", "--p", "0.4", "--cycles", "2000", "--seed", "7",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("delivered"));
+    assert!(stdout.contains("stage  3"));
+    assert!(stdout.contains("total waiting"));
+}
+
+#[test]
+fn pmf_command_prints_distribution() {
+    let (ok, stdout, _) = banyan(&["pmf", "--p", "0.5", "--len", "8"]);
+    assert!(ok);
+    assert!(stdout.lines().count() >= 9);
+    assert!(stdout.contains("P(w)"));
+}
+
+#[test]
+fn unstable_load_is_an_error() {
+    let (ok, _, stderr) = banyan(&["total", "--p", "0.5", "--m", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("unstable"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = banyan(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, stdout, _) = banyan(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("commands"));
+}

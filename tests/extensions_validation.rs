@@ -1,0 +1,150 @@
+//! Integration: the extensions beyond the paper's published evaluation —
+//! butterfly wiring, finite buffers, the design explorer — against the
+//! analysis.
+
+use banyan_core::design::{explore, factorizations, Objective};
+use banyan_core::later_stages::StageConstants;
+use banyan_core::models::uniform_queue;
+use banyan_core::total_delay::TotalWaiting;
+use banyan_sim::network::{run_network, NetworkConfig, Routing};
+use banyan_sim::traffic::Workload;
+
+fn cfg(k: u32, n: u32, p: f64, m: u32, cycles: u64) -> NetworkConfig {
+    let mut c = NetworkConfig::new(k, n, Workload::uniform(p, m));
+    c.warmup_cycles = cycles / 10;
+    c.measure_cycles = cycles;
+    c.seed = 0xE57;
+    c
+}
+
+#[test]
+fn butterfly_stage1_matches_exact_analysis() {
+    let mut c = cfg(2, 6, 0.5, 1, 60_000);
+    c.routing = Routing::Butterfly;
+    let stats = run_network(c);
+    let q = uniform_queue(2, 0.5, 1).unwrap();
+    assert!((stats.stage_waits[0].mean() - q.mean_wait()).abs() < 0.01);
+    assert!((stats.stage_waits[0].variance() - q.var_wait()).abs() < 0.02);
+}
+
+#[test]
+fn butterfly_total_matches_section_v_prediction() {
+    let mut c = cfg(2, 9, 0.5, 1, 60_000);
+    c.routing = Routing::Butterfly;
+    let stats = run_network(c);
+    let model = TotalWaiting::new(2, 9, 0.5, 1);
+    let sim = stats.total_wait.mean();
+    let pred = model.mean_total();
+    assert!((sim - pred).abs() < 0.05 * pred, "sim {sim} vs pred {pred}");
+}
+
+#[test]
+fn finite_buffers_converge_to_infinite_model() {
+    // Increasing capacity converges to the §V prediction at moderate
+    // load (the paper's justification for the infinite-buffer
+    // idealization).
+    let model = TotalWaiting::new(2, 5, 0.5, 1);
+    let mut errs = Vec::new();
+    for cap in [2usize, 4, 16] {
+        let mut c = cfg(2, 5, 0.5, 1, 40_000);
+        c.buffer_capacity = Some(cap);
+        let stats = run_network(c);
+        errs.push((stats.total_wait.mean() - model.mean_total()).abs());
+    }
+    assert!(errs[2] < errs[0], "convergence: {errs:?}");
+    assert!(errs[2] < 0.05, "capacity 16 should match infinite: {errs:?}");
+}
+
+#[test]
+fn finite_buffers_bound_queue_population() {
+    // With capacity c, no more than c messages can sit in any queue, so
+    // the per-stage waiting time can never exceed what c-1 predecessors
+    // plus blocking can produce — check the crude bound E[w_stage1] <=
+    // capacity (unit service; each queued predecessor costs >= 1 cycle
+    // but blocking can stretch it, so test the histogram's support
+    // indirectly via conservation instead).
+    let mut c = cfg(2, 3, 0.9, 1, 20_000);
+    c.buffer_capacity = Some(2);
+    let stats = run_network(c);
+    assert_eq!(stats.injected, stats.delivered);
+    assert!(stats.rejected_total > 0);
+}
+
+#[test]
+fn nonuniform_total_mean_matches_simulation() {
+    use banyan_core::total_delay::nonuniform_total_mean;
+    let c = StageConstants::default();
+    for &q in &[0.25, 0.5] {
+        let mut cfg = NetworkConfig::new(2, 8, Workload::hotspot(0.5, q));
+        cfg.warmup_cycles = 5_000;
+        cfg.measure_cycles = 50_000;
+        cfg.seed = 0x517E;
+        let stats = run_network(cfg);
+        let sim = stats.total_wait.mean();
+        let pred = nonuniform_total_mean(&c, 2, 8, 0.5, q);
+        assert!(
+            (sim - pred).abs() < 0.05 * pred,
+            "q={q}: sim {sim} vs pred {pred}"
+        );
+    }
+}
+
+#[test]
+fn multi_size_total_mean_matches_simulation() {
+    use banyan_core::total_delay::multi_size_total_mean;
+    use banyan_sim::traffic::ServiceDist;
+    let c = StageConstants::default();
+    let sizes = [(4u32, 0.5), (8u32, 0.5)];
+    let p = 0.5 / 6.0;
+    let mut cfg = NetworkConfig::new(
+        2,
+        6,
+        Workload {
+            p,
+            q: 0.0,
+            service: ServiceDist::Mixed(sizes.to_vec()),
+        },
+    );
+    cfg.warmup_cycles = 10_000;
+    cfg.measure_cycles = 150_000;
+    cfg.seed = 0x517F;
+    let stats = run_network(cfg);
+    let sim = stats.total_wait.mean();
+    let pred = multi_size_total_mean(&c, 2, 6, p, &sizes);
+    assert!(
+        (sim - pred).abs() < 0.06 * pred,
+        "sim {sim} vs pred {pred}"
+    );
+}
+
+#[test]
+fn design_explorer_agrees_with_direct_model() {
+    let pts = explore(64, Objective::p99(0.5), StageConstants::default());
+    for pt in &pts {
+        let model = TotalWaiting::new(pt.k, pt.stages, 0.5, 1);
+        assert!((pt.mean_delay - model.mean_total_delay()).abs() < 1e-9);
+        assert!((pt.delay_percentile - model.delay_quantile(0.99)).abs() < 1e-9);
+    }
+    // 64 = 2^6 = 4^3 = 8^2 = 64^1.
+    assert_eq!(pts.len(), factorizations(64).len());
+}
+
+#[test]
+fn design_explorer_max_load_is_monotone_in_budget() {
+    let tight = Objective {
+        p: 0.5,
+        m: 1,
+        percentile: 0.99,
+        delay_budget: Some(12.0),
+    };
+    let loose = Objective {
+        delay_budget: Some(40.0),
+        ..tight
+    };
+    let a = explore(64, tight, StageConstants::default());
+    let b = explore(64, loose, StageConstants::default());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!((x.k, x.stages), (y.k, y.stages));
+        assert!(x.max_load.unwrap() <= y.max_load.unwrap() + 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration: the multistage network simulator against the paper's
+//! per-stage analysis — exact at stage 1, approximate (§IV) deeper in.
+
+use banyan_core::later_stages::StageConstants;
+use banyan_core::models::{nonuniform_queue, uniform_queue};
+use banyan_core::total_delay::TotalWaiting;
+use banyan_sim::network::{run_network, NetworkConfig};
+use banyan_sim::traffic::Workload;
+
+fn deep_net(k: u32, stages: u32, wl: Workload, cycles: u64, corr: bool) -> banyan_sim::NetworkStats {
+    let mut cfg = NetworkConfig::new(k, stages, wl);
+    cfg.warmup_cycles = cycles / 10;
+    cfg.measure_cycles = cycles;
+    cfg.collect_correlations = corr;
+    cfg.seed = 0xABCD;
+    run_network(cfg)
+}
+
+#[test]
+fn stage1_exact_across_loads() {
+    for &p in &[0.2, 0.5, 0.8] {
+        let stats = deep_net(2, 6, Workload::uniform(p, 1), 60_000, false);
+        let q = uniform_queue(2, p, 1).unwrap();
+        let w1 = stats.stage_waits[0].mean();
+        assert!(
+            (w1 - q.mean_wait()).abs() < 0.03 * (1.0 + q.mean_wait()),
+            "p={p}: {w1} vs {}",
+            q.mean_wait()
+        );
+        let v1 = stats.stage_waits[0].variance();
+        assert!(
+            (v1 - q.var_wait()).abs() < 0.06 * (1.0 + q.var_wait()),
+            "p={p}: {v1} vs {}",
+            q.var_wait()
+        );
+    }
+}
+
+#[test]
+fn deep_stage_mean_matches_w_inf() {
+    // §IV-A: w_∞ ≈ (1 + 2p/5)·w₁ for k = 2; the paper reports the
+    // approximation is "slightly low for p small and slightly high for p
+    // large", so allow a 6% band.
+    let consts = StageConstants::default();
+    for &p in &[0.2, 0.5, 0.8] {
+        let stats = deep_net(2, 8, Workload::uniform(p, 1), 60_000, false);
+        let deep = 0.5 * (stats.stage_waits[6].mean() + stats.stage_waits[7].mean());
+        let pred = consts.w_inf(p, 2);
+        assert!(
+            (deep - pred).abs() < 0.06 * pred + 0.01,
+            "p={p}: sim {deep} vs predicted {pred}"
+        );
+    }
+}
+
+#[test]
+fn stage_sequence_approaches_limit_geometrically() {
+    let stats = deep_net(2, 8, Workload::uniform(0.5, 1), 120_000, false);
+    let means: Vec<f64> = stats.stage_waits.iter().map(|w| w.mean()).collect();
+    // Monotone non-decreasing within noise.
+    for w in means.windows(2) {
+        assert!(w[1] > w[0] - 0.005, "per-stage means should increase: {means:?}");
+    }
+    // Gap shrinks by roughly alpha per stage early on.
+    let w_inf = 0.5 * (means[6] + means[7]);
+    let g1 = w_inf - means[0];
+    let g2 = w_inf - means[1];
+    let g3 = w_inf - means[2];
+    assert!(g2 / g1 < 0.65, "approach too slow: {means:?}");
+    assert!(g3 / g2 < 0.75, "approach too slow: {means:?}");
+}
+
+#[test]
+fn m4_interior_stages_match_scaled_model() {
+    // §IV-B, Table III row m = 4 (ρ = 0.5): w_∞ ≈ 1.2, v_∞ ≈ 4.667.
+    let consts = StageConstants::default();
+    let stats = deep_net(2, 8, Workload::uniform(0.125, 4), 200_000, false);
+    let deep_w = 0.5 * (stats.stage_waits[6].mean() + stats.stage_waits[7].mean());
+    let pred_w = consts.w_inf_m(0.125, 2, 4.0);
+    assert!(
+        (deep_w - pred_w).abs() < 0.08 * pred_w,
+        "sim {deep_w} vs predicted {pred_w}"
+    );
+    let deep_v = 0.5
+        * (stats.stage_waits[6].variance() + stats.stage_waits[7].variance());
+    let pred_v = consts.v_inf_m(0.125, 2, 4.0);
+    assert!(
+        (deep_v - pred_v).abs() < 0.12 * pred_v,
+        "sim {deep_v} vs predicted {pred_v}"
+    );
+}
+
+#[test]
+fn nonuniform_deep_stage_behaviour() {
+    // Hot-spot traffic reduces deep-stage waiting below the uniform value
+    // and the exact first stage matches §III-A-3.
+    let qf = 0.3;
+    let stats = deep_net(2, 8, Workload::hotspot(0.5, qf), 80_000, false);
+    let exact = nonuniform_queue(2, 0.5, qf, 1).unwrap();
+    let w1 = stats.stage_waits[0].mean();
+    assert!(
+        (w1 - exact.mean_wait()).abs() < 0.02,
+        "{w1} vs {}",
+        exact.mean_wait()
+    );
+    let uniform = deep_net(2, 8, Workload::uniform(0.5, 1), 80_000, false);
+    let deep_hot = stats.stage_waits[7].mean();
+    let deep_uni = uniform.stage_waits[7].mean();
+    assert!(deep_hot < deep_uni, "{deep_hot} vs {deep_uni}");
+}
+
+#[test]
+fn cross_stage_correlations_match_covariance_model() {
+    // Table VI: adjacent-stage correlation ≈ a = 0.12, next ≈ ab = 0.048.
+    let stats = deep_net(2, 8, Workload::uniform(0.5, 1), 150_000, true);
+    let corr = stats.correlations.as_ref().unwrap();
+    let model = TotalWaiting::new(2, 8, 0.5, 1);
+    // Use interior stages (spatial steady state).
+    let adj = corr.correlation(4, 5);
+    assert!(
+        (adj - model.predicted_correlation(1)).abs() < 0.03,
+        "adjacent: sim {adj} vs model {}",
+        model.predicted_correlation(1)
+    );
+    let two = corr.correlation(4, 6);
+    assert!(
+        (two - model.predicted_correlation(2)).abs() < 0.02,
+        "lag 2: sim {two} vs model {}",
+        model.predicted_correlation(2)
+    );
+    let three = corr.correlation(4, 7);
+    assert!(
+        (three - model.predicted_correlation(3)).abs() < 0.015,
+        "lag 3: sim {three} vs model {}",
+        model.predicted_correlation(3)
+    );
+}
+
+#[test]
+fn sum_of_stage_covariances_equals_total_variance() {
+    // Internal consistency of the instrumentation: Var(Σ w_i) computed
+    // from the correlation matrix must equal the directly measured total
+    // variance.
+    let stats = deep_net(2, 6, Workload::uniform(0.5, 1), 40_000, true);
+    let corr = stats.correlations.as_ref().unwrap();
+    let direct = stats.total_wait.variance();
+    let from_matrix = corr.sum_variance();
+    assert!(
+        (direct - from_matrix).abs() < 1e-6 * direct.max(1.0),
+        "{direct} vs {from_matrix}"
+    );
+}

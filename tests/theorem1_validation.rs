@@ -1,0 +1,242 @@
+//! Integration: the exact first-stage analysis (banyan-core, Theorem 1)
+//! against the single-queue Lindley simulator (banyan-sim), across every
+//! §III traffic/service class.
+
+use banyan_core::models::{
+    bulk_queue, geometric_queue, mixed_queue, nonuniform_queue, uniform_queue,
+};
+use banyan_sim::queue::{run_queue, ArrivalDist, QueueConfig};
+use banyan_sim::traffic::ServiceDist;
+use banyan_stats::distance::total_variation;
+
+fn sim(arrivals: ArrivalDist, service: ServiceDist, cycles: u64) -> banyan_sim::QueueStats {
+    run_queue(&QueueConfig {
+        warmup_cycles: 20_000,
+        measure_cycles: cycles,
+        seed: 0xD15C0,
+        arrivals,
+        service,
+    })
+}
+
+/// Mean and variance agree within a few standard errors plus a small
+/// relative slack.
+fn assert_moments(stats: &banyan_sim::QueueStats, mean: f64, var: f64, label: &str) {
+    let se = stats.wait.std_err();
+    let tol_mean = (4.0 * se + 0.01 * mean.abs()).max(0.01);
+    assert!(
+        (stats.wait.mean() - mean).abs() < tol_mean,
+        "{label}: sim mean {} vs exact {mean}",
+        stats.wait.mean()
+    );
+    let tol_var = (0.05 * var.abs()).max(0.02);
+    assert!(
+        (stats.wait.variance() - var).abs() < tol_var,
+        "{label}: sim var {} vs exact {var}",
+        stats.wait.variance()
+    );
+}
+
+#[test]
+fn uniform_single_arrivals_all_loads() {
+    for &(k, p) in &[(2u32, 0.2), (2, 0.5), (2, 0.8), (4, 0.5), (8, 0.5)] {
+        let q = uniform_queue(k, p, 1).unwrap();
+        let stats = sim(
+            ArrivalDist::UniformSwitch { k, s: k, p },
+            ServiceDist::Constant(1),
+            600_000,
+        );
+        assert_moments(&stats, q.mean_wait(), q.var_wait(), &format!("k={k},p={p}"));
+    }
+}
+
+#[test]
+fn constant_message_sizes() {
+    for &(p, m) in &[(0.25, 2u32), (0.125, 4), (0.0625, 8)] {
+        let q = uniform_queue(2, p, m).unwrap();
+        let stats = sim(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p },
+            ServiceDist::Constant(m),
+            600_000,
+        );
+        assert_moments(&stats, q.mean_wait(), q.var_wait(), &format!("m={m}"));
+    }
+}
+
+#[test]
+fn bulk_arrivals() {
+    for &(p, b) in &[(0.2, 2u32), (0.1, 4)] {
+        let q = bulk_queue(2, p, b).unwrap();
+        let stats = sim(
+            ArrivalDist::BulkSwitch { k: 2, s: 2, p, b },
+            ServiceDist::Constant(1),
+            600_000,
+        );
+        assert_moments(&stats, q.mean_wait(), q.var_wait(), &format!("b={b}"));
+    }
+}
+
+#[test]
+fn nonuniform_favorite_output() {
+    for &(p, qf) in &[(0.5, 0.1), (0.5, 0.3), (0.8, 0.5)] {
+        let q = nonuniform_queue(2, p, qf, 1).unwrap();
+        let stats = sim(
+            ArrivalDist::Nonuniform { k: 2, p, q: qf, b: 1 },
+            ServiceDist::Constant(1),
+            600_000,
+        );
+        assert_moments(&stats, q.mean_wait(), q.var_wait(), &format!("q={qf}"));
+    }
+}
+
+#[test]
+fn geometric_service() {
+    for &(p, mu) in &[(0.3, 0.75), (0.2, 0.5)] {
+        let q = geometric_queue(2, p, mu).unwrap();
+        let stats = sim(
+            ArrivalDist::UniformSwitch { k: 2, s: 2, p },
+            ServiceDist::Geometric(mu),
+            600_000,
+        );
+        assert_moments(&stats, q.mean_wait(), q.var_wait(), &format!("mu={mu}"));
+    }
+}
+
+#[test]
+fn mixed_sizes() {
+    let sizes = vec![(4u32, 0.5), (8u32, 0.5)];
+    let q = mixed_queue(2, 0.05, sizes.clone()).unwrap();
+    let stats = sim(
+        ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.05 },
+        ServiceDist::Mixed(sizes),
+        800_000,
+    );
+    assert_moments(&stats, q.mean_wait(), q.var_wait(), "mixed 4/8");
+}
+
+#[test]
+fn full_pmf_matches_simulated_histogram() {
+    // Beyond moments: the entire FFT-inverted distribution matches the
+    // simulated one in total variation.
+    let q = uniform_queue(2, 0.5, 1).unwrap();
+    let stats = sim(
+        ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+        ServiceDist::Constant(1),
+        800_000,
+    );
+    let pmf = q.pmf(128);
+    let tv = total_variation(&stats.hist, |v| {
+        pmf.get(v as usize).copied().unwrap_or(0.0)
+    });
+    assert!(tv < 0.01, "TV distance = {tv}");
+}
+
+#[test]
+fn utilization_equals_rho() {
+    let q = uniform_queue(2, 0.6, 1).unwrap();
+    let stats = sim(
+        ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.6 },
+        ServiceDist::Constant(1),
+        400_000,
+    );
+    assert!((stats.utilization - q.rho()).abs() < 0.01);
+}
+
+#[test]
+fn exact_skewness_matches_simulation() {
+    // Third-order transform expansion vs the streaming third moment of
+    // the Lindley simulator.
+    for &(k, p) in &[(2u32, 0.5), (2, 0.7)] {
+        let q = uniform_queue(k, p, 1).unwrap();
+        let stats = sim(
+            ArrivalDist::UniformSwitch { k, s: k, p },
+            ServiceDist::Constant(1),
+            2_000_000,
+        );
+        let exact = q.skewness_wait();
+        let simmed = stats.wait.skewness();
+        assert!(
+            (exact - simmed).abs() < 0.05 * exact.abs().max(1.0),
+            "k={k} p={p}: exact skew {exact} vs sim {simmed}"
+        );
+    }
+}
+
+#[test]
+fn unfinished_work_moments_match_simulated_backlog() {
+    // The Ψ(z) factor of Theorem 1: E[s] and Var[s] of the end-of-cycle
+    // unfinished work, plus the idle probability Ψ(0).
+    for &(k, p) in &[(2u32, 0.5), (4, 0.7)] {
+        let q = uniform_queue(k, p, 1).unwrap();
+        let stats = sim(
+            ArrivalDist::UniformSwitch { k, s: k, p },
+            ServiceDist::Constant(1),
+            600_000,
+        );
+        let (es, vs) = q.unfinished_work_moments();
+        assert!(
+            (stats.backlog.mean() - es).abs() < 0.02 * (1.0 + es),
+            "k={k} p={p}: backlog mean {} vs {es}",
+            stats.backlog.mean()
+        );
+        assert!(
+            (stats.backlog.variance() - vs).abs() < 0.05 * (1.0 + vs),
+            "k={k} p={p}: backlog var {} vs {vs}",
+            stats.backlog.variance()
+        );
+        assert!(
+            (stats.idle_fraction - q.idle_probability()).abs() < 0.01,
+            "k={k} p={p}: idle {} vs {}",
+            stats.idle_fraction,
+            q.idle_probability()
+        );
+    }
+}
+
+#[test]
+fn unfinished_work_pmf_matches_simulated_backlog_distribution() {
+    // The inverted Ψ(z) against the simulated backlog histogram, in
+    // total variation — the quantity the §VI finite-buffer idea hinges on.
+    let q = uniform_queue(2, 0.6, 1).unwrap();
+    let stats = sim(
+        ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.6 },
+        ServiceDist::Constant(1),
+        800_000,
+    );
+    let pmf = q.unfinished_work_pmf(128);
+    let tv = total_variation(&stats.backlog_hist, |v| {
+        pmf.get(v as usize).copied().unwrap_or(0.0)
+    });
+    assert!(tv < 0.01, "TV = {tv}");
+    // Overflow predictor vs empirical tail at a few buffer sizes.
+    for b in [2usize, 4, 8] {
+        let pred = q.backlog_overflow_probability(b);
+        let emp = 1.0 - stats.backlog_hist.cdf_at(b as u64 - 1);
+        assert!(
+            (pred - emp).abs() < 0.15 * emp.max(0.005),
+            "b={b}: pred {pred} vs emp {emp}"
+        );
+    }
+}
+
+#[test]
+fn exact_tail_decay_shows_in_simulation() {
+    let q = uniform_queue(2, 0.7, 1).unwrap();
+    let rate = q.tail_decay_rate().unwrap();
+    let stats = sim(
+        ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.7 },
+        ServiceDist::Constant(1),
+        2_000_000,
+    );
+    // Empirical log-slope of the histogram between quantile 0.9 and 0.999.
+    let lo = stats.hist.quantile(0.9).unwrap();
+    let hi = stats.hist.quantile(0.999).unwrap();
+    assert!(hi > lo + 3, "need a visible tail: {lo}..{hi}");
+    let p_lo = stats.hist.pmf_at(lo);
+    let p_hi = stats.hist.pmf_at(hi);
+    let emp_rate = (p_hi / p_lo).powf(1.0 / (hi - lo) as f64);
+    assert!(
+        (emp_rate - rate).abs() < 0.03,
+        "empirical decay {emp_rate} vs analytic {rate}"
+    );
+}
