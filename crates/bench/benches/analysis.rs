@@ -1,67 +1,6 @@
-//! Microbenchmarks of the analytical layer: closed-form moments, full pmf
-//! inversion, gamma fitting, and the total-delay model. These quantify
-//! the paper's motivating claim that formulas are orders of magnitude
-//! cheaper than simulation.
+//! `cargo bench -p banyan-bench --bench analysis` — see
+//! [`banyan_bench::suites::analysis`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
-use banyan_core::models::{mixed_queue, uniform_queue};
-use banyan_core::total_delay::TotalWaiting;
-use banyan_stats::Gamma;
-
-fn bench_first_stage_moments(c: &mut Criterion) {
-    c.bench_function("first_stage_mean_var_uniform", |b| {
-        b.iter(|| {
-            let q = uniform_queue(black_box(2), black_box(0.5), black_box(1)).unwrap();
-            black_box((q.mean_wait(), q.var_wait()))
-        })
-    });
-    c.bench_function("first_stage_mean_var_mixed", |b| {
-        b.iter(|| {
-            let q = mixed_queue(2, 0.05, vec![(4, 0.5), (8, 0.5)]).unwrap();
-            black_box((q.mean_wait(), q.var_wait()))
-        })
-    });
+fn main() {
+    banyan_bench::suites::analysis();
 }
-
-fn bench_pmf_inversion(c: &mut Criterion) {
-    let q = uniform_queue(2, 0.5, 1).unwrap();
-    c.bench_function("waiting_pmf_64_terms", |b| {
-        b.iter(|| black_box(q.pmf(black_box(64))))
-    });
-    let q8 = uniform_queue(2, 0.8, 1).unwrap();
-    c.bench_function("waiting_pmf_256_terms_heavy_load", |b| {
-        b.iter(|| black_box(q8.pmf(black_box(256))))
-    });
-}
-
-fn bench_tail_rate(c: &mut Criterion) {
-    let q = uniform_queue(2, 0.5, 1).unwrap();
-    c.bench_function("tail_decay_rate", |b| {
-        b.iter(|| black_box(q.tail_decay_rate()))
-    });
-}
-
-fn bench_total_delay_model(c: &mut Criterion) {
-    c.bench_function("total_delay_mean_var_12_stages", |b| {
-        b.iter(|| {
-            let t = TotalWaiting::new(2, 12, black_box(0.5), 1);
-            black_box((t.mean_total(), t.var_total()))
-        })
-    });
-}
-
-fn bench_gamma(c: &mut Criterion) {
-    let g = Gamma::from_mean_var(3.59, 3.74).unwrap();
-    c.bench_function("gamma_cdf", |b| b.iter(|| black_box(g.cdf(black_box(4.2)))));
-    c.bench_function("gamma_quantile_999", |b| {
-        b.iter(|| black_box(g.quantile(black_box(0.999))))
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_first_stage_moments, bench_pmf_inversion, bench_tail_rate, bench_total_delay_model, bench_gamma
-}
-criterion_main!(benches);

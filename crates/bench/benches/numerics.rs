@@ -1,39 +1,6 @@
-//! Microbenchmarks of the numerical substrate (FFT and special
-//! functions) that the pmf inversion and gamma approximation rely on.
+//! `cargo bench -p banyan-bench --bench numerics` — see
+//! [`banyan_bench::suites::numerics`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
-use banyan_numerics::special::{ln_gamma, reg_gamma_lower};
-use banyan_numerics::{fft, ifft, Complex};
-
-fn bench_fft(c: &mut Criterion) {
-    for &n in &[1024usize, 16_384] {
-        let data: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
-            .collect();
-        c.bench_function(&format!("fft_roundtrip_{n}"), |b| {
-            b.iter(|| {
-                let mut d = data.clone();
-                fft(&mut d);
-                ifft(&mut d);
-                black_box(d[0])
-            })
-        });
-    }
+fn main() {
+    banyan_bench::suites::numerics();
 }
-
-fn bench_special(c: &mut Criterion) {
-    c.bench_function("ln_gamma", |b| {
-        b.iter(|| black_box(ln_gamma(black_box(7.31))))
-    });
-    c.bench_function("reg_gamma_lower", |b| {
-        b.iter(|| black_box(reg_gamma_lower(black_box(5.5), black_box(4.0))))
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_fft, bench_special
-}
-criterion_main!(benches);

@@ -1,59 +1,6 @@
-//! Microbenchmarks of the simulation substrate: cycles/second of the
-//! network simulator at the paper's configurations and of the
-//! single-queue Lindley simulator.
+//! `cargo bench -p banyan-bench --bench simulator` — see
+//! [`banyan_bench::suites::simulator`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
-use banyan_sim::network::{run_network, NetworkConfig};
-use banyan_sim::queue::{run_queue, ArrivalDist, QueueConfig};
-use banyan_sim::traffic::{ServiceDist, Workload};
-
-fn bench_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network_sim");
-    for &(k, n, p, m, label) in &[
-        (2u32, 6u32, 0.5, 1u32, "k2_n6_p05_m1"),
-        (2, 10, 0.5, 1, "k2_n10_p05_m1"),
-        (2, 6, 0.125, 4, "k2_n6_p0125_m4"),
-    ] {
-        let cycles = 3_000u64;
-        g.throughput(Throughput::Elements(cycles));
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = NetworkConfig {
-                    warmup_cycles: 100,
-                    measure_cycles: cycles,
-                    ..NetworkConfig::new(k, n, Workload::uniform(p, m))
-                };
-                black_box(run_network(cfg).delivered)
-            })
-        });
-    }
-    g.finish();
+fn main() {
+    banyan_bench::suites::simulator();
 }
-
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queue_sim");
-    let cycles = 200_000u64;
-    g.throughput(Throughput::Elements(cycles));
-    g.bench_function("lindley_uniform_p05", |b| {
-        b.iter(|| {
-            let cfg = QueueConfig {
-                warmup_cycles: 1_000,
-                measure_cycles: cycles,
-                ..QueueConfig::new(
-                    ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
-                    ServiceDist::Constant(1),
-                )
-            };
-            black_box(run_queue(&cfg).wait.mean())
-        })
-    });
-    g.finish();
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_network, bench_queue
-}
-criterion_main!(benches);

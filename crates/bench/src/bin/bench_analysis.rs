@@ -1,0 +1,6 @@
+//! Microbenchmarks of the analytical layer; accepts `--quick`.
+//! Writes `results/BENCH_analysis.json`.
+
+fn main() {
+    banyan_bench::suites::analysis();
+}

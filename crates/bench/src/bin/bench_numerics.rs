@@ -1,0 +1,6 @@
+//! Microbenchmarks of the numerical substrate; accepts `--quick`.
+//! Writes `results/BENCH_numerics.json`.
+
+fn main() {
+    banyan_bench::suites::numerics();
+}

@@ -1,0 +1,6 @@
+//! Microbenchmarks of the simulators; accepts `--quick`.
+//! Writes `results/BENCH_simulator.json`.
+
+fn main() {
+    banyan_bench::suites::simulator();
+}

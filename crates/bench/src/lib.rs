@@ -13,14 +13,20 @@
 //! ```
 //!
 //! Every binary accepts `--quick` for a fast smoke run. Performance
-//! microbenchmarks (criterion) live in `benches/`.
+//! microbenchmarks live in `benches/` on the in-repo harness
+//! ([`micro`]); they are also exposed as binaries so
+//! `cargo run -p banyan-bench --release --bin bench_analysis` (or
+//! `bench_simulator`, `bench_numerics`) works without `cargo bench`,
+//! each writing `results/BENCH_<suite>.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod micro;
 pub mod plot;
 pub mod profile;
+pub mod suites;
 pub mod table;
 
 use profile::Scale;

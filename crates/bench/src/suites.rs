@@ -1,0 +1,114 @@
+//! The three microbenchmark suites, shared between the `cargo bench`
+//! targets in `benches/` and the `bench_*` binaries (so
+//! `cargo run -p banyan-bench --release --bin bench_analysis` works
+//! without the bench harness).
+
+use crate::micro::{black_box, Suite};
+
+/// Analytical layer: closed-form moments, full pmf inversion, gamma
+/// fitting, and the total-delay model. These quantify the paper's
+/// motivating claim that formulas are orders of magnitude cheaper than
+/// simulation.
+pub fn analysis() -> std::path::PathBuf {
+    use banyan_core::models::{mixed_queue, uniform_queue};
+    use banyan_core::total_delay::TotalWaiting;
+    use banyan_stats::Gamma;
+
+    let mut s = Suite::new("analysis");
+
+    s.bench("first_stage_mean_var_uniform", || {
+        let q = uniform_queue(black_box(2), black_box(0.5), black_box(1)).unwrap();
+        (q.mean_wait(), q.var_wait())
+    });
+    s.bench("first_stage_mean_var_mixed", || {
+        let q = mixed_queue(2, 0.05, vec![(4, 0.5), (8, 0.5)]).unwrap();
+        (q.mean_wait(), q.var_wait())
+    });
+
+    let q = uniform_queue(2, 0.5, 1).unwrap();
+    s.bench("waiting_pmf_64_terms", || q.pmf(black_box(64)));
+    let q8 = uniform_queue(2, 0.8, 1).unwrap();
+    s.bench("waiting_pmf_256_terms_heavy_load", || q8.pmf(black_box(256)));
+
+    s.bench("tail_decay_rate", || q.tail_decay_rate());
+
+    s.bench("total_delay_mean_var_12_stages", || {
+        let t = TotalWaiting::new(2, 12, black_box(0.5), 1);
+        (t.mean_total(), t.var_total())
+    });
+
+    let g = Gamma::from_mean_var(3.59, 3.74).unwrap();
+    s.bench("gamma_cdf", || g.cdf(black_box(4.2)));
+    s.bench("gamma_quantile_999", || g.quantile(black_box(0.999)));
+
+    s.finish()
+}
+
+/// Simulation substrate: cycles/second of the network simulator at the
+/// paper's configurations and of the single-queue Lindley simulator.
+pub fn simulator() -> std::path::PathBuf {
+    use banyan_sim::network::{run_network, NetworkConfig};
+    use banyan_sim::queue::{run_queue, ArrivalDist, QueueConfig};
+    use banyan_sim::traffic::{ServiceDist, Workload};
+
+    let mut s = Suite::new("simulator");
+
+    for &(k, n, p, m, label) in &[
+        (2u32, 6u32, 0.5, 1u32, "network_k2_n6_p05_m1"),
+        (2, 10, 0.5, 1, "network_k2_n10_p05_m1"),
+        (2, 6, 0.125, 4, "network_k2_n6_p0125_m4"),
+    ] {
+        let cycles = 3_000u64;
+        s.bench_throughput(label, cycles, move || {
+            let cfg = NetworkConfig {
+                warmup_cycles: 100,
+                measure_cycles: cycles,
+                ..NetworkConfig::new(k, n, Workload::uniform(p, m))
+            };
+            run_network(cfg).delivered
+        });
+    }
+
+    let cycles = 200_000u64;
+    s.bench_throughput("lindley_uniform_p05", cycles, || {
+        let cfg = QueueConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: cycles,
+            ..QueueConfig::new(
+                ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+                ServiceDist::Constant(1),
+            )
+        };
+        run_queue(&cfg).wait.mean()
+    });
+
+    s.finish()
+}
+
+/// Numerical substrate: the FFT and special functions that the pmf
+/// inversion and gamma approximation rely on.
+pub fn numerics() -> std::path::PathBuf {
+    use banyan_numerics::special::{ln_gamma, reg_gamma_lower};
+    use banyan_numerics::{fft, ifft, Complex};
+
+    let mut s = Suite::new("numerics");
+
+    for &n in &[1024usize, 16_384] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        s.bench(&format!("fft_roundtrip_{n}"), || {
+            let mut d = data.clone();
+            fft(&mut d);
+            ifft(&mut d);
+            d[0]
+        });
+    }
+
+    s.bench("ln_gamma", || ln_gamma(black_box(7.31)));
+    s.bench("reg_gamma_lower", || {
+        reg_gamma_lower(black_box(5.5), black_box(4.0))
+    });
+
+    s.finish()
+}

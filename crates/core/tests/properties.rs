@@ -1,6 +1,7 @@
-//! Property-based tests (proptest) for the analytical layer: the §III
+//! Randomized property tests for the analytical layer: the §III
 //! closed forms, Theorem 1's transform machinery, and the §IV/§V models
-//! across randomized parameters.
+//! across randomized parameters. Driven by the seeded in-repo harness
+//! (`banyan_prng::check`).
 
 use banyan_core::later_stages::StageConstants;
 use banyan_core::models::{
@@ -10,202 +11,283 @@ use banyan_core::models::{
 use banyan_core::total_delay::TotalWaiting;
 use banyan_core::{FirstStage, Pgf, TabulatedPgf};
 use banyan_numerics::series::pmf_mean_var;
-use proptest::prelude::*;
+use banyan_prng::check::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    #[test]
-    fn uniform_queue_moments_nonnegative_and_match_closed_forms(
-        k in 2u32..16,
-        p in 0.01f64..0.95,
-    ) {
+#[test]
+fn uniform_queue_moments_nonnegative_and_match_closed_forms() {
+    check(CASES, |g| {
+        let k = g.u32(2..16);
+        let p = g.f64(0.01..0.95);
         let q = uniform_queue(k, p, 1).unwrap();
-        prop_assert!(q.mean_wait() >= 0.0);
-        prop_assert!(q.var_wait() >= 0.0);
-        prop_assert!((q.mean_wait() - eq6_mean_wait(k, p)).abs() < 1e-11);
-        prop_assert!((q.var_wait() - eq7_var_wait(k, p)).abs() < 1e-10);
-    }
+        assert!(q.mean_wait() >= 0.0);
+        assert!(q.var_wait() >= 0.0);
+        assert!((q.mean_wait() - eq6_mean_wait(k, p)).abs() < 1e-11);
+        assert!((q.var_wait() - eq7_var_wait(k, p)).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn mean_wait_monotone_in_load(k in 2u32..9, p in 0.05f64..0.9) {
+#[test]
+fn mean_wait_monotone_in_load() {
+    check(CASES, |g| {
+        let k = g.u32(2..9);
+        let p = g.f64(0.05..0.9);
         let w_lo = uniform_queue(k, p, 1).unwrap().mean_wait();
         let w_hi = uniform_queue(k, (p + 0.05).min(0.99), 1).unwrap().mean_wait();
-        prop_assert!(w_hi >= w_lo);
-    }
+        assert!(w_hi >= w_lo);
+    });
+}
 
-    #[test]
-    fn constant_size_matches_eq8(k in 2u32..9, m in 1u32..9, rho in 0.05f64..0.9) {
+#[test]
+fn constant_size_matches_eq8() {
+    check(CASES, |g| {
+        let k = g.u32(2..9);
+        let m = g.u32(1..9);
+        let rho = g.f64(0.05..0.9);
         let p = rho / m as f64;
         let q = uniform_queue(k, p, m).unwrap();
-        prop_assert!((q.mean_wait() - eq8_mean_wait(k, p, m as f64)).abs() < 1e-9);
-    }
+        assert!((q.mean_wait() - eq8_mean_wait(k, p, m as f64)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn hotspot_mean_decreases_in_q(k in 2u32..9, p in 0.1f64..0.9, q in 0.0f64..0.9) {
+#[test]
+fn hotspot_mean_decreases_in_q() {
+    check(CASES, |g| {
+        let k = g.u32(2..9);
+        let p = g.f64(0.1..0.9);
+        let q = g.f64(0.0..0.9);
         let w = nonuniform_queue(k, p, q, 1).unwrap().mean_wait();
         let w2 = nonuniform_queue(k, p, (q + 0.1).min(1.0), 1).unwrap().mean_wait();
-        prop_assert!(w2 <= w + 1e-12);
-    }
+        assert!(w2 <= w + 1e-12);
+    });
+}
 
-    #[test]
-    fn bulk_b1_equals_single(k in 2u32..9, p in 0.05f64..0.9) {
+#[test]
+fn bulk_b1_equals_single() {
+    check(CASES, |g| {
+        let k = g.u32(2..9);
+        let p = g.f64(0.05..0.9);
         let b = bulk_queue(k, p, 1).unwrap();
         let s = uniform_queue(k, p, 1).unwrap();
-        prop_assert!((b.mean_wait() - s.mean_wait()).abs() < 1e-12);
-        prop_assert!((b.var_wait() - s.var_wait()).abs() < 1e-11);
-    }
+        assert!((b.mean_wait() - s.mean_wait()).abs() < 1e-12);
+        assert!((b.var_wait() - s.var_wait()).abs() < 1e-11);
+    });
+}
 
-    #[test]
-    fn geometric_mu1_equals_unit_service(k in 2u32..9, p in 0.05f64..0.9) {
-        let g = geometric_queue(k, p, 1.0).unwrap();
+#[test]
+fn geometric_mu1_equals_unit_service() {
+    check(CASES, |g| {
+        let k = g.u32(2..9);
+        let p = g.f64(0.05..0.9);
+        let geo = geometric_queue(k, p, 1.0).unwrap();
         let s = uniform_queue(k, p, 1).unwrap();
-        prop_assert!((g.mean_wait() - s.mean_wait()).abs() < 1e-12);
-        prop_assert!((g.var_wait() - s.var_wait()).abs() < 1e-11);
-    }
+        assert!((geo.mean_wait() - s.mean_wait()).abs() < 1e-12);
+        assert!((geo.var_wait() - s.var_wait()).abs() < 1e-11);
+    });
+}
 
-    #[test]
-    fn pmf_is_distribution_with_exact_moments(k in 2u32..5, p in 0.1f64..0.8) {
+#[test]
+fn pmf_is_distribution_with_exact_moments() {
+    check(CASES, |g| {
+        let k = g.u32(2..5);
+        let p = g.f64(0.1..0.8);
         let q = uniform_queue(k, p, 1).unwrap();
         let pmf = q.pmf(192);
-        prop_assert!(pmf.iter().all(|&x| x >= 0.0));
+        assert!(pmf.iter().all(|&x| x >= 0.0));
         let total: f64 = pmf.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6, "mass {}", total);
+        assert!((total - 1.0).abs() < 1e-6, "mass {total}");
         let (mean, var) = pmf_mean_var(&pmf);
-        prop_assert!((mean - q.mean_wait()).abs() < 1e-5 * (1.0 + q.mean_wait()));
-        prop_assert!((var - q.var_wait()).abs() < 1e-3 * (1.0 + q.var_wait()));
-    }
+        assert!((mean - q.mean_wait()).abs() < 1e-5 * (1.0 + q.mean_wait()));
+        assert!((var - q.var_wait()).abs() < 1e-3 * (1.0 + q.var_wait()));
+    });
+}
 
-    #[test]
-    fn transform_bounded_on_unit_circle(k in 2u32..6, p in 0.1f64..0.85, theta in 0.01f64..6.27) {
+#[test]
+fn transform_bounded_on_unit_circle() {
+    check(CASES, |g| {
+        let k = g.u32(2..6);
+        let p = g.f64(0.1..0.85);
+        let theta = g.f64(0.01..6.27);
         let q = uniform_queue(k, p, 1).unwrap();
         let z = banyan_numerics::Complex::cis(theta);
-        prop_assert!(q.transform(z).abs() <= 1.0 + 1e-8);
-    }
+        assert!(q.transform(z).abs() <= 1.0 + 1e-8);
+    });
+}
 
-    #[test]
-    fn tail_decay_rate_in_unit_interval(k in 2u32..6, p in 0.1f64..0.9) {
+#[test]
+fn tail_decay_rate_in_unit_interval() {
+    check(CASES, |g| {
+        let k = g.u32(2..6);
+        let p = g.f64(0.1..0.9);
         let q = uniform_queue(k, p, 1).unwrap();
         if let Some(r) = q.tail_decay_rate() {
-            prop_assert!(r > 0.0 && r < 1.0);
+            assert!(r > 0.0 && r < 1.0);
             // Heavier load ⇒ slower decay (larger r).
             if p < 0.85 {
                 let q2 = uniform_queue(k, p + 0.05, 1).unwrap();
                 if let Some(r2) = q2.tail_decay_rate() {
-                    prop_assert!(r2 > r - 1e-9);
+                    assert!(r2 > r - 1e-9);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tabulated_arrivals_consistent_with_theorem1(
-        raw in prop::collection::vec(0.01f64..1.0, 2..5),
-    ) {
+#[test]
+fn tabulated_arrivals_consistent_with_theorem1() {
+    check(CASES, |g| {
         // Normalize to a pmf, scale so λ < 1 comfortably.
+        let raw = g.vec_with(2..5, |g| g.f64(0.01..1.0));
         let total: f64 = raw.iter().sum();
         let pmf: Vec<f64> = raw.iter().map(|x| x / total).collect();
-        let g = TabulatedPgf::new(pmf);
+        let gf = TabulatedPgf::new(pmf);
         // Keep ρ away from 1 so a 512-term window holds ~all the mass
         // (at ρ → 1 the support grows without bound).
-        prop_assume!(g.d1() > 1e-6 && g.d1() < 0.85);
-        let q = FirstStage::new(g, banyan_core::ConstantService::unit()).unwrap();
+        if gf.d1() <= 1e-6 || gf.d1() >= 0.85 {
+            return;
+        }
+        let q = FirstStage::new(gf, banyan_core::ConstantService::unit()).unwrap();
         let dist = q.pmf(512);
         let (mean, _) = pmf_mean_var(&dist);
-        prop_assert!((mean - q.mean_wait()).abs() < 1e-4 * (1.0 + q.mean_wait()));
-    }
+        assert!((mean - q.mean_wait()).abs() < 1e-4 * (1.0 + q.mean_wait()));
+    });
+}
 
-    #[test]
-    fn mixture_mean_size_bounds_waiting(p in 0.01f64..0.1, g4 in 0.0f64..1.0) {
+#[test]
+fn mixture_mean_size_bounds_waiting() {
+    check(CASES, |g| {
         // A {4,8} mixture waits at least as long as all-4 and at most…
         // not bounded by all-8 in general, but the mean must be finite,
         // nonnegative, and increasing in the share of long messages.
+        let p = g.f64(0.01..0.1);
+        let g4 = g.f64(0.0..1.0);
         let sizes = vec![(4u32, g4), (8u32, 1.0 - g4)];
         let q = mixed_queue(2, p, sizes).unwrap();
-        prop_assert!(q.mean_wait() >= 0.0);
+        assert!(q.mean_wait() >= 0.0);
         let more_long = vec![(4u32, (g4 - 0.2).max(0.0)), (8u32, 1.0 - (g4 - 0.2).max(0.0))];
         let q2 = mixed_queue(2, p, more_long).unwrap();
-        prop_assert!(q2.mean_wait() >= q.mean_wait() - 1e-12);
-    }
+        assert!(q2.mean_wait() >= q.mean_wait() - 1e-12);
+    });
+}
 
-    #[test]
-    fn stage_estimates_bracket_first_and_limit(p in 0.05f64..0.9, k in 2u32..9, i in 1u32..30) {
+#[test]
+fn stage_estimates_bracket_first_and_limit() {
+    check(CASES, |g| {
+        let p = g.f64(0.05..0.9);
+        let k = g.u32(2..9);
+        let i = g.u32(1..30);
         let c = StageConstants::default();
         let w1 = c.w_stage(1, p, k);
         let winf = c.w_inf(p, k);
         let wi = c.w_stage(i, p, k);
-        prop_assert!(wi >= w1 - 1e-12 && wi <= winf + 1e-12);
-    }
+        assert!(wi >= w1 - 1e-12 && wi <= winf + 1e-12);
+    });
+}
 
-    #[test]
-    fn total_waiting_monotone_in_stages(p in 0.05f64..0.85, n in 1u32..12) {
+#[test]
+fn total_waiting_monotone_in_stages() {
+    check(CASES, |g| {
+        let p = g.f64(0.05..0.85);
+        let n = g.u32(1..12);
         let a = TotalWaiting::new(2, n, p, 1);
         let b = TotalWaiting::new(2, n + 1, p, 1);
-        prop_assert!(b.mean_total() > a.mean_total());
-        prop_assert!(b.var_total() > a.var_total());
-    }
+        assert!(b.mean_total() > a.mean_total());
+        assert!(b.var_total() > a.var_total());
+    });
+}
 
-    #[test]
-    fn covariance_params_in_valid_range(p in 0.01f64..0.95, k in 2u32..9, m in 1u32..4) {
-        prop_assume!(m as f64 * p < 1.0);
+#[test]
+fn covariance_params_in_valid_range() {
+    check(CASES, |g| {
+        let p = g.f64(0.01..0.95);
+        let k = g.u32(2..9);
+        let m = g.u32(1..4);
+        if m as f64 * p >= 1.0 {
+            return;
+        }
         let t = TotalWaiting::new(k, 6, p, m);
         let (a, b) = t.cov_params();
-        prop_assert!((0.0..1.0).contains(&a));
-        prop_assert!(b > 0.0 && b < 1.0, "b = {}", b);
-    }
+        assert!((0.0..1.0).contains(&a));
+        assert!(b > 0.0 && b < 1.0, "b = {b}");
+    });
+}
 
-    #[test]
-    fn gamma_approx_moments_match_model(p in 0.05f64..0.85, n in 1u32..13) {
+#[test]
+fn gamma_approx_moments_match_model() {
+    check(CASES, |g| {
+        let p = g.f64(0.05..0.85);
+        let n = g.u32(1..13);
         let t = TotalWaiting::new(2, n, p, 1);
-        let g = t.gamma().unwrap();
-        prop_assert!((g.mean() - t.mean_total()).abs() < 1e-9 * (1.0 + t.mean_total()));
-        prop_assert!((g.variance() - t.var_total()).abs() < 1e-9 * (1.0 + t.var_total()));
-    }
+        let gamma = t.gamma().unwrap();
+        assert!((gamma.mean() - t.mean_total()).abs() < 1e-9 * (1.0 + t.mean_total()));
+        assert!((gamma.variance() - t.var_total()).abs() < 1e-9 * (1.0 + t.var_total()));
+    });
+}
 
-    #[test]
-    fn skewness_positive_for_all_stable_uniform_queues(k in 2u32..8, p in 0.05f64..0.9) {
+#[test]
+fn skewness_positive_for_all_stable_uniform_queues() {
+    check(CASES, |g| {
+        let k = g.u32(2..8);
+        let p = g.f64(0.05..0.9);
         let q = uniform_queue(k, p, 1).unwrap();
         let s = q.skewness_wait();
-        prop_assert!(s.is_finite() && s > 0.0, "skew = {}", s);
-    }
+        assert!(s.is_finite() && s > 0.0, "skew = {s}");
+    });
+}
 
-    #[test]
-    fn unfinished_work_pmf_mass_and_moments(k in 2u32..5, p in 0.1f64..0.8) {
+#[test]
+fn unfinished_work_pmf_mass_and_moments() {
+    check(CASES, |g| {
+        let k = g.u32(2..5);
+        let p = g.f64(0.1..0.8);
         let q = uniform_queue(k, p, 1).unwrap();
         let pmf = q.unfinished_work_pmf(256);
         let total: f64 = pmf.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6, "mass {}", total);
+        assert!((total - 1.0).abs() < 1e-6, "mass {total}");
         let (mean, _) = pmf_mean_var(&pmf);
         let (es, _) = q.unfinished_work_moments();
-        prop_assert!((mean - es).abs() < 1e-5 * (1.0 + es));
-    }
+        assert!((mean - es).abs() < 1e-5 * (1.0 + es));
+    });
+}
 
-    #[test]
-    fn overflow_probability_decreasing_in_capacity(k in 2u32..5, p in 0.1f64..0.85) {
+#[test]
+fn overflow_probability_decreasing_in_capacity() {
+    check(CASES, |g| {
+        let k = g.u32(2..5);
+        let p = g.f64(0.1..0.85);
         let q = uniform_queue(k, p, 1).unwrap();
         let mut prev = 1.0;
         for b in [1usize, 2, 4, 8, 16] {
             let pb = q.backlog_overflow_probability(b);
-            prop_assert!(pb <= prev + 1e-12 && (0.0..=1.0).contains(&pb));
+            assert!(pb <= prev + 1e-12 && (0.0..=1.0).contains(&pb));
             prev = pb;
         }
-    }
+    });
+}
 
-    #[test]
-    fn design_factorizations_are_exact(exp in 1u32..13, k in 2u64..5) {
+#[test]
+fn design_factorizations_are_exact() {
+    check(CASES, |g| {
+        let exp = g.u32(1..13);
+        let k = g.u64(2..5);
         let ports = k.pow(exp);
         for (kk, n) in banyan_core::design::factorizations(ports) {
-            prop_assert_eq!((kk as u64).pow(n), ports);
+            assert_eq!((kk as u64).pow(n), ports);
         }
-    }
+    });
+}
 
-    #[test]
-    fn delay_quantiles_monotone(p in 0.05f64..0.85, n in 1u32..13) {
+#[test]
+fn delay_quantiles_monotone() {
+    check(CASES, |g| {
+        let p = g.f64(0.05..0.85);
+        let n = g.u32(1..13);
         let t = TotalWaiting::new(2, n, p, 1);
         let q50 = t.delay_quantile(0.5);
         let q90 = t.delay_quantile(0.9);
         let q99 = t.delay_quantile(0.99);
-        prop_assert!(q50 <= q90 && q90 <= q99);
-        prop_assert!(q50 >= t.total_service() as f64);
-    }
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!(q50 >= t.total_service() as f64);
+    });
 }

@@ -1,35 +1,42 @@
-//! Property-based tests (proptest) for the numerical substrate.
+//! Randomized property tests for the numerical substrate, driven by the
+//! seeded in-repo harness (`banyan_prng::check`): each property runs
+//! against many deterministic pseudo-random cases, and a failure prints
+//! the drawn inputs plus the seed that reproduces it.
 
 use banyan_numerics::fft::{convolve, fft, ifft};
 use banyan_numerics::poly::Poly;
 use banyan_numerics::series::{finite_derivatives, kahan_sum};
 use banyan_numerics::special::{binomial, ln_gamma, reg_gamma_lower, reg_gamma_upper};
 use banyan_numerics::{brent, Complex};
-use proptest::prelude::*;
+use banyan_prng::check::check;
 
-proptest! {
-    #[test]
-    fn fft_round_trip_is_identity(
-        re in prop::collection::vec(-100.0f64..100.0, 64),
-        im in prop::collection::vec(-100.0f64..100.0, 64),
-    ) {
-        let orig: Vec<Complex> = re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect();
+const CASES: u32 = 256;
+
+#[test]
+fn fft_round_trip_is_identity() {
+    check(CASES, |g| {
+        let orig: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(g.f64(-100.0..100.0), g.f64(-100.0..100.0)))
+            .collect();
         let mut data = orig.clone();
         fft(&mut data);
         ifft(&mut data);
         for (a, b) in data.iter().zip(&orig) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_is_linear(
-        xs in prop::collection::vec(-10.0f64..10.0, 32),
-        ys in prop::collection::vec(-10.0f64..10.0, 32),
-        c in -5.0f64..5.0,
-    ) {
-        let x: Vec<Complex> = xs.iter().map(|&v| Complex::from_real(v)).collect();
-        let y: Vec<Complex> = ys.iter().map(|&v| Complex::from_real(v)).collect();
+#[test]
+fn fft_is_linear() {
+    check(CASES, |g| {
+        let x: Vec<Complex> = (0..32)
+            .map(|_| Complex::from_real(g.f64(-10.0..10.0)))
+            .collect();
+        let y: Vec<Complex> = (0..32)
+            .map(|_| Complex::from_real(g.f64(-10.0..10.0)))
+            .collect();
+        let c = g.f64(-5.0..5.0);
         let mut fx = x.clone();
         fft(&mut fx);
         let mut fy = y.clone();
@@ -38,112 +45,139 @@ proptest! {
         fft(&mut combined);
         for i in 0..32 {
             let expect = fx[i] * c + fy[i];
-            prop_assert!((combined[i] - expect).abs() < 1e-8);
+            assert!((combined[i] - expect).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn convolution_is_commutative(
-        a in prop::collection::vec(-5.0f64..5.0, 1..12),
-        b in prop::collection::vec(-5.0f64..5.0, 1..12),
-    ) {
+#[test]
+fn convolution_is_commutative() {
+    check(CASES, |g| {
+        let a = g.vec_with(1..12, |g| g.f64(-5.0..5.0));
+        let b = g.vec_with(1..12, |g| g.f64(-5.0..5.0));
         let ab = convolve(&a, &b);
         let ba = convolve(&b, &a);
-        prop_assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.len(), ba.len());
         for (x, y) in ab.iter().zip(&ba) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10);
         }
-    }
+    });
+}
 
-    #[test]
-    fn convolution_preserves_total_mass(
-        a in prop::collection::vec(0.0f64..5.0, 1..10),
-        b in prop::collection::vec(0.0f64..5.0, 1..10),
-    ) {
+#[test]
+fn convolution_preserves_total_mass() {
+    check(CASES, |g| {
+        let a = g.vec_with(1..10, |g| g.f64(0.0..5.0));
+        let b = g.vec_with(1..10, |g| g.f64(0.0..5.0));
         let sa: f64 = a.iter().sum();
         let sb: f64 = b.iter().sum();
         let sc: f64 = convolve(&a, &b).iter().sum();
-        prop_assert!((sc - sa * sb).abs() < 1e-8 * (1.0 + sa * sb));
-    }
+        assert!((sc - sa * sb).abs() < 1e-8 * (1.0 + sa * sb));
+    });
+}
 
-    #[test]
-    fn ln_gamma_satisfies_recurrence(x in 0.05f64..50.0) {
+#[test]
+fn ln_gamma_satisfies_recurrence() {
+    check(CASES, |g| {
+        let x = g.f64(0.05..50.0);
         let lhs = ln_gamma(x + 1.0);
         let rhs = ln_gamma(x) + x.ln();
-        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
-    }
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn incomplete_gamma_complement(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+#[test]
+fn incomplete_gamma_complement() {
+    check(CASES, |g| {
+        let a = g.f64(0.1..50.0);
+        let x = g.f64(0.0..100.0);
         let s = reg_gamma_lower(a, x) + reg_gamma_upper(a, x);
-        prop_assert!((s - 1.0).abs() < 1e-10);
-    }
+        assert!((s - 1.0).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn incomplete_gamma_monotone_in_x(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.001f64..5.0) {
-        prop_assert!(reg_gamma_lower(a, x + dx) >= reg_gamma_lower(a, x) - 1e-12);
-    }
+#[test]
+fn incomplete_gamma_monotone_in_x() {
+    check(CASES, |g| {
+        let a = g.f64(0.1..20.0);
+        let x = g.f64(0.0..50.0);
+        let dx = g.f64(0.001..5.0);
+        assert!(reg_gamma_lower(a, x + dx) >= reg_gamma_lower(a, x) - 1e-12);
+    });
+}
 
-    #[test]
-    fn kahan_matches_exact_on_integers(xs in prop::collection::vec(-1000i64..1000, 0..200)) {
+#[test]
+fn kahan_matches_exact_on_integers() {
+    check(CASES, |g| {
+        let xs = g.vec_with(1..200, |g| g.i64(-1000..1000));
         let floats: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
         let exact: i64 = xs.iter().sum();
-        prop_assert_eq!(kahan_sum(&floats), exact as f64);
-    }
+        assert_eq!(kahan_sum(&floats), exact as f64);
+        assert_eq!(kahan_sum(&[]), 0.0);
+    });
+}
 
-    #[test]
-    fn poly_derivative_at_matches_finite_difference(
-        coeffs in prop::collection::vec(-3.0f64..3.0, 1..8),
-        x in -1.5f64..1.5,
-    ) {
+#[test]
+fn poly_derivative_at_matches_finite_difference() {
+    check(CASES, |g| {
+        let coeffs = g.vec_with(1..8, |g| g.f64(-3.0..3.0));
+        let x = g.f64(-1.5..1.5);
         let p = Poly::new(coeffs);
         let (d1, _, _) = finite_derivatives(|t| p.eval(t), x, 1e-4);
         let exact = p.derivative_at(1, x);
-        prop_assert!((d1 - exact).abs() < 1e-5 * (1.0 + exact.abs()));
-    }
+        assert!((d1 - exact).abs() < 1e-5 * (1.0 + exact.abs()));
+    });
+}
 
-    #[test]
-    fn poly_mul_evaluates_as_product(
-        a in prop::collection::vec(-2.0f64..2.0, 1..6),
-        b in prop::collection::vec(-2.0f64..2.0, 1..6),
-        x in -1.0f64..1.0,
-    ) {
+#[test]
+fn poly_mul_evaluates_as_product() {
+    check(CASES, |g| {
+        let a = g.vec_with(1..6, |g| g.f64(-2.0..2.0));
+        let b = g.vec_with(1..6, |g| g.f64(-2.0..2.0));
+        let x = g.f64(-1.0..1.0);
         let pa = Poly::new(a);
         let pb = Poly::new(b);
         let prod = pa.mul(&pb);
-        prop_assert!((prod.eval(x) - pa.eval(x) * pb.eval(x)).abs() < 1e-9);
-    }
+        assert!((prod.eval(x) - pa.eval(x) * pb.eval(x)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn brent_finds_root_of_shifted_cubic(shift in -10.0f64..10.0) {
+#[test]
+fn brent_finds_root_of_shifted_cubic() {
+    check(CASES, |g| {
         // f(x) = x³ + x − shift is strictly increasing with a unique root.
+        let shift = g.f64(-10.0..10.0);
         let f = |x: f64| x * x * x + x - shift;
         let root = brent(f, -20.0, 20.0, 1e-12).unwrap();
-        prop_assert!(f(root).abs() < 1e-6);
-    }
+        assert!(f(root).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn binomial_symmetry(n in 0u64..60, k in 0u64..60) {
-        prop_assume!(k <= n);
+#[test]
+fn binomial_symmetry() {
+    check(CASES, |g| {
+        let n = g.u64(0..60);
+        let k = g.u64(0..60);
+        if k > n {
+            return;
+        }
         let a = binomial(n, k);
         let b = binomial(n, n - k);
-        prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
-    }
+        assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+    });
+}
 
-    #[test]
-    fn complex_field_axioms(
-        ar in -10.0f64..10.0, ai in -10.0f64..10.0,
-        br in -10.0f64..10.0, bi in -10.0f64..10.0,
-        cr in -10.0f64..10.0, ci in -10.0f64..10.0,
-    ) {
-        let a = Complex::new(ar, ai);
-        let b = Complex::new(br, bi);
-        let c = Complex::new(cr, ci);
+#[test]
+fn complex_field_axioms() {
+    check(CASES, |g| {
+        let a = Complex::new(g.f64(-10.0..10.0), g.f64(-10.0..10.0));
+        let b = Complex::new(g.f64(-10.0..10.0), g.f64(-10.0..10.0));
+        let c = Complex::new(g.f64(-10.0..10.0), g.f64(-10.0..10.0));
         // Distributivity.
         let lhs = a * (b + c);
         let rhs = a * b + a * c;
-        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
         // |ab| = |a||b|.
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
-    }
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+    });
 }

@@ -1,0 +1,42 @@
+//! SplitMix64 (Steele–Lea–Flood / Vigna's `splitmix64.c`).
+//!
+//! A tiny one-word generator whose only job here is seed expansion: it
+//! turns a single `u64` into the four state words of
+//! [`Xoshiro256PlusPlus`](crate::Xoshiro256PlusPlus) (the seeding
+//! scheme recommended by the xoshiro authors), and provides the
+//! per-case seed stream of the property harness. Equidistributed over
+//! all 2⁶⁴ outputs, so the expanded state is never pathological.
+
+use crate::{RngCore, SeedableRng};
+
+/// Weyl-sequence increment (the "golden gamma", ⌊2⁶⁴/φ⌋ rounded to odd).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator; the first output already mixes `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}

@@ -1,0 +1,111 @@
+//! Reference-vector tests pinning the generators to the published
+//! outputs of the original C implementations.
+//!
+//! * SplitMix64 vectors match Vigna's `splitmix64.c` (the seed-0 first
+//!   output `0xE220A8397B1DCDAF` and the widely used seed-1234567
+//!   sequence).
+//! * xoshiro256++ vectors match `xoshiro256plusplus.c` run from state
+//!   `[1, 2, 3, 4]` (the same vector pinned by the `rand_xoshiro`
+//!   crate). The first output is also hand-checkable:
+//!   `rotl(1 + 4, 23) + 1 = 5·2²³ + 1 = 41943041`.
+
+use banyan_prng::rngs::SmallRng;
+use banyan_prng::{Rng, RngCore, SeedableRng, SplitMix64, Xoshiro256PlusPlus};
+
+#[test]
+fn splitmix64_matches_reference_seed_zero() {
+    let mut sm = SplitMix64::new(0);
+    let got: Vec<u64> = (0..5).map(|_| sm.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            0xE220_A839_7B1D_CDAF,
+            0x6E78_9E6A_A1B9_65F4,
+            0x06C4_5D18_8009_454F,
+            0xF88B_B8A8_724C_81EC,
+            0x1B39_896A_51A8_749B,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_matches_reference_seed_1234567() {
+    let mut sm = SplitMix64::new(1234567);
+    let got: Vec<u64> = (0..5).map(|_| sm.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro256pp_matches_reference_from_state() {
+    let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+    let got: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ]
+    );
+}
+
+#[test]
+fn seed_from_u64_composes_splitmix_expansion() {
+    // seed_from_u64(s) must equal from_state(four SplitMix64(s) words):
+    // the documented (and published-table-relevant) seeding scheme.
+    let mut sm = SplitMix64::new(0xFACE_FEED);
+    let state = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+    let mut a = Xoshiro256PlusPlus::from_state(state);
+    let mut b = SmallRng::seed_from_u64(0xFACE_FEED);
+    for _ in 0..16 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn seed_from_u64_zero_reference_outputs() {
+    // Pins the full seed→stream pipeline (SplitMix64 expansion feeding
+    // xoshiro256++), computed with an independent implementation.
+    let mut rng = SmallRng::seed_from_u64(0);
+    let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            5987356902031041503,
+            7051070477665621255,
+            6633766593972829180,
+            211316841551650330,
+            9136120204379184874,
+            379361710973160858,
+        ]
+    );
+}
+
+#[test]
+fn f64_standard_matches_bit_construction() {
+    // gen::<f64>() is specified as (next_u64 >> 11) · 2⁻⁵³; pin it so
+    // simulation streams never silently change.
+    let mut bits = SmallRng::seed_from_u64(42);
+    let mut vals = SmallRng::seed_from_u64(42);
+    for _ in 0..16 {
+        let expect = (bits.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let got: f64 = vals.gen();
+        assert_eq!(got, expect);
+    }
+}

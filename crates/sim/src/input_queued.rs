@@ -17,8 +17,8 @@
 use crate::network::{NetworkStats, MAX_STAGES};
 use crate::topology::OmegaTopology;
 use crate::traffic::Workload;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use banyan_prng::rngs::SmallRng;
+use banyan_prng::SeedableRng;
 use std::collections::VecDeque;
 
 /// Configuration of an input-queued network simulation.

@@ -24,8 +24,8 @@ use crate::butterfly::ButterflyTopology;
 use crate::topology::OmegaTopology;
 use crate::traffic::Workload;
 use banyan_stats::{CorrelationMatrix, IntHistogram, OnlineStats};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use banyan_prng::rngs::SmallRng;
+use banyan_prng::SeedableRng;
 use std::collections::VecDeque;
 
 /// Hard cap on stages (fixed-size per-message wait record).
@@ -300,7 +300,7 @@ impl NetworkSim {
                 .expect("butterfly topology constructed in new()")
                 .next_wire(stage, wire, dest),
             Routing::RandomDigit { .. } => {
-                use rand::Rng;
+                use banyan_prng::Rng;
                 let shuffled = self.topo.shuffle(wire);
                 let base = shuffled - shuffled % self.cfg.k as u64;
                 base + self.rng.gen_range(0..self.cfg.k as u64)

@@ -14,8 +14,8 @@
 
 use crate::traffic::ServiceDist;
 use banyan_stats::{CoMoment, IntHistogram, OnlineStats};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use banyan_prng::rngs::SmallRng;
+use banyan_prng::{Rng, SeedableRng};
 
 /// Per-cycle batch-size (message-count) distribution at the queue.
 #[derive(Clone, Debug)]

@@ -2,27 +2,39 @@
 //!
 //! Statistical accuracy in the tables comes from many independent
 //! replications with distinct seeds; every accumulator in `banyan-stats`
-//! merges exactly, so replications shard across threads (crossbeam scoped
-//! threads — no `'static` bounds needed) and combine losslessly.
+//! merges exactly, so replications shard across threads (`std::thread`
+//! scoped threads — no `'static` bounds needed) and combine losslessly.
+//!
+//! Seeding scheme: replication `i` of a run with base seed `s` uses
+//! seed `s + i` (wrapping). Results are therefore bit-identical for any
+//! thread count — the merge always proceeds in replication order — and
+//! any published table row is reproducible from its base seed alone.
 
 use crate::network::{run_network, NetworkConfig, NetworkStats};
 use crate::queue::{run_queue, QueueConfig, QueueStats};
 
 /// Runs `reps` independent replications of a network simulation on up to
 /// `threads` worker threads (seeds `cfg.seed + 0 … cfg.seed + reps − 1`)
-/// and merges the statistics.
+/// and merges the statistics. The result is independent of `threads`
+/// (including `threads > reps` and uneven replication counts per
+/// worker); `threads == 0` is treated as 1.
 ///
 /// # Panics
-/// Panics if `reps == 0`.
+/// Panics if `reps == 0`, or if a worker's simulation panics.
 pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) -> NetworkStats {
     assert!(reps > 0, "need at least one replication");
-    let threads = threads.max(1).min(reps as usize);
-    let mut partials: Vec<Option<NetworkStats>> = (0..reps).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, chunk) in partials.chunks_mut(reps.div_ceil(threads as u32) as usize).enumerate() {
-            let base = chunk_idx * reps.div_ceil(threads as u32) as usize;
-            let cfg = cfg.clone();
-            scope.spawn(move |_| {
+    let reps = reps as usize;
+    let threads = threads.clamp(1, reps);
+    // ceil-split so no worker is idle while another holds 2+ extra reps;
+    // the last chunk may be short (or some trailing workers may get
+    // nothing when threads does not divide reps — chunks() simply
+    // yields fewer chunks, which is fine).
+    let chunk_len = reps.div_ceil(threads);
+    let mut partials: Vec<Option<NetworkStats>> = vec![None; reps];
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in partials.chunks_mut(chunk_len).enumerate() {
+            let base = chunk_idx * chunk_len;
+            scope.spawn(move || {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let mut c = cfg.clone();
                     c.seed = cfg.seed.wrapping_add((base + off) as u64);
@@ -30,9 +42,13 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
                 }
             });
         }
-    })
-    .expect("simulation worker panicked");
-    let mut iter = partials.into_iter().map(|s| s.expect("all slots filled"));
+    });
+    // Every slot belongs to exactly one chunk and scope joins all
+    // workers (propagating panics), so the merge in replication order
+    // never observes an empty slot.
+    let mut iter = partials
+        .into_iter()
+        .map(|s| s.expect("scope joined every worker"));
     let mut acc = iter.next().expect("reps > 0");
     for s in iter {
         acc.merge(&s);
@@ -41,7 +57,8 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
 }
 
 /// Runs `reps` independent replications of a single-queue simulation and
-/// merges them (single-threaded; queue sims are cheap).
+/// merges them (single-threaded; queue sims are cheap). Seeds follow
+/// the same `base + i` scheme as [`run_network_replicated`].
 pub fn run_queue_replicated(cfg: &QueueConfig, reps: u32) -> QueueStats {
     assert!(reps > 0, "need at least one replication");
     let mut acc: Option<QueueStats> = None;
@@ -63,13 +80,17 @@ mod tests {
     use crate::queue::ArrivalDist;
     use crate::traffic::{ServiceDist, Workload};
 
-    #[test]
-    fn replicated_network_accumulates_all_messages() {
-        let cfg = NetworkConfig {
+    fn quick_net() -> NetworkConfig {
+        NetworkConfig {
             warmup_cycles: 200,
             measure_cycles: 1_000,
             ..NetworkConfig::new(2, 3, Workload::uniform(0.5, 1))
-        };
+        }
+    }
+
+    #[test]
+    fn replicated_network_accumulates_all_messages() {
+        let cfg = quick_net();
         let single = run_network(cfg.clone());
         let multi = run_network_replicated(&cfg, 4, 2);
         assert!(multi.delivered > 3 * single.delivered);
@@ -80,17 +101,71 @@ mod tests {
 
     #[test]
     fn replication_improves_on_distinct_seeds() {
-        let cfg = NetworkConfig {
-            warmup_cycles: 200,
-            measure_cycles: 500,
-            ..NetworkConfig::new(2, 3, Workload::uniform(0.5, 1))
-        };
+        let mut cfg = quick_net();
+        cfg.measure_cycles = 500;
         let a = run_network_replicated(&cfg, 3, 3);
         // Three replications of the same seed would triple-count
         // identical data; distinct seeds must give a different total than
         // 3× any single run (overwhelmingly likely).
         let single = run_network(cfg);
         assert_ne!(a.delivered, 3 * single.delivered);
+    }
+
+    #[test]
+    fn more_threads_than_reps_is_fine() {
+        // Regression: reps = 3 on 8 threads must neither panic nor drop
+        // a replication — it must equal the single-threaded merge.
+        let cfg = quick_net();
+        let wide = run_network_replicated(&cfg, 3, 8);
+        let narrow = run_network_replicated(&cfg, 3, 1);
+        assert_eq!(wide.delivered, narrow.delivered);
+        assert_eq!(wide.total_wait.mean(), narrow.total_wait.mean());
+        assert_eq!(wide.total_wait.variance(), narrow.total_wait.variance());
+    }
+
+    #[test]
+    fn single_rep_any_thread_count() {
+        // Regression: reps = 1 (on both 1 and many threads) equals a
+        // plain run with the same seed.
+        let cfg = quick_net();
+        let plain = run_network(cfg.clone());
+        for threads in [1usize, 4, 16] {
+            let rep = run_network_replicated(&cfg, 1, threads);
+            assert_eq!(rep.delivered, plain.delivered, "threads = {threads}");
+            assert_eq!(rep.total_wait.mean(), plain.total_wait.mean());
+        }
+    }
+
+    #[test]
+    fn uneven_chunking_keeps_all_replications() {
+        // reps = 5 over 4 threads: ceil-chunks of 2 leave the last
+        // worker with a single rep; all five must still be merged.
+        let cfg = quick_net();
+        let a = run_network_replicated(&cfg, 5, 4);
+        let b = run_network_replicated(&cfg, 5, 1);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.injected_total, b.injected_total);
+        assert_eq!(a.total_wait.mean(), b.total_wait.mean());
+    }
+
+    #[test]
+    fn table_row_reproducible_across_runs_and_thread_counts() {
+        // The determinism contract behind every published table number:
+        // the same base seed reproduces the same Table-I row (stage-1
+        // mean and variance at k = 2, p = 0.5, m = 1) bit-for-bit,
+        // across repeated runs and across threads = 1 vs threads = 4.
+        let mut cfg = NetworkConfig::new(2, 3, Workload::uniform(0.5, 1));
+        cfg.warmup_cycles = 300;
+        cfg.measure_cycles = 3_000;
+        let a = run_network_replicated(&cfg, 4, 1);
+        let b = run_network_replicated(&cfg, 4, 1);
+        let c = run_network_replicated(&cfg, 4, 4);
+        assert_eq!(a.stage_waits[0].mean(), b.stage_waits[0].mean());
+        assert_eq!(a.stage_waits[0].variance(), b.stage_waits[0].variance());
+        assert_eq!(a.stage_waits[0].mean(), c.stage_waits[0].mean());
+        assert_eq!(a.stage_waits[0].variance(), c.stage_waits[0].variance());
+        assert_eq!(a.total_wait.mean(), c.total_wait.mean());
+        assert_eq!(a.delivered, c.delivered);
     }
 
     #[test]
@@ -117,5 +192,11 @@ mod tests {
             ServiceDist::Constant(1),
         );
         run_queue_replicated(&cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_network_reps_panics() {
+        run_network_replicated(&quick_net(), 0, 4);
     }
 }

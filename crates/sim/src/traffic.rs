@@ -6,7 +6,7 @@
 //! (§III-A-3 / §IV-D, hot-spot traffic where each input owns a private
 //! memory module); message sizes come from a [`ServiceDist`].
 
-use rand::Rng;
+use banyan_prng::Rng;
 
 /// A sampleable service-time (message size) distribution.
 #[derive(Clone, Debug, PartialEq)]
@@ -151,8 +151,8 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use banyan_prng::rngs::SmallRng;
+    use banyan_prng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0x5eed)

@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) for the statistics substrate.
+//! Randomized property tests for the statistics substrate, driven by
+//! the seeded in-repo harness (`banyan_prng::check`).
 
+use banyan_prng::check::check;
 use banyan_stats::ci::normal_quantile;
 use banyan_stats::{CoMoment, Gamma, IntHistogram, OnlineStats};
-use proptest::prelude::*;
+
+const CASES: u32 = 256;
 
 fn stats_of(xs: &[f64]) -> OnlineStats {
     let mut s = OnlineStats::new();
@@ -12,79 +15,87 @@ fn stats_of(xs: &[f64]) -> OnlineStats {
     s
 }
 
-proptest! {
-    #[test]
-    fn merge_equals_concatenation(
-        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
-        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
-    ) {
+#[test]
+fn merge_equals_concatenation() {
+    check(CASES, |g| {
+        let xs = g.vec_with(0..100, |g| g.f64(-1e3..1e3));
+        let ys = g.vec_with(0..100, |g| g.f64(-1e3..1e3));
         let mut merged = stats_of(&xs);
         merged.merge(&stats_of(&ys));
         let mut all = xs.clone();
         all.extend_from_slice(&ys);
         let whole = stats_of(&all);
-        prop_assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.count(), whole.count());
         if !all.is_empty() {
-            prop_assert!((merged.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
-            prop_assert!((merged.variance() - whole.variance()).abs() < 1e-7 * (1.0 + whole.variance()));
-            prop_assert_eq!(merged.min(), whole.min());
-            prop_assert_eq!(merged.max(), whole.max());
+            assert!((merged.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+            assert!((merged.variance() - whole.variance()).abs() < 1e-7 * (1.0 + whole.variance()));
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
         }
-    }
+    });
+}
 
-    #[test]
-    fn variance_is_translation_invariant(
-        xs in prop::collection::vec(-100.0f64..100.0, 2..100),
-        shift in -1e4f64..1e4,
-    ) {
+#[test]
+fn variance_is_translation_invariant() {
+    check(CASES, |g| {
+        let xs = g.vec_with(2..100, |g| g.f64(-100.0..100.0));
+        let shift = g.f64(-1e4..1e4);
         let v0 = stats_of(&xs).variance();
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
         let v1 = stats_of(&shifted).variance();
-        prop_assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0));
-    }
+        assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0));
+    });
+}
 
-    #[test]
-    fn correlation_bounded(
-        pts in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..200),
-    ) {
+#[test]
+fn correlation_bounded() {
+    check(CASES, |g| {
+        let pts = g.vec_with(2..200, |g| (g.f64(-50.0..50.0), g.f64(-50.0..50.0)));
         let mut c = CoMoment::new();
         for &(x, y) in &pts {
             c.push(x, y);
         }
         let r = c.correlation();
-        prop_assert!((-1.0..=1.0).contains(&r));
-    }
+        assert!((-1.0..=1.0).contains(&r));
+    });
+}
 
-    #[test]
-    fn correlation_scale_invariant(
-        pts in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..100),
-        a in 0.1f64..10.0,
-        b in -100.0f64..100.0,
-    ) {
+#[test]
+fn correlation_scale_invariant() {
+    check(CASES, |g| {
+        let pts = g.vec_with(3..100, |g| (g.f64(-50.0..50.0), g.f64(-50.0..50.0)));
+        let a = g.f64(0.1..10.0);
+        let b = g.f64(-100.0..100.0);
         let mut c1 = CoMoment::new();
         let mut c2 = CoMoment::new();
         for &(x, y) in &pts {
             c1.push(x, y);
             c2.push(a * x + b, y);
         }
-        prop_assert!((c1.correlation() - c2.correlation()).abs() < 1e-7);
-    }
+        assert!((c1.correlation() - c2.correlation()).abs() < 1e-7);
+    });
+}
 
-    #[test]
-    fn histogram_pmf_is_distribution(values in prop::collection::vec(0u64..200, 1..500)) {
+#[test]
+fn histogram_pmf_is_distribution() {
+    check(CASES, |g| {
+        let values = g.vec_with(1..500, |g| g.u64(0..200));
         let mut h = IntHistogram::new();
         for &v in &values {
             h.record(v);
         }
         let pmf = h.pmf();
         let total: f64 = pmf.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(pmf.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        prop_assert_eq!(h.total(), values.len() as u64);
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pmf.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(h.total(), values.len() as u64);
+    });
+}
 
-    #[test]
-    fn histogram_quantiles_monotone(values in prop::collection::vec(0u64..100, 1..300)) {
+#[test]
+fn histogram_quantiles_monotone() {
+    check(CASES, |g| {
+        let values = g.vec_with(1..300, |g| g.u64(0..100));
         let mut h = IntHistogram::new();
         for &v in &values {
             h.record(v);
@@ -92,80 +103,100 @@ proptest! {
         let mut prev = 0;
         for i in 1..=10 {
             let q = h.quantile(i as f64 / 10.0).unwrap();
-            prop_assert!(q >= prev);
+            assert!(q >= prev);
             prev = q;
         }
-        prop_assert_eq!(h.quantile(1.0), h.max_value());
-    }
+        assert_eq!(h.quantile(1.0), h.max_value());
+    });
+}
 
-    #[test]
-    fn histogram_mean_between_min_and_max(values in prop::collection::vec(0u64..1000, 1..200)) {
+#[test]
+fn histogram_mean_between_min_and_max() {
+    check(CASES, |g| {
+        let values = g.vec_with(1..200, |g| g.u64(0..1000));
         let mut h = IntHistogram::new();
         for &v in &values {
             h.record(v);
         }
         let lo = *values.iter().min().unwrap() as f64;
         let hi = *values.iter().max().unwrap() as f64;
-        prop_assert!(h.mean() >= lo - 1e-9 && h.mean() <= hi + 1e-9);
-    }
+        assert!(h.mean() >= lo - 1e-9 && h.mean() <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn gamma_cdf_quantile_round_trip(shape in 0.1f64..50.0, scale in 0.05f64..20.0, q in 0.01f64..0.99) {
+#[test]
+fn gamma_cdf_quantile_round_trip() {
+    check(CASES, |g| {
         // Shapes below ~0.05 put low quantiles beneath f64 range; the
         // distributions in this project (total waiting times) have
         // shape >= O(1).
-        let g = Gamma::new(shape, scale);
-        let x = g.quantile(q);
-        prop_assert!((g.cdf(x) - q).abs() < 1e-7);
-    }
+        let shape = g.f64(0.1..50.0);
+        let scale = g.f64(0.05..20.0);
+        let q = g.f64(0.01..0.99);
+        let gamma = Gamma::new(shape, scale);
+        let x = gamma.quantile(q);
+        assert!((gamma.cdf(x) - q).abs() < 1e-7);
+    });
+}
 
-    #[test]
-    fn gamma_moment_fit_round_trips(mean in 0.1f64..100.0, var in 0.01f64..500.0) {
-        let g = Gamma::from_mean_var(mean, var).unwrap();
-        prop_assert!((g.mean() - mean).abs() < 1e-9 * mean);
-        prop_assert!((g.variance() - var).abs() < 1e-9 * var);
-    }
+#[test]
+fn gamma_moment_fit_round_trips() {
+    check(CASES, |g| {
+        let mean = g.f64(0.1..100.0);
+        let var = g.f64(0.01..500.0);
+        let gamma = Gamma::from_mean_var(mean, var).unwrap();
+        assert!((gamma.mean() - mean).abs() < 1e-9 * mean);
+        assert!((gamma.variance() - var).abs() < 1e-9 * var);
+    });
+}
 
-    #[test]
-    fn gamma_bin_probs_nonnegative_and_bounded(shape in 0.2f64..20.0, scale in 0.1f64..10.0, v in 0u64..500) {
-        let g = Gamma::new(shape, scale);
-        let p = g.bin_prob(v);
-        prop_assert!((0.0..=1.0).contains(&p));
-    }
+#[test]
+fn gamma_bin_probs_nonnegative_and_bounded() {
+    check(CASES, |g| {
+        let shape = g.f64(0.2..20.0);
+        let scale = g.f64(0.1..10.0);
+        let v = g.u64(0..500);
+        let gamma = Gamma::new(shape, scale);
+        let p = gamma.bin_prob(v);
+        assert!((0.0..=1.0).contains(&p));
+    });
+}
 
-    #[test]
-    fn third_moment_merge_equals_concatenation(
-        xs in prop::collection::vec(-100.0f64..100.0, 3..80),
-        ys in prop::collection::vec(-100.0f64..100.0, 3..80),
-    ) {
+#[test]
+fn third_moment_merge_equals_concatenation() {
+    check(CASES, |g| {
+        let xs = g.vec_with(3..80, |g| g.f64(-100.0..100.0));
+        let ys = g.vec_with(3..80, |g| g.f64(-100.0..100.0));
         let mut merged = stats_of(&xs);
         merged.merge(&stats_of(&ys));
         let mut all = xs.clone();
         all.extend_from_slice(&ys);
         let whole = stats_of(&all);
         let scale = 1.0 + whole.third_central_moment().abs();
-        prop_assert!(
+        assert!(
             (merged.third_central_moment() - whole.third_central_moment()).abs() < 1e-7 * scale
         );
-    }
+    });
+}
 
-    #[test]
-    fn skewness_sign_flips_under_negation(
-        xs in prop::collection::vec(-50.0f64..50.0, 5..100),
-    ) {
+#[test]
+fn skewness_sign_flips_under_negation() {
+    check(CASES, |g| {
+        let xs = g.vec_with(5..100, |g| g.f64(-50.0..50.0));
         let s = stats_of(&xs);
         let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
         let sn = stats_of(&neg);
-        prop_assert!((s.skewness() + sn.skewness()).abs() < 1e-8);
-    }
+        assert!((s.skewness() + sn.skewness()).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn sectioned_mean_agrees_with_overall(
-        xs in prop::collection::vec(0.0f64..10.0, 40..400),
-    ) {
+#[test]
+fn sectioned_mean_agrees_with_overall() {
+    check(CASES, |g| {
         use banyan_stats::Sectioned;
+        let xs = g.vec_with(40..400, |g| g.f64(0.0..10.0));
         let mut sec = Sectioned::new(10);
-        let mut all = banyan_stats::OnlineStats::new();
+        let mut all = OnlineStats::new();
         for &x in &xs {
             sec.push(x);
             all.push(x);
@@ -174,15 +205,18 @@ proptest! {
             // Section means average the first 10·B observations only.
             let covered = (xs.len() / 10) * 10;
             let partial: f64 = xs[..covered].iter().sum::<f64>() / covered as f64;
-            prop_assert!((est - partial).abs() < 1e-9 * (1.0 + partial.abs()));
+            assert!((est - partial).abs() < 1e-9 * (1.0 + partial.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn normal_quantile_is_odd(p in 0.001f64..0.499) {
+#[test]
+fn normal_quantile_is_odd() {
+    check(CASES, |g| {
+        let p = g.f64(0.001..0.499);
         let a = normal_quantile(p);
         let b = normal_quantile(1.0 - p);
-        prop_assert!((a + b).abs() < 1e-8);
-        prop_assert!(a < 0.0);
-    }
+        assert!((a + b).abs() < 1e-8);
+        assert!(a < 0.0);
+    });
 }

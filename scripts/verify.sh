@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI would run it, with the network off.
+#
+#   1. No Cargo.toml may declare a non-path dependency (the workspace is
+#      hermetic by construction; this catches regressions).
+#   2. The workspace builds and tests with --offline.
+#   3. If clippy is installed, it must pass with -D warnings.
+#
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== checking that every dependency is a path dependency =="
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Within [dependencies]/[dev-dependencies]/[build-dependencies]/
+    # [workspace.dependencies] sections, every non-comment entry must
+    # reference the workspace or a path.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 !~ /workspace[[:space:]]*=[[:space:]]*true/ && $0 !~ /path[[:space:]]*=/) print
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "ok: all dependencies are path/workspace entries"
+
+echo "== offline release build =="
+cargo build --workspace --release --offline
+
+echo "== offline test suite =="
+cargo test --workspace -q --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy (-D warnings) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "== clippy not installed; skipping =="
+fi
+
+echo "verify: OK"

@@ -228,9 +228,11 @@ fn exact_tail_decay_shows_in_simulation() {
         ServiceDist::Constant(1),
         2_000_000,
     );
-    // Empirical log-slope of the histogram between quantile 0.9 and 0.999.
+    // Empirical log-slope of the histogram between quantile 0.9 and
+    // 0.9999 (the 0.999 quantile sits on a bin boundary here, so the
+    // window it spans depends on the pseudo-random stream).
     let lo = stats.hist.quantile(0.9).unwrap();
-    let hi = stats.hist.quantile(0.999).unwrap();
+    let hi = stats.hist.quantile(0.9999).unwrap();
     assert!(hi > lo + 3, "need a visible tail: {lo}..{hi}");
     let p_lo = stats.hist.pmf_at(lo);
     let p_hi = stats.hist.pmf_at(hi);
