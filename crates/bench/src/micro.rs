@@ -47,6 +47,10 @@ pub struct Record {
     pub mean_ns: f64,
     /// Optional throughput denominator: elements processed per iteration.
     pub elements_per_iter: Option<u64>,
+    /// Second optional throughput denominator: messages delivered per
+    /// iteration (simulator benches report both cycles/sec and
+    /// delivered-messages/sec).
+    pub messages_per_iter: Option<u64>,
 }
 
 impl Record {
@@ -55,6 +59,13 @@ impl Record {
     pub fn throughput_per_sec(&self) -> Option<f64> {
         self.elements_per_iter
             .map(|e| e as f64 / (self.median_ns * 1e-9))
+    }
+
+    /// Delivered messages per second implied by the median time, if a
+    /// message count was declared.
+    pub fn messages_per_sec(&self) -> Option<f64> {
+        self.messages_per_iter
+            .map(|m| m as f64 / (self.median_ns * 1e-9))
     }
 }
 
@@ -118,16 +129,35 @@ impl Suite {
 
     /// Times `f`, keeping its return value alive via [`black_box`].
     pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
-        self.run(name, None, f);
+        self.run(name, None, None, f);
     }
 
     /// Times `f` and reports throughput as `elements` per iteration
     /// (e.g. simulated cycles), alongside ns/iter.
     pub fn bench_throughput<T>(&mut self, name: &str, elements: u64, f: impl FnMut() -> T) {
-        self.run(name, Some(elements), f);
+        self.run(name, Some(elements), None, f);
     }
 
-    fn run<T>(&mut self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
+    /// Times `f` and reports two throughput rates: `elements` (e.g.
+    /// simulated cycles) and `messages` (e.g. delivered messages) per
+    /// iteration — the simulator's cycles/sec and messages/sec.
+    pub fn bench_throughput2<T>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        messages: u64,
+        f: impl FnMut() -> T,
+    ) {
+        self.run(name, Some(elements), Some(messages), f);
+    }
+
+    fn run<T>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        messages: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) {
         let iters = calibrate(&mut f);
 
         let warmup_start = Instant::now();
@@ -159,6 +189,7 @@ impl Suite {
             min_ns: min,
             mean_ns: mean,
             elements_per_iter: elements,
+            messages_per_iter: messages,
         };
         report_line(&record);
         self.records.push(record);
@@ -186,11 +217,20 @@ impl Suite {
                 Some(e) => e.to_string(),
                 None => "null".to_string(),
             };
+            let messages = match r.messages_per_iter {
+                Some(m) => m.to_string(),
+                None => "null".to_string(),
+            };
+            let msg_rate = match r.messages_per_sec() {
+                Some(t) => format!("{t:.1}"),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"iters_per_sample\": {}, \"samples\": {}, \
                  \"median_ns\": {:.3}, \"mad_ns\": {:.3}, \"min_ns\": {:.3}, \
                  \"mean_ns\": {:.3}, \"elements_per_iter\": {}, \
-                 \"elements_per_sec\": {}}}{}\n",
+                 \"elements_per_sec\": {}, \"messages_per_iter\": {}, \
+                 \"messages_per_sec\": {}}}{}\n",
                 escape(&r.name),
                 r.iters_per_sample,
                 r.samples,
@@ -200,6 +240,8 @@ impl Suite {
                 r.mean_ns,
                 elements,
                 throughput,
+                messages,
+                msg_rate,
                 sep,
             ));
         }
@@ -275,12 +317,16 @@ fn report_line(r: &Record) {
     } else {
         0.0
     };
-    match r.throughput_per_sec() {
-        Some(t) => eprintln!(
+    match (r.throughput_per_sec(), r.messages_per_sec()) {
+        (Some(t), Some(m)) => eprintln!(
+            "{:<40} {:>12.1} ns/iter (±{:.1}%)  {:>14.0} elem/s  {:>12.0} msg/s",
+            r.name, r.median_ns, spread, t, m
+        ),
+        (Some(t), None) => eprintln!(
             "{:<40} {:>12.1} ns/iter (±{:.1}%)  {:>14.0} elem/s",
             r.name, r.median_ns, spread, t
         ),
-        None => eprintln!(
+        _ => eprintln!(
             "{:<40} {:>12.1} ns/iter (±{:.1}%)",
             r.name, r.median_ns, spread
         ),
@@ -331,6 +377,25 @@ mod tests {
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn dual_throughput_recorded_and_serialized() {
+        let mut s = Suite::with_effort("unit", tiny());
+        s.bench_throughput2("sim", 3_000, 1_234, || black_box(1u64) + 1);
+        let r = &s.records()[0];
+        assert_eq!(r.elements_per_iter, Some(3_000));
+        assert_eq!(r.messages_per_iter, Some(1_234));
+        let cyc = r.throughput_per_sec().unwrap();
+        let msg = r.messages_per_sec().unwrap();
+        assert!((cyc / msg - 3_000.0 / 1_234.0).abs() < 1e-9);
+        let json = s.to_json();
+        assert!(json.contains("\"messages_per_iter\": 1234"));
+        assert!(json.contains("\"messages_per_sec\": "));
+        // Plain benches serialize nulls for the message fields.
+        let mut s2 = Suite::with_effort("unit2", tiny());
+        s2.bench("plain", || black_box(1u64));
+        assert!(s2.to_json().contains("\"messages_per_iter\": null"));
     }
 
     #[test]

@@ -59,14 +59,16 @@ pub fn simulator() -> std::path::PathBuf {
         (2, 6, 0.125, 4, "network_k2_n6_p0125_m4"),
     ] {
         let cycles = 3_000u64;
-        s.bench_throughput(label, cycles, move || {
-            let cfg = NetworkConfig {
-                warmup_cycles: 100,
-                measure_cycles: cycles,
-                ..NetworkConfig::new(k, n, Workload::uniform(p, m))
-            };
-            run_network(cfg).delivered
-        });
+        let mk = move || NetworkConfig {
+            warmup_cycles: 100,
+            measure_cycles: cycles,
+            ..NetworkConfig::new(k, n, Workload::uniform(p, m))
+        };
+        // The run is deterministic, so one probe run yields the exact
+        // delivered-message count every timed iteration will repeat —
+        // giving both cycles/sec and delivered-messages/sec.
+        let delivered = run_network(mk()).delivered;
+        s.bench_throughput2(label, cycles, delivered, move || run_network(mk()).delivered);
     }
 
     let cycles = 200_000u64;

@@ -36,4 +36,4 @@ pub use complex::Complex;
 pub use fft::{fft, ifft, next_pow2};
 pub use roots::{bisect, brent};
 pub use series::{kahan_sum, KahanSum};
-pub use special::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
+pub use special::{ln_beta, ln_gamma, reg_beta, reg_gamma_lower, reg_gamma_upper};

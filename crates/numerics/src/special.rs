@@ -138,6 +138,88 @@ fn gamma_cont_frac(a: f64, x: f64) -> f64 {
     ((a * x.ln() - x - ln_gamma(a)).exp() * h).min(1.0)
 }
 
+/// Natural logarithm of the (complete) beta function,
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a + b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive, got ({a}, {b})");
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` — the CDF of a
+/// Beta(a, b) random variable at `x`. Monotone from 0 to 1 in `x`, with
+/// the symmetry `I_x(a, b) = 1 − I_{1−x}(b, a)`.
+///
+/// Evaluated by the standard continued fraction (modified Lentz), using
+/// whichever of the two symmetric forms converges fast
+/// (`x < (a+1)/(a+b+2)` picks the direct one). This is the machinery
+/// behind the Student-t CDF used by the batch-means confidence
+/// intervals: `F_df(t) = 1 − ½ I_{df/(df+t²)}(df/2, ½)` for `t ≥ 0`.
+pub fn reg_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive, got ({a}, {b})");
+    assert!((0.0..=1.0).contains(&x), "argument must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cont_frac(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - ln_front.exp() * beta_cont_frac(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz),
+/// convergent for `x < (a+1)/(a+b+2)`.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
 /// Error function, via the incomplete gamma identity
 /// `erf(x) = P(1/2, x²)` for `x >= 0` (odd extension for `x < 0`).
 pub fn erf(x: f64) -> f64 {
@@ -264,6 +346,61 @@ mod tests {
             assert!((0.0..=1.0).contains(&p));
             prev = p;
         }
+    }
+
+    #[test]
+    fn beta_endpoints_and_symmetry() {
+        assert_eq!(reg_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_beta(2.0, 3.0, 1.0), 1.0);
+        for &(a, b) in &[(0.5f64, 0.5f64), (2.0, 3.0), (10.0, 0.5), (7.3, 7.3)] {
+            for i in 1..20 {
+                let x = i as f64 / 20.0;
+                let s = reg_beta(a, b, x) + reg_beta(b, a, 1.0 - x);
+                assert!((s - 1.0).abs() < 1e-12, "a={a} b={b} x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_uniform_special_case() {
+        // I_x(1, 1) = x.
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert!((reg_beta(1.0, 1.0, x) - x).abs() < 1e-13);
+        }
+        // I_x(1, b) = 1 − (1−x)^b, I_x(a, 1) = x^a.
+        for &x in &[0.1f64, 0.4, 0.9] {
+            assert!((reg_beta(1.0, 3.0, x) - (1.0 - (1.0 - x).powi(3))).abs() < 1e-12);
+            assert!((reg_beta(4.0, 1.0, x) - x.powi(4)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_half_half_is_arcsine() {
+        // I_x(1/2, 1/2) = (2/π) asin(√x).
+        for &x in &[0.05f64, 0.25, 0.5, 0.75, 0.95] {
+            let want = 2.0 / std::f64::consts::PI * x.sqrt().asin();
+            assert!((reg_beta(0.5, 0.5, x) - want).abs() < 1e-11, "x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_is_monotone_in_x() {
+        let mut prev = -1.0;
+        for i in 0..=400 {
+            let x = i as f64 / 400.0;
+            let v = reg_beta(3.7, 1.9, x);
+            assert!(v >= prev - 1e-15);
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ln_beta_matches_integer_values() {
+        // B(a, b) = (a−1)!(b−1)!/(a+b−1)! for integers: B(3, 4) = 1/60.
+        assert!((ln_beta(3.0, 4.0) - (1.0f64 / 60.0).ln()).abs() < 1e-12);
+        assert!((ln_beta(1.0, 1.0)).abs() < 1e-13);
     }
 
     #[test]

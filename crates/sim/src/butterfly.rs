@@ -67,6 +67,38 @@ impl ButterflyTopology {
         (wire as i64 + (want as i64 - own as i64) * w as i64) as u64
     }
 
+    /// Like [`next_wire`](Self::next_wire), but takes the destination
+    /// *digit* directly instead of extracting it from a full address —
+    /// the form the simulator uses once digits are precomputed at
+    /// injection.
+    pub fn next_wire_for_digit(&self, stage: u32, wire: u64, digit: u32) -> u64 {
+        debug_assert!((1..=self.stages).contains(&stage));
+        debug_assert!(wire < self.size && digit < self.k);
+        let w = self.digit_weight(stage);
+        let own = (wire / w) % self.k as u64;
+        (wire as i64 + (digit as i64 - own as i64) * w as i64) as u64
+    }
+
+    /// Full `stage × wire × digit` next-wire table, laid out
+    /// `table[(stage0 * ports + wire) * k + digit]` with `stage0`
+    /// 0-indexed. Wires fit in `u32` (`N ≤ 2^24` by construction).
+    pub fn routing_table(&self) -> Vec<u32> {
+        let ports = self.size as usize;
+        let k = self.k as usize;
+        let mut table = vec![0u32; self.stages as usize * ports * k];
+        for stage0 in 0..self.stages as usize {
+            for wire in 0..ports {
+                let base = (stage0 * ports + wire) * k;
+                for digit in 0..k {
+                    table[base + digit] =
+                        self.next_wire_for_digit(stage0 as u32 + 1, wire as u64, digit as u32)
+                            as u32;
+                }
+            }
+        }
+        table
+    }
+
     /// The full output-wire path from `input` to `dest`.
     pub fn path(&self, input: u64, dest: u64) -> Vec<u64> {
         let mut wire = input;
@@ -134,6 +166,27 @@ mod tests {
                 }
             }
             assert!(counts.iter().all(|&c| c == 8), "stage {stage_idx}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn routing_table_reproduces_next_wire() {
+        for &(k, n) in &[(2u32, 4u32), (4, 2), (3, 3)] {
+            let t = ButterflyTopology::new(k, n);
+            let table = t.routing_table();
+            let ports = t.ports() as usize;
+            for stage in 1..=n {
+                for wire in 0..t.ports() {
+                    for dest in 0..t.ports() {
+                        let expect = t.next_wire(stage, wire, dest);
+                        let digit = (dest / t.digit_weight(stage)) % k as u64;
+                        let idx = (((stage - 1) as usize * ports + wire as usize) * k as usize)
+                            + digit as usize;
+                        assert_eq!(table[idx] as u64, expect);
+                        assert_eq!(t.next_wire_for_digit(stage, wire, digit as u32), expect);
+                    }
+                }
+            }
         }
     }
 

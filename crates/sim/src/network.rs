@@ -19,17 +19,45 @@
 //! only from messages injected during the measure window, and injection
 //! continues (untracked) during the drain so late tracked messages still
 //! experience steady-state congestion.
+//!
+//! # Hot-path layout
+//!
+//! The inner loop is allocation-free in steady state (see DESIGN.md,
+//! "Hot-path architecture"):
+//!
+//! * messages live in a **slab** with a freelist and move between ports
+//!   as `u32` ids threaded through an intrusive `next` link — no struct
+//!   is copied per hop and no per-port deque exists,
+//! * per-stage **active bitsets** mark non-empty queues: serving a stage
+//!   scans set bits from least to most significant, which is the
+//!   required ascending-wire order with no sorting and no per-cycle
+//!   buffer shuffling at all,
+//! * routing is a **precomputed table lookup**: the omega shuffle
+//!   collapses to a per-wire switch base ([`OmegaTopology::switch_bases`])
+//!   and the butterfly to a stage × wire × digit table
+//!   ([`ButterflyTopology::routing_table`]); destination digits are
+//!   extracted once at injection, so no per-hop shuffle or `pow`
+//!   arithmetic remains.
 
 use crate::butterfly::ButterflyTopology;
 use crate::topology::OmegaTopology;
 use crate::traffic::Workload;
-use banyan_stats::{CorrelationMatrix, IntHistogram, OnlineStats};
 use banyan_prng::rngs::SmallRng;
-use banyan_prng::SeedableRng;
-use std::collections::VecDeque;
+use banyan_prng::{Rng, SeedableRng};
+use banyan_stats::{CorrelationMatrix, IntHistogram, OnlineStats};
 
 /// Hard cap on stages (fixed-size per-message wait record).
 pub const MAX_STAGES: usize = 16;
+
+/// Sentinel id: empty queue head/tail, end of a FIFO chain.
+const NIL: u32 = u32::MAX;
+
+/// Largest butterfly routing table we materialize (entries). Beyond this
+/// the simulator falls back to per-hop digit arithmetic — same wires,
+/// same dynamics, just not table-driven. (`stages × ports × k` exceeds
+/// this only for configurations whose queue array alone dwarfs the
+/// table, so the cap is a safety valve, not a tuning knob.)
+const MAX_ROUTE_TABLE_ENTRIES: u64 = 1 << 27;
 
 /// How messages choose switch outputs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,8 +144,8 @@ impl NetworkConfig {
 }
 
 /// Aggregated simulation output (all statistics refer to *tracked*
-/// messages — those injected inside the measure window — except
-/// `injected_total`).
+/// messages — those injected inside the measure window — except the
+/// `*_total` counters and `in_flight_at_end`).
 #[derive(Clone, Debug)]
 pub struct NetworkStats {
     /// Per-stage waiting-time statistics, index 0 = stage 1.
@@ -136,9 +164,17 @@ pub struct NetworkStats {
     pub delivered: u64,
     /// All messages injected, tracked or not.
     pub injected_total: u64,
+    /// All messages delivered, tracked or not. Together with
+    /// `in_flight_at_end` this closes the conservation ledger:
+    /// `injected_total == delivered_total + in_flight_at_end`.
+    pub delivered_total: u64,
     /// Injection attempts rejected because the first-stage buffer was
-    /// full (always 0 with infinite buffers), tracked or not.
+    /// full (always 0 with infinite buffers), tracked or not. Rejected
+    /// attempts are *not* counted in `injected_total`.
     pub rejected_total: u64,
+    /// Messages (necessarily untracked — the drain runs until every
+    /// tracked message is delivered) still queued when the run ended.
+    pub in_flight_at_end: u64,
     /// Cycles actually simulated (including warmup and drain).
     pub cycles: u64,
 }
@@ -159,7 +195,9 @@ impl NetworkStats {
             injected: 0,
             delivered: 0,
             injected_total: 0,
+            delivered_total: 0,
             rejected_total: 0,
+            in_flight_at_end: 0,
             cycles: 0,
         }
     }
@@ -193,41 +231,128 @@ impl NetworkStats {
         self.injected += other.injected;
         self.delivered += other.delivered;
         self.injected_total += other.injected_total;
+        self.delivered_total += other.delivered_total;
         self.rejected_total += other.rejected_total;
+        self.in_flight_at_end += other.in_flight_at_end;
         self.cycles += other.cycles;
     }
 }
 
+/// One slab entry. Messages never move: ports enqueue their ids and the
+/// `next` link threads each port's FIFO through the slab.
 #[derive(Clone, Debug)]
-struct Message {
-    dest: u64,
-    size: u32,
+struct Slot {
     /// Cycle at which the head packet arrived at the current queue.
     entered: u64,
+    /// Next message id in the same port FIFO (`NIL` at the tail).
+    next: u32,
+    size: u32,
     tracked: bool,
+    /// Base-`k` destination digits, MSB first: `digits[i]` is consumed
+    /// when leaving toward stage `i + 1`'s queue. Unused (stale) in
+    /// random-digit mode, which draws a fresh digit per hop.
+    digits: [u32; MAX_STAGES],
     waits: [u32; MAX_STAGES],
 }
 
-#[derive(Clone, Debug, Default)]
+/// One output port: an intrusive FIFO of slab ids plus the server state.
+#[derive(Clone, Copy, Debug)]
 struct PortQueue {
-    fifo: VecDeque<Message>,
+    head: u32,
+    tail: u32,
+    len: u32,
     /// Earliest cycle at which the server may start a new service.
     busy_until: u64,
+}
+
+impl Default for PortQueue {
+    fn default() -> Self {
+        PortQueue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            busy_until: 0,
+        }
+    }
+}
+
+#[inline]
+fn fifo_push_back(queues: &mut [PortQueue], slab: &mut [Slot], qidx: usize, id: u32) {
+    slab[id as usize].next = NIL;
+    let q = &mut queues[qidx];
+    if q.tail == NIL {
+        q.head = id;
+    } else {
+        slab[q.tail as usize].next = id;
+    }
+    q.tail = id;
+    q.len += 1;
+}
+
+/// Unlinks the head (caller guarantees the queue is non-empty).
+#[inline]
+fn fifo_pop_front(queues: &mut [PortQueue], slab: &[Slot], qidx: usize) -> u32 {
+    let q = &mut queues[qidx];
+    let id = q.head;
+    debug_assert_ne!(id, NIL, "pop from empty port queue");
+    q.head = slab[id as usize].next;
+    if q.head == NIL {
+        q.tail = NIL;
+    }
+    q.len -= 1;
+    id
+}
+
+/// Precomputed next-wire routing. All variants produce bit-identical
+/// wires to the direct topology arithmetic they replace.
+enum Router {
+    /// Omega wiring (banyan and random-digit modes): the shuffle is
+    /// stage-independent, so the whole table collapses to a per-wire
+    /// switch base — `next = base[wire] + digit`.
+    OmegaBase(Vec<u32>),
+    /// Butterfly wiring: full `stage × wire × digit` lookup table.
+    ButterflyTable(Vec<u32>),
+    /// Butterfly wiring too large to tabulate: per-hop digit arithmetic.
+    ButterflyArith(ButterflyTopology),
+}
+
+impl Router {
+    /// Output wire for a message on `wire` entering stage `s0 + 1`
+    /// (0-indexed stage), heading for destination digit `digit`.
+    #[inline]
+    fn next(&self, s0: usize, ports: usize, k: usize, wire: usize, digit: usize) -> usize {
+        match self {
+            Router::OmegaBase(base) => base[wire] as usize + digit,
+            Router::ButterflyTable(table) => table[(s0 * ports + wire) * k + digit] as usize,
+            Router::ButterflyArith(b) => {
+                b.next_wire_for_digit(s0 as u32 + 1, wire as u64, digit as u32) as usize
+            }
+        }
+    }
 }
 
 /// The simulator itself. Construct with [`NetworkSim::new`], run to
 /// completion with [`NetworkSim::run`].
 pub struct NetworkSim {
     topo: OmegaTopology,
-    butterfly: Option<ButterflyTopology>,
     cfg: NetworkConfig,
+    ports: usize,
+    k: usize,
     /// `queues[(stage-1) * ports + wire]`.
     queues: Vec<PortQueue>,
-    /// Per-stage list of wires whose queue may be non-empty (lazily
-    /// pruned) — the serve() work list.
-    active: Vec<Vec<u64>>,
-    /// Membership flags for `active`, indexed like `queues`.
-    in_active: Vec<bool>,
+    /// Message slab; `free` holds ids available for reuse.
+    slab: Vec<Slot>,
+    free: Vec<u32>,
+    router: Router,
+    /// Per-stage bitset of wires whose queue is non-empty — the serve()
+    /// work list. Stage `s` (0-based) owns words
+    /// `active[s * active_words .. (s + 1) * active_words]`; wire `w`
+    /// maps to bit `w % 64` of word `w / 64`. Iterating set bits low to
+    /// high visits wires in ascending order with no sorting, which is
+    /// exactly the order the determinism contract requires.
+    active: Vec<u64>,
+    /// Words per stage in `active`: `ports.div_ceil(64)`.
+    active_words: usize,
     rng: SmallRng,
     now: u64,
     tracked_in_flight: u64,
@@ -248,8 +373,6 @@ impl NetworkSim {
         if let Some(cap) = cfg.buffer_capacity {
             assert!(cap >= 1, "buffer capacity must be at least 1 message");
         }
-        let butterfly = matches!(cfg.routing, Routing::Butterfly)
-            .then(|| ButterflyTopology::new(cfg.k, cfg.stages));
         let topo = match cfg.routing {
             Routing::Banyan | Routing::Butterfly => OmegaTopology::new(cfg.k, cfg.stages),
             Routing::RandomDigit { width_log_k } => {
@@ -260,14 +383,31 @@ impl NetworkSim {
                 OmegaTopology::new(cfg.k, width_log_k)
             }
         };
-        let total_queues = (topo.ports() * cfg.stages as u64) as usize;
+        let router = match cfg.routing {
+            Routing::Banyan | Routing::RandomDigit { .. } => Router::OmegaBase(topo.switch_bases()),
+            Routing::Butterfly => {
+                let b = ButterflyTopology::new(cfg.k, cfg.stages);
+                let entries = cfg.stages as u64 * b.ports() * cfg.k as u64;
+                if entries <= MAX_ROUTE_TABLE_ENTRIES {
+                    Router::ButterflyTable(b.routing_table())
+                } else {
+                    Router::ButterflyArith(b)
+                }
+            }
+        };
+        let ports = topo.ports() as usize;
+        let total_queues = ports * cfg.stages as usize;
         NetworkSim {
             topo,
-            butterfly,
             rng: SmallRng::seed_from_u64(cfg.seed),
+            ports,
+            k: cfg.k as usize,
             queues: vec![PortQueue::default(); total_queues],
-            active: vec![Vec::new(); cfg.stages as usize],
-            in_active: vec![false; total_queues],
+            slab: Vec::new(),
+            free: Vec::new(),
+            router,
+            active: vec![0u64; ports.div_ceil(64) * cfg.stages as usize],
+            active_words: ports.div_ceil(64),
             now: 0,
             tracked_in_flight: 0,
             stats: NetworkStats::new(
@@ -284,43 +424,69 @@ impl NetworkSim {
         &self.topo
     }
 
+    /// Allocates a slab slot (reusing the freelist) and returns its id.
     #[inline]
-    fn queue_index(&self, stage: u32, wire: u64) -> usize {
-        ((stage as u64 - 1) * self.topo.ports() + wire) as usize
-    }
-
-    /// Output wire taken by a message on `wire` entering `stage`.
-    #[inline]
-    fn route(&mut self, stage: u32, wire: u64, dest: u64) -> u64 {
-        match self.cfg.routing {
-            Routing::Banyan => self.topo.next_wire(stage, wire, dest),
-            Routing::Butterfly => self
-                .butterfly
-                .as_ref()
-                .expect("butterfly topology constructed in new()")
-                .next_wire(stage, wire, dest),
-            Routing::RandomDigit { .. } => {
-                use banyan_prng::Rng;
-                let shuffled = self.topo.shuffle(wire);
-                let base = shuffled - shuffled % self.cfg.k as u64;
-                base + self.rng.gen_range(0..self.cfg.k as u64)
+    fn alloc_slot(&mut self, entered: u64, size: u32, tracked: bool, digits: [u32; MAX_STAGES]) -> u32 {
+        let slot = Slot {
+            entered,
+            next: NIL,
+            size,
+            tracked,
+            digits,
+            waits: [0; MAX_STAGES],
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = slot;
+                id
+            }
+            None => {
+                debug_assert!(self.slab.len() < NIL as usize, "slab id overflow");
+                self.slab.push(slot);
+                (self.slab.len() - 1) as u32
             }
         }
     }
 
+    /// Extracts the base-`k` destination digits, MSB first.
+    #[inline]
+    fn dest_digits(&self, dest: u64) -> [u32; MAX_STAGES] {
+        let mut digits = [0u32; MAX_STAGES];
+        let k = self.cfg.k as u64;
+        let mut rem = dest;
+        for d in digits[..self.cfg.stages as usize].iter_mut().rev() {
+            *d = (rem % k) as u32;
+            rem /= k;
+        }
+        digits
+    }
+
     /// Injects this cycle's fresh arrivals into the first-stage queues.
     fn inject(&mut self, tracked_window: bool) {
-        let ports = self.topo.ports();
+        let ports = self.ports;
+        let random_digit = matches!(self.cfg.routing, Routing::RandomDigit { .. });
         for input in 0..ports {
             if let Some((dest, size)) =
                 self.cfg
                     .workload
-                    .sample_arrival(&mut self.rng, input, ports)
+                    .sample_arrival(&mut self.rng, input as u64, ports as u64)
             {
-                let wire = self.route(1, input, dest);
-                let idx = self.queue_index(1, wire);
+                // Routing happens before the capacity check, and in
+                // random-digit mode draws from the RNG — both facts are
+                // part of the determinism contract.
+                let (digits, digit0) = if random_digit {
+                    (
+                        [0u32; MAX_STAGES],
+                        self.rng.gen_range(0..self.cfg.k as u64) as usize,
+                    )
+                } else {
+                    let digits = self.dest_digits(dest);
+                    let d0 = digits[0] as usize;
+                    (digits, d0)
+                };
+                let wire = self.router.next(0, ports, self.k, input, digit0);
                 if let Some(cap) = self.cfg.buffer_capacity {
-                    if self.queues[idx].fifo.len() >= cap {
+                    if self.queues[wire].len as usize >= cap {
                         self.stats.rejected_total += 1;
                         continue;
                     }
@@ -330,14 +496,9 @@ impl NetworkSim {
                     self.stats.injected += 1;
                     self.tracked_in_flight += 1;
                 }
-                self.queues[idx].fifo.push_back(Message {
-                    dest,
-                    size,
-                    entered: self.now,
-                    tracked: tracked_window,
-                    waits: [0; MAX_STAGES],
-                });
-                self.activate(1, wire);
+                let id = self.alloc_slot(self.now, size, tracked_window, digits);
+                fifo_push_back(&mut self.queues, &mut self.slab, wire, id);
+                self.active[wire / 64] |= 1u64 << (wire % 64);
             }
         }
     }
@@ -348,88 +509,91 @@ impl NetworkSim {
     /// from stage `i` this cycle is stamped `entered = now + 1` and is
     /// therefore ineligible at stage `i + 1` until the next cycle.
     ///
-    /// Only queues on the stage's **active list** (non-empty fifo, lazily
-    /// pruned) are visited, so a lightly loaded network costs
-    /// O(messages) per cycle instead of O(ports × stages). The list is
-    /// taken out before iteration so forwards can grow the *next* stage's
-    /// list, and is **sorted by wire** first: same-cycle arrivals at a
-    /// downstream queue must enqueue in ascending-wire order so the
-    /// dynamics are bit-identical to a full ascending scan. (The
-    /// tie-break is not cosmetic — a sticky arbitrary order measurably
-    /// *decorrelates* consecutive-stage waits and would shift Table VI.)
+    /// Only queues in the stage's **active bitset** (non-empty fifo) are
+    /// visited, so a lightly loaded network costs O(messages + words)
+    /// per cycle instead of O(ports × stages). Scanning each word's set
+    /// bits from least to most significant visits wires in **ascending
+    /// order for free**: same-cycle arrivals at a downstream queue must
+    /// enqueue in ascending-wire order so the dynamics are bit-identical
+    /// to a full ascending scan. (The tie-break is not cosmetic — a
+    /// sticky arbitrary order measurably *decorrelates* consecutive-stage
+    /// waits and would shift Table VI.) Forwards only ever set bits in
+    /// the *next* stage's words and a wire's own bit is cleared only
+    /// after its local word copy already consumed it, so iterating a
+    /// snapshot of each word is race-free.
     fn serve(&mut self) {
-        let ports = self.topo.ports();
-        let stages = self.cfg.stages;
+        let stages = self.cfg.stages as usize;
+        let ports = self.ports;
+        let k = self.k;
+        let now = self.now;
+        let cap = self.cfg.buffer_capacity;
+        let random_digit = matches!(self.cfg.routing, Routing::RandomDigit { .. });
+        let words = self.active_words;
         for stage in 1..=stages {
-            let mut list = std::mem::take(&mut self.active[stage as usize - 1]);
-            list.sort_unstable();
-            let mut retained = Vec::with_capacity(list.len());
-            for wire in list {
-                let idx = self.queue_index(stage, wire);
-                let q = &mut self.queues[idx];
-                if q.fifo.is_empty() {
-                    // Lazily drop emptied queues from the active list.
-                    self.in_active[idx] = false;
-                    continue;
-                }
-                if q.busy_until > self.now {
-                    retained.push(wire);
-                    continue;
-                }
-                let eligible = matches!(q.fifo.front(), Some(head) if head.entered <= self.now);
-                if !eligible {
-                    retained.push(wire);
-                    continue;
-                }
-                let mut msg = q.fifo.pop_front().expect("checked non-empty");
-                if stage < stages {
-                    let next = self.route(stage + 1, wire, msg.dest);
-                    let nidx = self.queue_index(stage + 1, next);
-                    if let Some(cap) = self.cfg.buffer_capacity {
-                        // Store-and-forward blocking: hold the message at
-                        // the head until the downstream buffer has room.
-                        if self.queues[nidx].fifo.len() >= cap {
-                            self.queues[idx].fifo.push_front(msg);
-                            retained.push(wire);
-                            continue;
-                        }
+            let base = (stage - 1) * words;
+            for wi in 0..words {
+                let mut word = self.active[base + wi];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let wire = wi * 64 + bit;
+                    let qidx = (stage - 1) * ports + wire;
+                    let head = self.queues[qidx].head;
+                    if head == NIL {
+                        // A set bit always marks a non-empty queue; keep
+                        // the clear as a cheap defensive prune anyway.
+                        self.active[base + wi] &= !(1u64 << bit);
+                        continue;
                     }
-                    let q = &mut self.queues[idx];
-                    q.busy_until = self.now + msg.size as u64;
-                    msg.waits[stage as usize - 1] = (self.now - msg.entered) as u32;
-                    msg.entered = self.now + 1;
-                    self.queues[nidx].fifo.push_back(msg);
-                    self.activate(stage + 1, next);
-                } else {
-                    q.busy_until = self.now + msg.size as u64;
-                    msg.waits[stage as usize - 1] = (self.now - msg.entered) as u32;
-                    self.deliver(msg);
-                }
-                let idx = self.queue_index(stage, wire);
-                if self.queues[idx].fifo.is_empty() {
-                    self.in_active[idx] = false;
-                } else {
-                    retained.push(wire);
+                    if self.queues[qidx].busy_until > now
+                        || self.slab[head as usize].entered > now
+                    {
+                        continue;
+                    }
+                    let hid = head as usize;
+                    if stage < stages {
+                        let digit = if random_digit {
+                            self.rng.gen_range(0..self.cfg.k as u64) as usize
+                        } else {
+                            self.slab[hid].digits[stage] as usize
+                        };
+                        let next = self.router.next(stage, ports, k, wire, digit);
+                        let nidx = stage * ports + next;
+                        if let Some(cap) = cap {
+                            // Store-and-forward blocking: the head stays
+                            // queued (no pop ever happened) until the
+                            // downstream buffer has room.
+                            if self.queues[nidx].len as usize >= cap {
+                                continue;
+                            }
+                        }
+                        fifo_pop_front(&mut self.queues, &self.slab, qidx);
+                        self.queues[qidx].busy_until = now + self.slab[hid].size as u64;
+                        self.slab[hid].waits[stage - 1] = (now - self.slab[hid].entered) as u32;
+                        self.slab[hid].entered = now + 1;
+                        fifo_push_back(&mut self.queues, &mut self.slab, nidx, head);
+                        self.active[stage * words + next / 64] |= 1u64 << (next % 64);
+                    } else {
+                        fifo_pop_front(&mut self.queues, &self.slab, qidx);
+                        self.queues[qidx].busy_until = now + self.slab[hid].size as u64;
+                        self.slab[hid].waits[stage - 1] = (now - self.slab[hid].entered) as u32;
+                        self.deliver(head);
+                    }
+                    if self.queues[qidx].head == NIL {
+                        self.active[base + wi] &= !(1u64 << bit);
+                    }
                 }
             }
-            debug_assert!(retained.iter().all(|&w| w < ports));
-            self.active[stage as usize - 1] = retained;
-        }
-    }
-
-    /// Puts a queue on its stage's active list (idempotent).
-    #[inline]
-    fn activate(&mut self, stage: u32, wire: u64) {
-        let idx = self.queue_index(stage, wire);
-        if !self.in_active[idx] {
-            self.in_active[idx] = true;
-            self.active[stage as usize - 1].push(wire);
         }
     }
 
     /// Records statistics for a message whose final-stage service just
-    /// started (all per-stage waits are known at that point).
-    fn deliver(&mut self, msg: Message) {
+    /// started (all per-stage waits are known at that point) and returns
+    /// its slab slot to the freelist.
+    fn deliver(&mut self, id: u32) {
+        self.stats.delivered_total += 1;
+        self.free.push(id);
+        let msg = &self.slab[id as usize];
         if !msg.tracked {
             return;
         }
@@ -466,7 +630,7 @@ impl NetworkSim {
 
     /// Number of messages currently queued anywhere in the network.
     pub fn in_flight(&self) -> usize {
-        self.queues.iter().map(|q| q.fifo.len()).sum()
+        self.queues.iter().map(|q| q.len as usize).sum()
     }
 
     /// Runs the full warmup → measure → drain protocol and returns the
@@ -497,6 +661,7 @@ impl NetworkSim {
             );
         }
         self.stats.cycles = self.now;
+        self.stats.in_flight_at_end = self.in_flight() as u64;
         self.stats
     }
 }
@@ -626,6 +791,14 @@ mod tests {
         merged.merge(&b);
         assert_eq!(merged.delivered, a.delivered + b.delivered);
         assert_eq!(merged.total_hist.total(), a.total_hist.total() + b.total_hist.total());
+        assert_eq!(
+            merged.delivered_total,
+            a.delivered_total + b.delivered_total
+        );
+        assert_eq!(
+            merged.in_flight_at_end,
+            a.in_flight_at_end + b.in_flight_at_end
+        );
     }
 
     #[test]
@@ -670,6 +843,27 @@ mod tests {
     fn infinite_buffers_never_reject() {
         let stats = run_network(quick_cfg(2, 4, 0.8, 1));
         assert_eq!(stats.rejected_total, 0);
+    }
+
+    #[test]
+    fn message_conservation_ledger_closes() {
+        // injected_total = delivered_total + in_flight_at_end, with and
+        // without finite buffers (rejections are counted separately and
+        // never enter injected_total).
+        for cap in [None, Some(16), Some(2), Some(1)] {
+            let mut cfg = quick_cfg(2, 4, 0.7, 1);
+            cfg.buffer_capacity = cap;
+            let stats = run_network(cfg);
+            assert_eq!(
+                stats.injected_total,
+                stats.delivered_total + stats.in_flight_at_end,
+                "cap {cap:?}"
+            );
+            assert!(stats.delivered_total >= stats.delivered);
+            if cap.is_none() {
+                assert_eq!(stats.rejected_total, 0);
+            }
+        }
     }
 
     #[test]
@@ -719,6 +913,72 @@ mod tests {
             let stats = run_network(cfg);
             assert_eq!(stats.injected, stats.delivered, "p={p}");
         }
+    }
+
+    /// White-box store-and-forward regression: a head message blocked by
+    /// a full downstream buffer must keep accumulating waiting cycles,
+    /// must not be reordered past its queue-mates, and the stalled cycles
+    /// must show up in its recorded per-stage wait.
+    #[test]
+    fn blocked_head_keeps_waiting_and_fifo_order() {
+        let mut cfg = quick_cfg(2, 2, 0.0, 1);
+        cfg.buffer_capacity = Some(1);
+        let mut sim = NetworkSim::new(cfg);
+
+        // Hand-build the scenario at cycle 0. Wire layout (k=2, n=2,
+        // omega): a stage-1 message on output wire 0 with destination
+        // digit 0 for stage 2 forwards to stage-2 wire 0.
+        let blocker = sim.alloc_slot(0, 1, true, sim.dest_digits(0));
+        let ports = sim.ports;
+        fifo_push_back(&mut sim.queues, &mut sim.slab, ports, blocker); // stage-2 wire 0
+        sim.queues[ports].busy_until = 3; // server busy through cycle 2
+        sim.active[sim.active_words] |= 1; // stage-2 wire 0 active
+
+        let first = sim.alloc_slot(0, 1, true, sim.dest_digits(0));
+        let second = sim.alloc_slot(0, 1, true, sim.dest_digits(0));
+        fifo_push_back(&mut sim.queues, &mut sim.slab, 0, first); // stage-1 wire 0
+        fifo_push_back(&mut sim.queues, &mut sim.slab, 0, second);
+        sim.active[0] |= 1; // stage-1 wire 0 active
+        sim.tracked_in_flight = 3;
+        sim.stats.injected = 3;
+        sim.stats.injected_total = 3;
+
+        // Cycles 0–2: downstream full (capacity 1, blocker queued) or
+        // busy — the head must stay put, in order, unserved.
+        for cycle in 0..3u64 {
+            sim.serve();
+            sim.now += 1;
+            assert_eq!(sim.queues[0].head, first, "cycle {cycle}: head reordered");
+            assert_eq!(sim.queues[0].len, 2, "cycle {cycle}: queue drained early");
+        }
+        // Cycle 3: blocker's server freed; blocker (stage 2 = last
+        // stage) departs, and `first` forwards in the same cycle (stage
+        // order runs 1 then 2, so stage 1 sees the still-full buffer) —
+        // no: stage 1 is served *before* stage 2, so `first` is still
+        // blocked this cycle and forwards on cycle 4.
+        sim.serve();
+        sim.now += 1;
+        assert_eq!(sim.queues[0].head, first);
+        assert_eq!(sim.stats.delivered, 1, "blocker delivered");
+        // Cycle 4: downstream now empty; `first` forwards with its full
+        // stage-1 wait on record. It waited cycles 0..4 ⇒ wait = 4.
+        sim.serve();
+        sim.now += 1;
+        assert_eq!(sim.queues[0].head, second, "FIFO order violated");
+        assert_eq!(sim.slab[first as usize].waits[0], 4, "blocked cycles lost");
+        // Cycle 5: stage 1 runs before stage 2, so `second` still sees a
+        // full downstream buffer and stays blocked; `first` is delivered
+        // at stage 2 (entered cycle 5, served cycle 5 ⇒ stage-2 wait 0).
+        sim.serve();
+        sim.now += 1;
+        assert_eq!(sim.queues[0].head, second, "second served early");
+        assert_eq!(sim.stats.delivered, 2);
+        assert_eq!(sim.slab[first as usize].waits[1], 0);
+        // Cycle 6: downstream finally empty; `second` forwards having
+        // waited cycles 0..6 ⇒ wait = 6, all blocked cycles on record.
+        sim.serve();
+        sim.now += 1;
+        assert_eq!(sim.slab[second as usize].waits[0], 6);
     }
 
     #[test]
@@ -777,6 +1037,26 @@ mod tests {
         }
         assert!((a.total_wait.mean() - b.total_wait.mean()).abs() < 0.05);
         assert_eq!(b.injected, b.delivered);
+    }
+
+    #[test]
+    fn butterfly_table_and_arithmetic_agree() {
+        // The tabulated router and the arithmetic fallback must produce
+        // bit-identical dynamics (the fallback only triggers for
+        // enormous networks, so force both paths here).
+        let mut cfg = quick_cfg(2, 5, 0.5, 1);
+        cfg.routing = Routing::Butterfly;
+        let tabled = run_network(cfg.clone());
+        let mut sim = NetworkSim::new(cfg);
+        sim.router = Router::ButterflyArith(ButterflyTopology::new(2, 5));
+        let arith = sim.run();
+        assert_eq!(tabled.injected, arith.injected);
+        assert_eq!(tabled.total_wait.mean(), arith.total_wait.mean());
+        assert_eq!(tabled.total_wait.variance(), arith.total_wait.variance());
+        assert_eq!(
+            tabled.stage_waits[2].mean().to_bits(),
+            arith.stage_waits[2].mean().to_bits()
+        );
     }
 
     #[test]

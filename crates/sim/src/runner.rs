@@ -56,22 +56,42 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
     acc
 }
 
-/// Runs `reps` independent replications of a single-queue simulation and
-/// merges them (single-threaded; queue sims are cheap). Seeds follow
-/// the same `base + i` scheme as [`run_network_replicated`].
-pub fn run_queue_replicated(cfg: &QueueConfig, reps: u32) -> QueueStats {
+/// Runs `reps` independent replications of a single-queue simulation on
+/// up to `threads` worker threads and merges them. Seeds follow the same
+/// `base + i` scheme as [`run_network_replicated`], and the merge always
+/// proceeds in replication order — `QueueStats::merge` averages
+/// utilization/idle/autocorrelation pairwise, so an out-of-order (tree)
+/// merge would *not* be bit-identical; collecting partials into ordered
+/// slots first keeps the result independent of `threads`.
+///
+/// # Panics
+/// Panics if `reps == 0`, or if a worker's simulation panics.
+pub fn run_queue_replicated(cfg: &QueueConfig, reps: u32, threads: usize) -> QueueStats {
     assert!(reps > 0, "need at least one replication");
-    let mut acc: Option<QueueStats> = None;
-    for i in 0..reps {
-        let mut c = cfg.clone();
-        c.seed = cfg.seed.wrapping_add(i as u64);
-        let s = run_queue(&c);
-        match &mut acc {
-            None => acc = Some(s),
-            Some(a) => a.merge(&s),
+    let reps = reps as usize;
+    let threads = threads.clamp(1, reps);
+    let chunk_len = reps.div_ceil(threads);
+    let mut partials: Vec<Option<QueueStats>> = vec![None; reps];
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in partials.chunks_mut(chunk_len).enumerate() {
+            let base = chunk_idx * chunk_len;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let mut c = cfg.clone();
+                    c.seed = cfg.seed.wrapping_add((base + off) as u64);
+                    *slot = Some(run_queue(&c));
+                }
+            });
         }
+    });
+    let mut iter = partials
+        .into_iter()
+        .map(|s| s.expect("scope joined every worker"));
+    let mut acc = iter.next().expect("reps > 0");
+    for s in iter {
+        acc.merge(&s);
     }
-    acc.expect("reps > 0")
+    acc
 }
 
 #[cfg(test)]
@@ -166,6 +186,39 @@ mod tests {
         assert_eq!(a.stage_waits[0].variance(), c.stage_waits[0].variance());
         assert_eq!(a.total_wait.mean(), c.total_wait.mean());
         assert_eq!(a.delivered, c.delivered);
+        // Pinned bits, captured before the zero-allocation hot-path
+        // refactor: any drift in RNG draw order, enqueue order, or wait
+        // accounting changes these and fails loudly. (The float values
+        // are 0.24908417284156228 and 0.256019684114666.)
+        assert_eq!(a.stage_waits[0].mean().to_bits(), 0x3fcfe1fd7c2721e1);
+        assert_eq!(a.stage_waits[0].variance().to_bits(), 0x3fd062a06299e748);
+        assert_eq!(a.total_wait.mean(), 0.8211223045541591);
+        assert_eq!(a.delivered, 48_044);
+        assert_eq!(a.injected_total, 52_928);
+    }
+
+    #[test]
+    fn queue_replication_bit_identical_across_thread_counts() {
+        // Same contract as the network path: QueueStats::merge is
+        // order-dependent (pairwise averaging), so the sharded version
+        // must merge in replication order regardless of thread count.
+        let cfg = QueueConfig {
+            warmup_cycles: 200,
+            measure_cycles: 10_000,
+            ..QueueConfig::new(
+                ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.6 },
+                ServiceDist::Constant(1),
+            )
+        };
+        let base = run_queue_replicated(&cfg, 5, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let t = run_queue_replicated(&cfg, 5, threads);
+            assert_eq!(t.wait.count(), base.wait.count(), "threads = {threads}");
+            assert_eq!(t.wait.mean().to_bits(), base.wait.mean().to_bits());
+            assert_eq!(t.wait.variance().to_bits(), base.wait.variance().to_bits());
+            assert_eq!(t.utilization.to_bits(), base.utilization.to_bits());
+            assert_eq!(t.idle_fraction.to_bits(), base.idle_fraction.to_bits());
+        }
     }
 
     #[test]
@@ -179,7 +232,7 @@ mod tests {
             )
         };
         let one = run_queue(&cfg);
-        let four = run_queue_replicated(&cfg, 4);
+        let four = run_queue_replicated(&cfg, 4, 2);
         assert!(four.wait.count() > 3 * one.wait.count());
         assert!((four.wait.mean() - 0.25).abs() < 0.05);
     }
@@ -191,7 +244,7 @@ mod tests {
             ArrivalDist::Tabulated(vec![1.0]),
             ServiceDist::Constant(1),
         );
-        run_queue_replicated(&cfg, 0);
+        run_queue_replicated(&cfg, 0, 1);
     }
 
     #[test]

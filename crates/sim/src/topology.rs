@@ -79,6 +79,20 @@ impl OmegaTopology {
         switch_base + self.route_digit(stage, dest) as u64
     }
 
+    /// Per-wire switch base for the hot path: `next_wire` decomposes as
+    /// `switch_bases[wire] + route_digit(stage, dest)`, and because the
+    /// same shuffle precedes every stage the base is **stage
+    /// independent** — the whole stage × wire routing table collapses to
+    /// this one vector. Ports fit in `u32` (`N ≤ 2^24` by construction).
+    pub fn switch_bases(&self) -> Vec<u32> {
+        (0..self.size)
+            .map(|wire| {
+                let shuffled = self.shuffle(wire);
+                (shuffled - shuffled % self.k as u64) as u32
+            })
+            .collect()
+    }
+
     /// The full path of output wires a message takes from `input` to
     /// `dest` (one entry per stage). The last entry equals `dest` — the
     /// banyan self-routing property.
@@ -205,6 +219,24 @@ mod tests {
                 }
             }
             assert!(counts.iter().all(|&c| c == 8), "stage {stage_idx}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn switch_bases_reproduce_next_wire() {
+        for &(k, n) in &[(2u32, 4u32), (4, 2), (3, 3)] {
+            let t = OmegaTopology::new(k, n);
+            let bases = t.switch_bases();
+            for stage in 1..=n {
+                for wire in 0..t.ports() {
+                    for dest in 0..t.ports() {
+                        let expect = t.next_wire(stage, wire, dest);
+                        let got = bases[wire as usize] as u64
+                            + t.route_digit(stage, dest) as u64;
+                        assert_eq!(got, expect, "k={k} n={n} s={stage} w={wire} d={dest}");
+                    }
+                }
+            }
         }
     }
 

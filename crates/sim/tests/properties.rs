@@ -109,6 +109,43 @@ fn network_conserves_messages() {
 }
 
 #[test]
+fn finite_buffer_accounting_invariant() {
+    // Conservation ledger under arbitrary finite capacities: every
+    // injection attempt is either rejected up front or ends up counted
+    // as delivered or still in flight — nothing is lost or double
+    // counted, at any load, capacity, or message size.
+    check(CASES, |g| {
+        let p = g.f64(0.05..0.95);
+        let n = g.u32(2..6);
+        let m = g.pick(&[1u32, 2, 4]);
+        let cap = g.pick(&[1usize, 2, 4, 16]);
+        let seed = g.any_u64();
+        let cfg = NetworkConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            seed,
+            buffer_capacity: Some(cap),
+            ..NetworkConfig::new(2, n, Workload::uniform(p, m))
+        };
+        let stats = run_network(cfg);
+        // Accepted messages: injected_total = delivered + in-flight
+        // (rejected attempts never enter injected_total, so adding
+        // rejected_total to both sides gives the attempt-level ledger).
+        assert_eq!(
+            stats.injected_total,
+            stats.delivered_total + stats.in_flight_at_end,
+            "p={p} n={n} m={m} cap={cap}"
+        );
+        assert_eq!(stats.injected, stats.delivered, "tracked messages all drain");
+        assert!(stats.delivered_total >= stats.delivered);
+        // Capacity 1 at heavy offered load must actually reject.
+        if cap == 1 && p * m as f64 > 0.5 {
+            assert!(stats.rejected_total > 0, "p={p} m={m} cap=1 never rejected");
+        }
+    });
+}
+
+#[test]
 fn network_total_equals_sum_of_stage_means() {
     check(CASES, |g| {
         let p = g.f64(0.1..0.7);

@@ -69,15 +69,19 @@ impl BatchMeans {
     /// steady-state mean, from the batch means. Requires >= 2 completed
     /// batches; returns `None` otherwise.
     ///
-    /// `level` is e.g. `0.95`; the normal critical value is used (batch
-    /// counts in this project are >= 30, where Student-t and normal agree
-    /// to the digits we report).
+    /// `level` is e.g. `0.95`. The critical value is the **Student-t**
+    /// quantile with `batches − 1` degrees of freedom — with few batches
+    /// the batch-mean variance is itself noisy, and the normal value
+    /// would give a silently too-narrow interval (for 3 batches at 95%
+    /// the correct multiplier is 4.30, not 1.96). For large batch counts
+    /// the t quantile converges to the normal one.
     pub fn half_width(&self, level: f64) -> Option<f64> {
         if self.batches.count() < 2 {
             return None;
         }
-        let z = normal_quantile(0.5 + level / 2.0);
-        Some(z * self.batches.std_err())
+        let df = (self.batches.count() - 1) as f64;
+        let t = student_t_quantile(0.5 + level / 2.0, df);
+        Some(t * self.batches.std_err())
     }
 
     /// The confidence interval `(lo, hi)` at `level`, if computable.
@@ -137,10 +141,77 @@ pub fn normal_quantile(p: f64) -> f64 {
         -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
             / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
     };
-    // One Halley refinement using Φ(x) = (1 + erf(x/√2))/2.
+    // One Halley refinement using Φ(x) = (1 + erf(x/√2))/2 — except in
+    // the extreme tails: `(x²/2).exp()` overflows to `inf` once
+    // `x² / 2 > ln(f64::MAX) ≈ 709` (|x| ≳ 37.6, p ≲ 1e-308), turning
+    // the result into NaN via inf·0. Out there `erf` is saturated at
+    // ±1 anyway, so the refinement has no signal to work with — return
+    // the Acklam estimate (~1e-9 absolute) directly.
+    if x.abs() > 37.5 {
+        return x;
+    }
     let e = 0.5 * (1.0 + banyan_numerics::special::erf(x / std::f64::consts::SQRT_2)) - p;
     let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
     x - u / (1.0 + x * u / 2.0)
+}
+
+/// Student-t quantile (inverse CDF) with `df > 0` degrees of freedom.
+///
+/// Uses the exact CDF identity `F(t) = 1 − ½ I_x(df/2, ½)` with
+/// `x = df/(df + t²)` for `t ≥ 0` (regularized incomplete beta from
+/// `banyan_numerics`), inverted by safeguarded Newton iteration started
+/// from the normal quantile. Converges to [`normal_quantile`] as
+/// `df → ∞`.
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    if p == 0.5 {
+        return 0.0;
+    }
+    // Symmetry: solve the upper half only.
+    if p < 0.5 {
+        return -student_t_quantile(1.0 - p, df);
+    }
+    // Beyond ~1e6 the t and normal quantiles agree to full f64
+    // precision in the probability range callers can express.
+    if df > 1e7 {
+        return normal_quantile(p);
+    }
+    let cdf = |t: f64| 1.0 - 0.5 * banyan_numerics::reg_beta(df / 2.0, 0.5, df / (df + t * t));
+    let ln_norm = banyan_numerics::ln_gamma((df + 1.0) / 2.0)
+        - banyan_numerics::ln_gamma(df / 2.0)
+        - 0.5 * (df * std::f64::consts::PI).ln();
+    let pdf = |t: f64| (ln_norm - 0.5 * (df + 1.0) * (1.0 + t * t / df).ln()).exp();
+    // Bracket [lo, hi] with cdf(lo) < p <= cdf(hi); the t quantile is
+    // never below the normal one for p > 0.5.
+    let mut lo = normal_quantile(p).max(0.0);
+    let mut hi = (lo + 1.0) * 2.0;
+    while cdf(hi) < p {
+        lo = hi;
+        hi *= 2.0;
+        assert!(hi.is_finite(), "t-quantile bracket diverged (p={p}, df={df})");
+    }
+    let mut t = lo;
+    for _ in 0..100 {
+        let err = cdf(t) - p;
+        if err >= 0.0 {
+            hi = t;
+        } else {
+            lo = t;
+        }
+        let d = pdf(t);
+        let mut next = if d > 0.0 { t - err / d } else { 0.5 * (lo + hi) };
+        // Newton safeguard: fall back to bisection when the step leaves
+        // the bracket (heavy tails make the CDF very flat for small df).
+        if !(next > lo && next < hi) {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - t).abs() <= 1e-12 * t.abs().max(1.0) {
+            return next;
+        }
+        t = next;
+    }
+    t
 }
 
 #[cfg(test)]
@@ -167,6 +238,111 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn normal_quantile_rejects_bounds() {
         normal_quantile(0.0);
+    }
+
+    #[test]
+    fn normal_quantile_extreme_tails_stay_finite() {
+        // Regression: the Halley step's (x²/2).exp() used to overflow to
+        // inf for p ≲ 1e-308 and poison the result with NaN.
+        for &p in &[1e-300, 1e-305, f64::MIN_POSITIVE, 1e-308, 5e-310, 1e-312] {
+            let lo = normal_quantile(p);
+            assert!(lo.is_finite(), "p={p}: {lo}");
+            assert!(lo < -35.0, "p={p}: {lo}");
+        }
+        // The upper tail saturates near 1 − ε/2 (f64 can't express
+        // probabilities closer to 1); it must stay finite there too.
+        let hi = normal_quantile(1.0 - f64::EPSILON / 2.0);
+        assert!(hi.is_finite());
+        assert!(hi > 8.0, "{hi}");
+    }
+
+    #[test]
+    fn normal_quantile_monotone_into_the_tail() {
+        // Monotonicity across the refinement cutoff (|x| ≈ 37.5 sits
+        // between 1e-300 and 1e-310) and deep into the subnormals.
+        let ps = [
+            0.25,
+            1e-3,
+            1e-9,
+            1e-30,
+            1e-100,
+            1e-200,
+            1e-290,
+            1e-300,
+            1e-305,
+            f64::MIN_POSITIVE,
+            1e-308,
+            1e-310,
+            1e-315,
+        ];
+        let mut prev = f64::INFINITY;
+        for &p in &ps {
+            let x = normal_quantile(p);
+            assert!(x.is_finite(), "p={p}");
+            assert!(x < prev, "p={p}: {x} !< {prev}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn student_t_matches_published_table() {
+        // Two-sided 95% critical values (p = 0.975) from standard
+        // t-tables.
+        for &(df, want) in &[
+            (2.0, 4.302_653),
+            (5.0, 2.570_582),
+            (10.0, 2.228_139),
+            (29.0, 2.045_230),
+        ] {
+            let got = student_t_quantile(0.975, df);
+            assert!((got - want).abs() < 5e-6, "df={df}: {got} vs {want}");
+        }
+        // One-sided 95% (p = 0.95) spot checks.
+        for &(df, want) in &[(1.0, 6.313_752), (4.0, 2.131_847), (29.0, 1.699_127)] {
+            let got = student_t_quantile(0.95, df);
+            assert!((got - want).abs() < 5e-6, "df={df}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn student_t_symmetry_and_median() {
+        assert_eq!(student_t_quantile(0.5, 7.0), 0.0);
+        for &p in &[0.6, 0.9, 0.99, 0.999] {
+            for &df in &[1.0, 3.0, 12.0] {
+                let hi = student_t_quantile(p, df);
+                let lo = student_t_quantile(1.0 - p, df);
+                assert!((hi + lo).abs() < 1e-9, "p={p} df={df}");
+            }
+        }
+    }
+
+    #[test]
+    fn student_t_converges_to_normal() {
+        for &p in &[0.9, 0.975, 0.995] {
+            let z = normal_quantile(p);
+            let mut prev = student_t_quantile(p, 2.0);
+            for &df in &[5.0, 30.0, 300.0, 30_000.0] {
+                let t = student_t_quantile(p, df);
+                assert!(t > z - 1e-9, "t below normal at df={df}");
+                assert!(t < prev + 1e-9, "not decreasing toward normal at df={df}");
+                prev = t;
+            }
+            assert!((student_t_quantile(p, 1e6) - z).abs() < 1e-5, "p={p}");
+            assert!((student_t_quantile(p, 1e8) - z).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn student_t_round_trips_through_cdf() {
+        // cdf(quantile(p)) == p to high accuracy.
+        for &df in &[1.0, 2.0, 7.0, 50.0] {
+            for &p in &[0.55, 0.8, 0.95, 0.999] {
+                let t = student_t_quantile(p, df);
+                let back =
+                    1.0 - 0.5 * banyan_numerics::reg_beta(df / 2.0, 0.5, df / (df + t * t));
+                assert!((back - p).abs() < 1e-10, "df={df} p={p}: {back}");
+            }
+        }
     }
 
     #[test]
@@ -197,6 +373,42 @@ mod tests {
         let (lo, hi) = bm.interval(0.99).unwrap();
         assert!(lo < 0.5 && 0.5 < hi, "({lo}, {hi})");
         assert!(hi - lo < 0.01, "CI too wide: {}", hi - lo);
+    }
+
+    #[test]
+    fn half_width_uses_t_not_normal_for_few_batches() {
+        // Three batches (df = 2): the 95% multiplier must be 4.30, not
+        // 1.96 — the old normal-based interval was 2.2× too narrow.
+        let mut bm = BatchMeans::new(2);
+        for x in [1.0, 3.0, 2.0, 6.0, 3.0, 9.0] {
+            bm.push(x);
+        }
+        assert_eq!(bm.batch_count(), 3);
+        let hw = bm.half_width(0.95).unwrap();
+        let se = {
+            let mut batches = OnlineStats::new();
+            for b in [2.0, 4.0, 6.0] {
+                batches.push(b);
+            }
+            batches.std_err()
+        };
+        assert!((hw - 4.302_653 * se).abs() < 1e-4 * se, "hw={hw}, se={se}");
+        assert!(hw > 1.96 * se * 2.0, "interval no wider than normal");
+    }
+
+    #[test]
+    fn half_width_approaches_normal_for_many_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..10_000 {
+            bm.push((i % 7) as f64);
+        }
+        let df = (bm.batch_count() - 1) as f64;
+        let hw = bm.half_width(0.95).unwrap();
+        let z_hw = normal_quantile(0.975) * {
+            // Reconstruct the batch std_err via the t relation.
+            hw / student_t_quantile(0.975, df)
+        };
+        assert!((hw - z_hw) / z_hw < 0.005, "t and normal should nearly agree at df={df}");
     }
 
     #[test]

@@ -6,10 +6,38 @@
 #   2. The workspace builds and tests with --offline.
 #   3. If clippy is installed, it must pass with -D warnings.
 #
+# Usage:
+#   scripts/verify.sh           # full tier-1 run, per-suite wall times
+#   scripts/verify.sh --quick   # dep check + build + lib/unit tests only
+#                               # (budget: well under 60 s — skips the
+#                               # statistical integration suites)
+#
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+# Runs a labelled step and prints its wall time, so slow suites can't
+# creep back in unnoticed. Pure bash integer math (no bc in the image).
+timed() {
+    local label="$1"
+    shift
+    local start_ms end_ms elapsed_ms
+    start_ms=$(date +%s%3N)
+    "$@"
+    end_ms=$(date +%s%3N)
+    elapsed_ms=$((end_ms - start_ms))
+    printf '== %-28s %4d.%01ds ==\n' "$label" \
+        $((elapsed_ms / 1000)) $((elapsed_ms % 1000 / 100))
+}
 
 echo "== checking that every dependency is a path dependency =="
 fail=0
@@ -33,14 +61,36 @@ done
 echo "ok: all dependencies are path/workspace entries"
 
 echo "== offline release build =="
-cargo build --workspace --release --offline
+timed "release build" cargo build --workspace --release --offline
 
-echo "== offline test suite =="
-cargo test --workspace -q --offline
+if [ "$QUICK" -eq 1 ]; then
+    echo "== offline unit tests (--quick: libs + bins, minus the bench suites) =="
+    # banyan-bench's lib tests exercise real timed benchmark runs
+    # (calibration loops), far over the quick budget — full runs cover it.
+    timed "unit tests" cargo test --workspace --exclude banyan-bench -q --offline --lib --bins
+    echo "verify: OK (quick tier — bench + integration suites not run)"
+    exit 0
+fi
+
+echo "== offline test suite (per-suite wall times) =="
+timed "lib + bin tests" cargo test --workspace -q --offline --lib --bins
+# Workspace-level integration suites, one timing line each.
+for suite in tests/*.rs; do
+    name=$(basename "$suite" .rs)
+    timed "suite: $name" cargo test -q --offline --test "$name"
+done
+# Per-crate integration suites.
+for suite in crates/*/tests/*.rs; do
+    dir=${suite%/tests/*}
+    pkg=$(sed -n 's/^name = "\(.*\)"$/\1/p' "$dir/Cargo.toml" | head -n 1)
+    name=$(basename "$suite" .rs)
+    timed "suite: $pkg/$name" cargo test -q --offline -p "$pkg" --test "$name"
+done
+timed "doc tests" cargo test --workspace -q --offline --doc
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (-D warnings) =="
-    cargo clippy --workspace --all-targets --offline -- -D warnings
+    timed "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "== clippy not installed; skipping =="
 fi

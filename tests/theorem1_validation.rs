@@ -5,18 +5,28 @@
 use banyan_core::models::{
     bulk_queue, geometric_queue, mixed_queue, nonuniform_queue, uniform_queue,
 };
-use banyan_sim::queue::{run_queue, ArrivalDist, QueueConfig};
+use banyan_sim::queue::{ArrivalDist, QueueConfig};
+use banyan_sim::runner::run_queue_replicated;
 use banyan_sim::traffic::ServiceDist;
 use banyan_stats::distance::total_variation;
 
+/// Replications sharded across threads via `run_queue_replicated` — the
+/// same total measured-cycle budget as the old single `run_queue` call,
+/// split four ways (bit-identical for any thread count, so this suite's
+/// tolerances are as reproducible as before).
 fn sim(arrivals: ArrivalDist, service: ServiceDist, cycles: u64) -> banyan_sim::QueueStats {
-    run_queue(&QueueConfig {
-        warmup_cycles: 20_000,
-        measure_cycles: cycles,
-        seed: 0xD15C0,
-        arrivals,
-        service,
-    })
+    const REPS: u32 = 4;
+    run_queue_replicated(
+        &QueueConfig {
+            warmup_cycles: 20_000,
+            measure_cycles: cycles / REPS as u64,
+            seed: 0xD15C0,
+            arrivals,
+            service,
+        },
+        REPS,
+        REPS as usize,
+    )
 }
 
 /// Mean and variance agree within a few standard errors plus a small
