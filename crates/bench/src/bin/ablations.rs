@@ -1,24 +1,25 @@
 //! Runs the covariance-model and stage-rate ablations. `--quick` for a
-//! smoke run.
+//! smoke run. Writes `results/ablations.manifest.json` with one phase per
+//! ablation.
+use banyan_bench::experiments::ablations;
+use banyan_bench::manifest::RunManifest;
+
 fn main() {
     let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::ablations::ablation_covariance(&scale)
-    );
-    println!();
-    print!(
-        "{}",
-        banyan_bench::experiments::ablations::ablation_stage_rate(&scale)
-    );
-    println!();
-    print!(
-        "{}",
-        banyan_bench::experiments::ablations::ablation_convolution(&scale)
-    );
-    println!();
-    print!(
-        "{}",
-        banyan_bench::experiments::ablations::ablation_discipline(&scale)
-    );
+    let mut run = RunManifest::start("ablations", &scale);
+    type Job = (&'static str, fn(&banyan_bench::profile::Scale) -> String);
+    let jobs: [Job; 4] = [
+        ("covariance", ablations::ablation_covariance),
+        ("stage_rate", ablations::ablation_stage_rate),
+        ("convolution", ablations::ablation_convolution),
+        ("discipline", ablations::ablation_discipline),
+    ];
+    for (i, (name, job)) in jobs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", job(&scale));
+        run.phase(name);
+    }
+    run.finish();
 }

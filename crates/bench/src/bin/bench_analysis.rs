@@ -1,6 +1,11 @@
 //! Microbenchmarks of the analytical layer; accepts `--quick`.
-//! Writes `results/BENCH_analysis.json`.
+//! Writes `results/BENCH_analysis.json` and
+//! `results/bench_analysis.manifest.json`.
 
 fn main() {
-    banyan_bench::suites::analysis();
+    let scale = banyan_bench::scale_from_args();
+    let mut run = banyan_bench::manifest::RunManifest::start("bench_analysis", &scale);
+    let path = banyan_bench::suites::analysis();
+    run.phase("suite").artifact(path.display());
+    run.finish();
 }

@@ -1,6 +1,11 @@
 //! Microbenchmarks of the numerical substrate; accepts `--quick`.
-//! Writes `results/BENCH_numerics.json`.
+//! Writes `results/BENCH_numerics.json` and
+//! `results/bench_numerics.manifest.json`.
 
 fn main() {
-    banyan_bench::suites::numerics();
+    let scale = banyan_bench::scale_from_args();
+    let mut run = banyan_bench::manifest::RunManifest::start("bench_numerics", &scale);
+    let path = banyan_bench::suites::numerics();
+    run.phase("suite").artifact(path.display());
+    run.finish();
 }

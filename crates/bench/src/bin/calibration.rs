@@ -1,9 +1,9 @@
 //! Re-fits the paper's interpolation constants from simulation.
-//! `--quick` for a smoke run.
+//! `--quick` for a smoke run. Writes `results/calibration.manifest.json`
+//! alongside the stdout report.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::calibration::calibration(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "calibration",
+        banyan_bench::experiments::calibration::calibration,
     );
 }

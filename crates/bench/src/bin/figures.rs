@@ -1,6 +1,9 @@
 //! Regenerates the series behind Figures 3-8 (total-waiting histograms vs
-//! the gamma approximation). `--quick` for a smoke run.
+//! the gamma approximation). `--quick` for a smoke run. Writes
+//! `results/figures.manifest.json` alongside the stdout series.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!("{}", banyan_bench::experiments::totals::figures(&scale));
+    banyan_bench::manifest::emit_with_manifest(
+        "figures",
+        banyan_bench::experiments::totals::figures,
+    );
 }

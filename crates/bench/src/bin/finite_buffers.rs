@@ -1,9 +1,9 @@
 //! Finite-buffer extension sweep (paper §VI future work). `--quick` for a
-//! smoke run.
+//! smoke run. Writes `results/finite_buffers.manifest.json` alongside the
+//! stdout sweep.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::extensions::finite_buffers(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "finite_buffers",
+        banyan_bench::experiments::extensions::finite_buffers,
     );
 }

@@ -1,9 +1,9 @@
 //! Heavy-traffic probe (paper §VI open question). `--quick` for a smoke
-//! run.
+//! run. Writes `results/heavy_traffic.manifest.json` alongside the stdout
+//! probe.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::extensions::heavy_traffic(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "heavy_traffic",
+        banyan_bench::experiments::extensions::heavy_traffic,
     );
 }

@@ -1,0 +1,147 @@
+//! Telemetry overhead guard: the contract check that a disabled
+//! `Telemetry` keeps the network simulator on its uninstrumented hot
+//! path, and that enabled telemetry stays within a bounded envelope.
+//!
+//! Three variants of the `network_k2_n10_p05_m1` microbench config
+//! (`--quick`: n = 6) run in interleaved samples so slow drift hits all
+//! of them equally:
+//!
+//! * `plain` — `run_network` (no telemetry anywhere in sight),
+//! * `off`   — `run_instrumented(&Telemetry::off())`,
+//! * `on`    — `run_instrumented` with metrics + occupancy sampling.
+//!
+//! Asserts the off/plain median ratio is within the hot-path budget
+//! (2% at full scale), the on/plain ratio within the enabled envelope,
+//! and that all three produce bit-identical statistics. Writes
+//! `results/BENCH_overhead_guard.json`.
+
+use banyan_obs::json::JsonObject;
+use banyan_obs::{Telemetry, TelemetryConfig};
+use banyan_sim::network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
+use banyan_sim::traffic::Workload;
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn assert_bit_identical(label: &str, a: &NetworkStats, b: &NetworkStats) {
+    assert_eq!(a.delivered, b.delivered, "{label}: delivered");
+    assert_eq!(a.injected_total, b.injected_total, "{label}: injected_total");
+    assert_eq!(a.in_flight_at_end, b.in_flight_at_end, "{label}: in_flight");
+    assert_eq!(a.cycles, b.cycles, "{label}: cycles");
+    assert_eq!(
+        a.total_wait.mean().to_bits(),
+        b.total_wait.mean().to_bits(),
+        "{label}: total mean"
+    );
+    assert_eq!(
+        a.total_wait.variance().to_bits(),
+        b.total_wait.variance().to_bits(),
+        "{label}: total variance"
+    );
+    for (i, (x, y)) in a.stage_waits.iter().zip(&b.stage_waits).enumerate() {
+        assert_eq!(x.mean().to_bits(), y.mean().to_bits(), "{label}: stage {i} mean");
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Full scale matches the bench_simulator `network_k2_n10_p05_m1`
+    // config so the guard speaks to the recorded baseline medians; quick
+    // shrinks the network and sample count, and relaxes the thresholds
+    // (short runs are noisier), to smoke-test the same code path.
+    let (stages, samples, off_budget, on_budget) =
+        if quick { (6u32, 5usize, 1.10, 1.60) } else { (10, 11, 1.02, 1.35) };
+    let mk = || NetworkConfig {
+        warmup_cycles: 100,
+        measure_cycles: 3_000,
+        ..NetworkConfig::new(2, stages, Workload::uniform(0.5, 1))
+    };
+
+    // Correctness first: telemetry must never perturb the statistics.
+    let plain_stats = run_network(mk());
+    let off_stats = NetworkSim::new(mk()).run_instrumented(&Telemetry::off());
+    let tel_on = Telemetry::new(TelemetryConfig::on());
+    let on_stats = NetworkSim::new(mk()).run_instrumented(&tel_on);
+    assert_bit_identical("off vs plain", &off_stats, &plain_stats);
+    assert_bit_identical("on vs plain", &on_stats, &plain_stats);
+    eprintln!("bit-identity: ok ({} messages delivered)", plain_stats.delivered);
+
+    // One untimed warmup pass per variant, then interleaved samples.
+    let mut t_plain = Vec::with_capacity(samples);
+    let mut t_off = Vec::with_capacity(samples);
+    let mut t_on = Vec::with_capacity(samples);
+    let off = Telemetry::off();
+    for pass in 0..=samples {
+        let t0 = Instant::now();
+        let a = run_network(mk());
+        let d_plain = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let b = NetworkSim::new(mk()).run_instrumented(&off);
+        let d_off = t0.elapsed().as_secs_f64();
+        let on = Telemetry::new(TelemetryConfig::on());
+        let t0 = Instant::now();
+        let c = NetworkSim::new(mk()).run_instrumented(&on);
+        let d_on = t0.elapsed().as_secs_f64();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.delivered, c.delivered);
+        if pass > 0 {
+            t_plain.push(d_plain);
+            t_off.push(d_off);
+            t_on.push(d_on);
+        }
+    }
+    let m_plain = median(&mut t_plain);
+    let m_off = median(&mut t_off);
+    let m_on = median(&mut t_on);
+    let off_ratio = m_off / m_plain;
+    let on_ratio = m_on / m_plain;
+    eprintln!(
+        "plain {:.3} ms | off {:.3} ms ({:.3}x) | on {:.3} ms ({:.3}x)",
+        m_plain * 1e3,
+        m_off * 1e3,
+        off_ratio,
+        m_on * 1e3,
+        on_ratio
+    );
+
+    let mut o = JsonObject::new();
+    o.field_str("suite", "overhead_guard")
+        .field_str("config", if quick { "network_k2_n6_p05_m1" } else { "network_k2_n10_p05_m1" })
+        .field_u64("samples", samples as u64)
+        .field_f64("plain_median_ns", m_plain * 1e9)
+        .field_f64("off_median_ns", m_off * 1e9)
+        .field_f64("on_median_ns", m_on * 1e9)
+        .field_f64("off_over_plain", off_ratio)
+        .field_f64("on_over_plain", on_ratio)
+        .field_f64("off_budget", off_budget)
+        .field_f64("on_budget", on_budget);
+    let json = format!("{}\n", o.finish_pretty(2));
+    let cwd = std::env::current_dir().expect("current dir");
+    let root = cwd
+        .ancestors()
+        .find(|d| d.join("Cargo.lock").is_file())
+        .unwrap_or(&cwd)
+        .to_path_buf();
+    let results = root.join("results");
+    std::fs::create_dir_all(&results).expect("create results/");
+    let path = results.join("BENCH_overhead_guard.json");
+    std::fs::write(&path, json).expect("write overhead guard json");
+    eprintln!("wrote {}", path.display());
+
+    assert!(
+        off_ratio <= off_budget,
+        "telemetry-off overhead {off_ratio:.4}x exceeds budget {off_budget}x: \
+         the disabled path has leaked onto the hot loop"
+    );
+    assert!(
+        on_ratio <= on_budget,
+        "telemetry-on overhead {on_ratio:.4}x exceeds envelope {on_budget}x"
+    );
+    println!(
+        "overhead guard: off {off_ratio:.4}x (budget {off_budget}x), \
+         on {on_ratio:.4}x (budget {on_budget}x) -- ok"
+    );
+}

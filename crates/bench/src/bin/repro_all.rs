@@ -1,7 +1,10 @@
 //! Runs every experiment and writes the outputs under `results/`.
 //! `--quick` for a smoke run. Optional args select a subset, e.g.
 //! `repro_all stage totals` (groups: stage, totals, calibration,
-//! ablations, extensions).
+//! ablations, extensions). Writes `results/repro_all.manifest.json`
+//! recording every artifact, per-group wall times, and the telemetry
+//! snapshot of all simulations run.
+use banyan_bench::manifest::RunManifest;
 use std::fs;
 use std::time::Instant;
 
@@ -9,9 +12,10 @@ fn want(selected: &[String], group: &str) -> bool {
     selected.is_empty() || selected.iter().any(|s| s == group)
 }
 
-fn emit(name: &str, t0: Instant, out: &str) {
+fn emit(run: &mut RunManifest, name: &str, t0: Instant, out: &str) {
     let path = format!("results/{name}.txt");
     fs::write(&path, out).expect("write result");
+    run.artifact(&path);
     eprintln!("wrote {path} ({:.1}s)", t0.elapsed().as_secs_f64());
     println!("{out}");
 }
@@ -20,7 +24,7 @@ fn main() {
     let scale = banyan_bench::scale_from_args();
     let selected: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| a != "--quick")
+        .filter(|a| a != "--quick" && a != "--progress")
         .collect();
     const GROUPS: [&str; 5] = ["stage", "totals", "calibration", "ablations", "extensions"];
     if let Some(bad) = selected.iter().find(|s| !GROUPS.contains(&s.as_str())) {
@@ -28,6 +32,8 @@ fn main() {
         std::process::exit(2);
     }
     fs::create_dir_all("results").expect("create results dir");
+    let mut run = RunManifest::start("repro_all", &scale);
+    run.config("groups", if selected.is_empty() { "all".to_string() } else { selected.join(",") });
 
     use banyan_bench::experiments::{ablations, calibration, correlations, extensions, stage_tables, totals};
 
@@ -43,8 +49,10 @@ fn main() {
         ];
         for (name, job) in jobs {
             let t0 = Instant::now();
-            emit(name, t0, &job(&scale));
+            let out = job(&scale);
+            emit(&mut run, name, t0, &out);
         }
+        run.phase("stage");
     }
 
     if want(&selected, "totals") {
@@ -52,36 +60,53 @@ fn main() {
         // tail-quality summary.
         let t0 = Instant::now();
         let runs = totals::TotalRuns::collect(&scale);
-        emit("table07_12", t0, &totals::table07_12_from(&runs));
-        emit("figures", t0, &totals::figures_from(&runs));
+        emit(&mut run, "table07_12", t0, &totals::table07_12_from(&runs));
+        emit(&mut run, "figures", t0, &totals::figures_from(&runs));
         let csv = totals::figures_csv_from(&runs);
         fs::write("results/figures.csv", &csv).expect("write csv");
+        run.artifact("results/figures.csv");
         eprintln!("wrote results/figures.csv");
-        emit("tail_quality", t0, &totals::tail_quality_from(&runs));
+        emit(&mut run, "tail_quality", t0, &totals::tail_quality_from(&runs));
+        run.phase("totals");
     }
 
     if want(&selected, "calibration") {
         let t0 = Instant::now();
-        emit("calibration", t0, &calibration::calibration(&scale));
+        let out = calibration::calibration(&scale);
+        emit(&mut run, "calibration", t0, &out);
+        run.phase("calibration");
     }
 
     if want(&selected, "ablations") {
-        let t0 = Instant::now();
-        emit("ablation_covariance", t0, &ablations::ablation_covariance(&scale));
-        let t0 = Instant::now();
-        emit("ablation_stage_rate", t0, &ablations::ablation_stage_rate(&scale));
-        let t0 = Instant::now();
-        emit("ablation_convolution", t0, &ablations::ablation_convolution(&scale));
-        let t0 = Instant::now();
-        emit("ablation_discipline", t0, &ablations::ablation_discipline(&scale));
+        type Job = (&'static str, fn(&banyan_bench::profile::Scale) -> String);
+        let jobs: [Job; 4] = [
+            ("ablation_covariance", ablations::ablation_covariance),
+            ("ablation_stage_rate", ablations::ablation_stage_rate),
+            ("ablation_convolution", ablations::ablation_convolution),
+            ("ablation_discipline", ablations::ablation_discipline),
+        ];
+        for (name, job) in jobs {
+            let t0 = Instant::now();
+            let out = job(&scale);
+            emit(&mut run, name, t0, &out);
+        }
+        run.phase("ablations");
     }
 
     if want(&selected, "extensions") {
-        let t0 = Instant::now();
-        emit("finite_buffers", t0, &extensions::finite_buffers(&scale));
-        let t0 = Instant::now();
-        emit("heavy_traffic", t0, &extensions::heavy_traffic(&scale));
-        let t0 = Instant::now();
-        emit("stage_shapes", t0, &extensions::stage_shapes(&scale));
+        type Job = (&'static str, fn(&banyan_bench::profile::Scale) -> String);
+        let jobs: [Job; 3] = [
+            ("finite_buffers", extensions::finite_buffers),
+            ("heavy_traffic", extensions::heavy_traffic),
+            ("stage_shapes", extensions::stage_shapes),
+        ];
+        for (name, job) in jobs {
+            let t0 = Instant::now();
+            let out = job(&scale);
+            emit(&mut run, name, t0, &out);
+        }
+        run.phase("extensions");
     }
+
+    run.finish();
 }

@@ -1,8 +1,8 @@
 //! Regenerates Table 1 of the paper. `--quick` for a smoke run.
+//! Writes `results/table01.manifest.json` alongside the stdout table.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::stage_tables::table01(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "table01",
+        banyan_bench::experiments::stage_tables::table01,
     );
 }

@@ -1,8 +1,8 @@
 //! Regenerates Table 2 of the paper. `--quick` for a smoke run.
+//! Writes `results/table02.manifest.json` alongside the stdout table.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::stage_tables::table02(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "table02",
+        banyan_bench::experiments::stage_tables::table02,
     );
 }

@@ -1,8 +1,8 @@
 //! Regenerates Table VI (cross-stage correlations). `--quick` for a smoke run.
+//! Writes `results/table06.manifest.json` alongside the stdout table.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!(
-        "{}",
-        banyan_bench::experiments::correlations::table06(&scale)
+    banyan_bench::manifest::emit_with_manifest(
+        "table06",
+        banyan_bench::experiments::correlations::table06,
     );
 }

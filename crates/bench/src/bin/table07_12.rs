@@ -1,6 +1,9 @@
 //! Regenerates Tables VII-XII (total waiting time, prediction vs simulation).
-//! `--quick` for a smoke run.
+//! `--quick` for a smoke run. Writes `results/table07_12.manifest.json`
+//! alongside the stdout tables.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!("{}", banyan_bench::experiments::totals::table07_12(&scale));
+    banyan_bench::manifest::emit_with_manifest(
+        "table07_12",
+        banyan_bench::experiments::totals::table07_12,
+    );
 }

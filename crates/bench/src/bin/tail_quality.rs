@@ -1,6 +1,9 @@
 //! Quantifies the gamma-approximation quality of every figure panel
-//! (KS/TV distances and tail errors). `--quick` for a smoke run.
+//! (KS/TV distances and tail errors). `--quick` for a smoke run. Writes
+//! `results/tail_quality.manifest.json` alongside the stdout summary.
 fn main() {
-    let scale = banyan_bench::scale_from_args();
-    print!("{}", banyan_bench::experiments::totals::tail_quality(&scale));
+    banyan_bench::manifest::emit_with_manifest(
+        "tail_quality",
+        banyan_bench::experiments::totals::tail_quality,
+    );
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manifest;
 pub mod micro;
 pub mod plot;
 pub mod profile;

@@ -12,7 +12,7 @@
 //! [`Scale`] knob lets tests run the same code paths in milliseconds.
 
 use banyan_sim::network::{NetworkConfig, NetworkStats};
-use banyan_sim::runner::run_network_replicated;
+use banyan_sim::runner::run_network_replicated_instrumented;
 use banyan_sim::traffic::Workload;
 
 /// Simulation effort level.
@@ -89,7 +89,7 @@ pub fn stage_profile(
     cfg.warmup_cycles = scale.warmup_cycles(cfg.measure_cycles);
     cfg.collect_correlations = collect_correlations;
     cfg.seed = seed;
-    run_network_replicated(&cfg, scale.reps, scale.threads)
+    run_network_replicated_instrumented(&cfg, scale.reps, scale.threads, crate::manifest::telemetry())
 }
 
 /// Runs an `n`-stage banyan under uniform constant-size traffic and
@@ -100,7 +100,7 @@ pub fn total_profile(k: u32, n: u32, p: f64, m: u32, scale: &Scale, seed: u64) -
     cfg.measure_cycles = scale.measure_cycles(ports, p);
     cfg.warmup_cycles = scale.warmup_cycles(cfg.measure_cycles);
     cfg.seed = seed;
-    run_network_replicated(&cfg, scale.reps, scale.threads)
+    run_network_replicated_instrumented(&cfg, scale.reps, scale.threads, crate::manifest::telemetry())
 }
 
 #[cfg(test)]

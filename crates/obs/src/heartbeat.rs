@@ -1,0 +1,291 @@
+//! Progress accounting and the rate-limited stderr heartbeat.
+//!
+//! Workers push coarse deltas (every few thousand cycles, never per
+//! cycle) into a shared [`Progress`] ledger; the [`Heartbeat`] turns
+//! the ledger into at most one human-readable stderr line per
+//! `min_interval`. Everything goes to **stderr** so stdout stays
+//! machine-parseable — a regression test in the CLI suite pins that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared run-progress ledger (atomic; updated in coarse deltas).
+#[derive(Debug, Default)]
+pub struct Progress {
+    expected_cycles: AtomicU64,
+    cycles: AtomicU64,
+    injected: AtomicU64,
+    delivered: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time copy of the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Planned cycles (warmup + measure, summed over replications);
+    /// drain cycles run past this.
+    pub expected_cycles: u64,
+    /// Cycles simulated so far.
+    pub cycles: u64,
+    /// Messages injected so far.
+    pub injected: u64,
+    /// Messages delivered so far.
+    pub delivered: u64,
+    /// Injection attempts rejected so far (finite buffers).
+    pub rejected: u64,
+}
+
+impl ProgressSnapshot {
+    /// Messages currently queued somewhere in the network.
+    pub fn in_flight(&self) -> u64 {
+        self.injected.saturating_sub(self.delivered)
+    }
+}
+
+impl Progress {
+    /// Adds to the planned-cycles denominator (call before a run).
+    pub fn add_expected_cycles(&self, n: u64) {
+        self.expected_cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a batch of simulated cycles.
+    #[inline]
+    pub fn add_cycles(&self, n: u64) {
+        self.cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records counter deltas since the caller's last push.
+    #[inline]
+    pub fn add_messages(&self, injected: u64, delivered: u64, rejected: u64) {
+        if injected > 0 {
+            self.injected.fetch_add(injected, Ordering::Relaxed);
+        }
+        if delivered > 0 {
+            self.delivered.fetch_add(delivered, Ordering::Relaxed);
+        }
+        if rejected > 0 {
+            self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy for display (fields load independently;
+    /// the heartbeat tolerates a cycle of skew between them).
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            expected_cycles: self.expected_cycles.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Rate-limited stderr progress reporter.
+#[derive(Debug)]
+pub struct Heartbeat {
+    min_interval: Duration,
+    started: Instant,
+    state: Mutex<HbState>,
+    lines: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HbState {
+    last_emit: Instant,
+    last_cycles: u64,
+    last_delivered: u64,
+}
+
+impl Heartbeat {
+    /// Creates a heartbeat emitting at most one line per `min_interval`.
+    pub fn new(min_interval: Duration) -> Self {
+        let now = Instant::now();
+        Heartbeat {
+            min_interval,
+            started: now,
+            state: Mutex::new(HbState {
+                last_emit: now,
+                last_cycles: 0,
+                last_delivered: 0,
+            }),
+            lines: AtomicU64::new(0),
+        }
+    }
+
+    /// Emits a line if the interval elapsed; contended or early calls
+    /// return `false` immediately (never blocks a worker).
+    pub fn maybe_emit(&self, progress: &Progress) -> bool {
+        let Ok(mut st) = self.state.try_lock() else {
+            return false;
+        };
+        let now = Instant::now();
+        if now.duration_since(st.last_emit) < self.min_interval {
+            return false;
+        }
+        let snap = progress.snapshot();
+        let dt = now.duration_since(st.last_emit).as_secs_f64();
+        let cps = (snap.cycles.saturating_sub(st.last_cycles)) as f64 / dt;
+        let mps = (snap.delivered.saturating_sub(st.last_delivered)) as f64 / dt;
+        st.last_emit = now;
+        st.last_cycles = snap.cycles;
+        st.last_delivered = snap.delivered;
+        drop(st);
+        eprintln!("{}", render(&snap, cps, mps, self.started.elapsed()));
+        self.lines.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Unconditionally emits a final summary line (run completion).
+    pub fn emit_final(&self, progress: &Progress) {
+        let snap = progress.snapshot();
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let cps = snap.cycles as f64 / elapsed;
+        let mps = snap.delivered as f64 / elapsed;
+        eprintln!("{}", render(&snap, cps, mps, self.started.elapsed()));
+        self.lines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lines emitted so far.
+    pub fn lines_emitted(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders one heartbeat line (pure — unit-tested directly).
+fn render(snap: &ProgressSnapshot, cps: f64, mps: f64, elapsed: Duration) -> String {
+    let pct = if snap.expected_cycles > 0 {
+        (100.0 * snap.cycles as f64 / snap.expected_cycles as f64).min(100.0)
+    } else {
+        0.0
+    };
+    let eta = if snap.expected_cycles > snap.cycles && cps > 0.0 {
+        format!(
+            "eta {:.1}s",
+            (snap.expected_cycles - snap.cycles) as f64 / cps
+        )
+    } else {
+        "draining".to_string()
+    };
+    let mut line = format!(
+        "[banyan {:6.1}s] {pct:5.1}% | {} cycles ({}/s) | {} delivered ({}/s) | in-flight {}",
+        elapsed.as_secs_f64(),
+        group_digits(snap.cycles),
+        si(cps),
+        group_digits(snap.delivered),
+        si(mps),
+        group_digits(snap.in_flight()),
+    );
+    if snap.rejected > 0 {
+        line.push_str(&format!(" | rejected {}", group_digits(snap.rejected)));
+    }
+    line.push_str(&format!(" | {eta}"));
+    line
+}
+
+/// `1234567 → "1,234,567"`.
+fn group_digits(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Compact SI-ish rate formatting (`2.1M`, `43.5k`, `870`).
+fn si(v: f64) -> String {
+    if !v.is_finite() || v < 0.0 {
+        return "0".to_string();
+    }
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(expected: u64, cycles: u64, inj: u64, del: u64, rej: u64) -> ProgressSnapshot {
+        ProgressSnapshot {
+            expected_cycles: expected,
+            cycles,
+            injected: inj,
+            delivered: del,
+            rejected: rej,
+        }
+    }
+
+    #[test]
+    fn progress_accumulates_deltas() {
+        let p = Progress::default();
+        p.add_expected_cycles(1_000);
+        p.add_cycles(64);
+        p.add_cycles(64);
+        p.add_messages(10, 7, 1);
+        let s = p.snapshot();
+        assert_eq!(s.cycles, 128);
+        assert_eq!(s.in_flight(), 3);
+        assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn render_includes_percent_rates_and_eta() {
+        let line = render(&snap(1_000, 500, 900, 800, 0), 1_000.0, 2_000_000.0, Duration::from_secs(2));
+        assert!(line.contains("50.0%"), "{line}");
+        assert!(line.contains("2.00M/s"), "{line}");
+        assert!(line.contains("in-flight 100"), "{line}");
+        assert!(line.contains("eta 0.5s"), "{line}");
+        assert!(!line.contains("rejected"), "{line}");
+    }
+
+    #[test]
+    fn render_shows_rejections_and_drain() {
+        let line = render(&snap(100, 150, 10, 10, 5), 10.0, 0.0, Duration::from_secs(1));
+        assert!(line.contains("rejected 5"), "{line}");
+        assert!(line.contains("draining"), "{line}");
+        assert!(line.contains("100.0%"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_rate_limits() {
+        let hb = Heartbeat::new(Duration::from_secs(3600));
+        let p = Progress::default();
+        // First call is within the interval of construction: suppressed.
+        assert!(!hb.maybe_emit(&p));
+        assert_eq!(hb.lines_emitted(), 0);
+        hb.emit_final(&p);
+        assert_eq!(hb.lines_emitted(), 1);
+    }
+
+    #[test]
+    fn zero_interval_heartbeat_emits() {
+        let hb = Heartbeat::new(Duration::ZERO);
+        let p = Progress::default();
+        p.add_expected_cycles(10);
+        p.add_cycles(5);
+        assert!(hb.maybe_emit(&p));
+        assert_eq!(hb.lines_emitted(), 1);
+    }
+
+    #[test]
+    fn digit_grouping_and_si() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(1_234_567), "1,234,567");
+        assert_eq!(si(870.4), "870");
+        assert_eq!(si(43_500.0), "43.5k");
+        assert_eq!(si(2_100_000.0), "2.10M");
+        assert_eq!(si(3.2e9), "3.20G");
+    }
+}

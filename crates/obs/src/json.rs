@@ -1,0 +1,134 @@
+//! Minimal JSON emission — just enough to serialize snapshots and
+//! manifests without an external crate.
+//!
+//! Only *writing* is implemented (the repo never parses JSON at
+//! runtime); numbers are emitted via [`fmt_f64`], which guarantees a
+//! valid JSON literal even for non-finite values (serialized as `null`,
+//! the only representation JSON has for them).
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON value (`null` for NaN/infinity).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for one JSON object: collects `"key": value`
+/// parts and renders them comma-joined. Values passed to `raw` must
+/// already be valid JSON (numbers, nested objects, arrays).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    parts: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object writer.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.parts
+            .push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.parts.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.parts
+            .push(format!("\"{}\": {}", escape(key), fmt_f64(value)));
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.parts.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Renders as a single-line object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.parts.join(", "))
+    }
+
+    /// Renders with each field on its own line, indented by `indent`
+    /// spaces (the closing brace at `indent - 2`).
+    pub fn finish_pretty(&self, indent: usize) -> String {
+        if self.parts.is_empty() {
+            return "{}".to_string();
+        }
+        let pad = " ".repeat(indent);
+        let close = " ".repeat(indent.saturating_sub(2));
+        format!(
+            "{{\n{pad}{}\n{close}}}",
+            self.parts.join(&format!(",\n{pad}"))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn object_renders_balanced_json() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "x\"y")
+            .field_u64("count", 3)
+            .field_raw("nested", "{\"a\": 1}");
+        let s = o.finish();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\\\"y"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn pretty_renders_one_field_per_line() {
+        let mut o = JsonObject::new();
+        o.field_u64("a", 1).field_u64("b", 2);
+        let s = o.finish_pretty(2);
+        assert_eq!(s.lines().count(), 4);
+        assert!(JsonObject::new().finish_pretty(2).contains("{}"));
+    }
+}

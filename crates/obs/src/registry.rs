@@ -1,0 +1,317 @@
+//! Metrics registry: monotonic counters, gauges with high-water marks,
+//! and fixed-bucket histograms.
+//!
+//! All instruments are lock-free atomics, so one registry can be shared
+//! by every replication worker of a run; registration (name lookup)
+//! takes a mutex but is expected only at run setup, never per cycle.
+//! Snapshots are deterministic: names are kept in a sorted map.
+
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value gauge that also tracks its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Gauge {
+    /// Records a new value (and raises the high-water mark if exceeded).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Last recorded value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever recorded.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket upper bounds.
+///
+/// `bounds[i]` is the *inclusive* upper edge of bucket `i`; one final
+/// overflow bucket catches everything larger. Count and sum are kept so
+/// snapshots can report the mean without reconstructing it.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Default occupancy/latency bucket edges: 0, 1, 2, 4, … 4096.
+pub const POW2_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive bucket upper bounds
+    /// (must be strictly increasing and non-empty).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Bucket upper bounds (the overflow bucket has none).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments. Cheap to construct; instruments
+/// are created on first use and shared thereafter.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram `name`, creating it with `bounds` if
+    /// absent (the bounds of an existing histogram are kept).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Value of a counter, if registered (test/assertion helper).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let m = self.metrics.lock().expect("registry poisoned");
+        match m.get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// True if no instrument has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.lock().expect("registry poisoned").is_empty()
+    }
+
+    /// Serializes every instrument, grouped by kind, names sorted:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`.
+    pub fn snapshot_json(&self) -> String {
+        let m = self.metrics.lock().expect("registry poisoned");
+        let mut counters = JsonObject::new();
+        let mut gauges = JsonObject::new();
+        let mut histograms = JsonObject::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.field_u64(name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let mut o = JsonObject::new();
+                    o.field_u64("value", g.get()).field_u64("high", g.high_water());
+                    gauges.field_raw(name, &o.finish());
+                }
+                Metric::Histogram(h) => {
+                    let mut o = JsonObject::new();
+                    let bounds: Vec<String> =
+                        h.bounds().iter().map(|b| b.to_string()).collect();
+                    let counts: Vec<String> =
+                        h.bucket_counts().iter().map(|c| c.to_string()).collect();
+                    o.field_u64("count", h.count())
+                        .field_u64("sum", h.sum())
+                        .field_raw("le", &format!("[{}]", bounds.join(", ")))
+                        .field_raw("buckets", &format!("[{}]", counts.join(", ")));
+                    histograms.field_raw(name, &o.finish());
+                }
+            }
+        }
+        let mut out = JsonObject::new();
+        out.field_raw("counters", &counters.finish())
+            .field_raw("gauges", &gauges.finish())
+            .field_raw("histograms", &histograms.finish());
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_is_shared() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter_value("x"), Some(5));
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::default();
+        g.set(3);
+        g.set(10);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[0, 1, 4]);
+        for v in [0, 1, 2, 4, 5, 1000] {
+            h.record(v);
+        }
+        // buckets: <=0, <=1, <=4, overflow
+        assert_eq!(h.bucket_counts(), vec![1, 1, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1012);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_balanced() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.gauge").set(7);
+        r.histogram("c.hist", POW2_BOUNDS).record(3);
+        let s = r.snapshot_json();
+        assert!(s.contains("\"b.count\": 2"));
+        assert!(s.contains("\"high\": 7"));
+        assert!(s.contains("\"c.hist\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

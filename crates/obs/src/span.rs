@@ -1,0 +1,155 @@
+//! Hierarchical wall-clock span timing.
+//!
+//! A span is named by a `/`-separated path (`"net/warmup"`,
+//! `"runner/worker03"`); starting one returns an RAII guard that
+//! records the elapsed wall time into the shared [`SpanSet`] on drop.
+//! Spans are coarse (per phase, per worker — never per cycle), so a
+//! mutexed map is plenty; the disabled path ([`SpanSet::noop`]) takes
+//! no timestamps and touches no locks.
+
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Accumulated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total wall time across all calls, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total wall time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.total_ns as f64 * 1e-9
+    }
+}
+
+/// Shared, thread-safe collection of span timings.
+#[derive(Debug, Default)]
+pub struct SpanSet {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl SpanSet {
+    /// An empty span set.
+    pub fn new() -> Self {
+        SpanSet::default()
+    }
+
+    /// Starts a span; the returned guard records on drop.
+    pub fn time<'a>(&'a self, path: &str) -> SpanGuard<'a> {
+        SpanGuard {
+            active: Some((self, path.to_string(), Instant::now())),
+        }
+    }
+
+    /// A guard that records nothing (the disabled-telemetry path).
+    pub fn noop() -> SpanGuard<'static> {
+        SpanGuard { active: None }
+    }
+
+    /// Adds `ns` to `path` (also usable for externally timed phases).
+    pub fn record_ns(&self, path: &str, ns: u64) {
+        let mut m = self.spans.lock().expect("span set poisoned");
+        let st = m.entry(path.to_string()).or_default();
+        st.calls += 1;
+        st.total_ns += ns;
+    }
+
+    /// Accumulated stat for `path`, if any span completed under it.
+    pub fn stat(&self, path: &str) -> Option<SpanStat> {
+        self.spans.lock().expect("span set poisoned").get(path).copied()
+    }
+
+    /// All recorded spans, sorted by path.
+    pub fn snapshot(&self) -> Vec<(String, SpanStat)> {
+        self.spans
+            .lock()
+            .expect("span set poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Serializes as `{"path": {"calls": n, "total_ns": ns, "secs": s}}`.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = JsonObject::new();
+        for (path, st) in self.snapshot() {
+            let mut o = JsonObject::new();
+            o.field_u64("calls", st.calls)
+                .field_u64("total_ns", st.total_ns)
+                .field_f64("secs", st.secs());
+            out.field_raw(&path, &o.finish());
+        }
+        out.finish()
+    }
+}
+
+/// RAII guard: records elapsed time into its [`SpanSet`] when dropped.
+/// The no-op variant (disabled telemetry) holds nothing and does
+/// nothing.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    active: Option<(&'a SpanSet, String, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((set, path, start)) = self.active.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            set.record_ns(&path, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let set = SpanSet::new();
+        {
+            let _g = set.time("a/b");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let st = set.stat("a/b").unwrap();
+        assert_eq!(st.calls, 1);
+        assert!(st.total_ns >= 1_000_000, "{}", st.total_ns);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let set = SpanSet::new();
+        for _ in 0..3 {
+            let _g = set.time("x");
+        }
+        assert_eq!(set.stat("x").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn noop_guard_records_nothing() {
+        let set = SpanSet::new();
+        {
+            let _g = SpanSet::noop();
+        }
+        assert!(set.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_sorted_and_balanced() {
+        let set = SpanSet::new();
+        set.record_ns("b", 5);
+        set.record_ns("a", 1_500_000_000);
+        let s = set.snapshot_json();
+        let a = s.find("\"a\"").unwrap();
+        let b = s.find("\"b\"").unwrap();
+        assert!(a < b, "{s}");
+        assert!(s.contains("\"secs\": 1.5"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

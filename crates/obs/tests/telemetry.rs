@@ -1,0 +1,61 @@
+//! Cross-thread integration tests for the telemetry sink: many workers
+//! hammering one shared `Telemetry` must lose no updates, and the
+//! manifest must serialize the combined state as valid-enough JSON.
+
+use banyan_obs::{Manifest, Telemetry, TelemetryConfig};
+
+#[test]
+fn shared_sink_across_threads_loses_nothing() {
+    let tel = Telemetry::new(TelemetryConfig::on());
+    const WORKERS: usize = 8;
+    const PER_WORKER: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let tel = &tel;
+            scope.spawn(move || {
+                let _span = tel.span(&format!("worker{w:02}"));
+                let c = tel.registry().counter("events");
+                let g = tel.registry().gauge("depth");
+                let h = tel.registry().histogram("sizes", &[1, 8, 64]);
+                for i in 0..PER_WORKER {
+                    c.inc();
+                    g.set(i % 100);
+                    h.record(i % 70);
+                    tel.progress().add_cycles(1);
+                }
+                tel.progress().add_messages(PER_WORKER, PER_WORKER / 2, 0);
+            });
+        }
+    });
+    let total = WORKERS as u64 * PER_WORKER;
+    assert_eq!(tel.registry().counter_value("events"), Some(total));
+    let snap = tel.progress().snapshot();
+    assert_eq!(snap.cycles, total);
+    assert_eq!(snap.injected, total);
+    assert_eq!(snap.in_flight(), total / 2);
+    // Every worker span recorded exactly once.
+    let spans = tel.spans().snapshot();
+    assert_eq!(spans.len(), WORKERS);
+    assert!(spans.iter().all(|(_, st)| st.calls == 1));
+}
+
+#[test]
+fn manifest_of_concurrent_run_is_balanced_json() {
+    let tel = Telemetry::new(TelemetryConfig::on());
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let tel = &tel;
+            scope.spawn(move || {
+                tel.registry().counter("net.injected_total").add(100 + i);
+                tel.log_run(format!("rep {i} seed={i}"));
+            });
+        }
+    });
+    let mut m = Manifest::new("concurrent");
+    m.config("k", 2).seed("base", 1).reps(4).threads(4).phase("all", 0.5);
+    let json = m.to_json(Some(&tel));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"net.injected_total\": 406"));
+    assert!(json.contains("rep 0 seed=0") || json.contains("rep 3 seed=3"));
+}

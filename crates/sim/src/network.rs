@@ -42,9 +42,12 @@
 use crate::butterfly::ButterflyTopology;
 use crate::topology::OmegaTopology;
 use crate::traffic::Workload;
+use banyan_obs::registry::POW2_BOUNDS;
+use banyan_obs::{Gauge, Histogram, Telemetry};
 use banyan_prng::rngs::SmallRng;
 use banyan_prng::{Rng, SeedableRng};
 use banyan_stats::{CorrelationMatrix, IntHistogram, OnlineStats};
+use std::sync::Arc;
 
 /// Hard cap on stages (fixed-size per-message wait record).
 pub const MAX_STAGES: usize = 16;
@@ -638,12 +641,59 @@ impl NetworkSim {
     /// so tracked stragglers finish under steady-state conditions; it is
     /// bounded by a generous safety factor and panics if tracked messages
     /// are still stuck after it (which would indicate an unstable load).
-    pub fn run(mut self) -> NetworkStats {
-        for _ in 0..self.cfg.warmup_cycles {
-            self.step(false);
+    pub fn run(self) -> NetworkStats {
+        self.run_instrumented(&Telemetry::off())
+    }
+
+    /// Like [`NetworkSim::run`], but reporting into `tel`: phase spans
+    /// (`net/warmup`, `net/measure`, `net/drain`), per-stage
+    /// buffer-occupancy gauges sampled every
+    /// [`banyan_obs::TelemetryConfig::sample_every`] cycles, the slab
+    /// high-water mark, and the end-of-run conservation-ledger counters
+    /// (`net.injected_total` = `net.delivered_total` +
+    /// `net.in_flight_at_end`).
+    ///
+    /// Telemetry is strictly observational: it reads counters and queue
+    /// lengths but never touches the RNG or the dynamics, so the
+    /// returned statistics are **bit-identical** for any
+    /// `TelemetryConfig`. With telemetry off this dispatches to the
+    /// exact uninstrumented loop (one branch per run, nothing per
+    /// cycle) — the `overhead_guard` bench in `banyan-bench` enforces
+    /// that contract.
+    pub fn run_instrumented(self, tel: &Telemetry) -> NetworkStats {
+        if tel.active() {
+            self.drive::<true>(tel)
+        } else {
+            self.drive::<false>(tel)
         }
-        for _ in 0..self.cfg.measure_cycles {
-            self.step(true);
+    }
+
+    /// The run protocol, monomorphized over "is any telemetry active":
+    /// the `OBS = false` instantiation compiles to the original
+    /// telemetry-free loops.
+    fn drive<const OBS: bool>(mut self, tel: &Telemetry) -> NetworkStats {
+        let mut obs = if OBS {
+            Some(ObsState::new(tel, self.cfg.stages as usize))
+        } else {
+            None
+        };
+        {
+            let _span = tel.span("net/warmup");
+            for _ in 0..self.cfg.warmup_cycles {
+                self.step(false);
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self);
+                }
+            }
+        }
+        {
+            let _span = tel.span("net/measure");
+            for _ in 0..self.cfg.measure_cycles {
+                self.step(true);
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self);
+                }
+            }
         }
         // Drain: generous bound — waiting times at ρ < 1 are short
         // compared to this.
@@ -651,24 +701,168 @@ impl NetworkSim {
             + self.cfg.measure_cycles
             + 100_000;
         let mut drained = 0u64;
-        while self.tracked_in_flight > 0 {
-            self.step(false);
-            drained += 1;
-            assert!(
-                drained <= max_drain,
-                "drain did not complete: {} tracked messages stuck (load too close to 1?)",
-                self.tracked_in_flight
-            );
+        {
+            let _span = tel.span("net/drain");
+            while self.tracked_in_flight > 0 {
+                self.step(false);
+                drained += 1;
+                assert!(
+                    drained <= max_drain,
+                    "drain did not complete: {} tracked messages stuck (load too close to 1?)",
+                    self.tracked_in_flight
+                );
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self);
+                }
+            }
         }
         self.stats.cycles = self.now;
         self.stats.in_flight_at_end = self.in_flight() as u64;
+        if OBS {
+            obs.as_mut().expect("telemetry state").flush_final(&self);
+        }
         self.stats
+    }
+}
+
+/// How often (in cycles) an instrumented run pushes progress deltas and
+/// lets the heartbeat check its wall-clock interval. Coarse on purpose:
+/// the per-cycle cost of *enabled* telemetry is two counter decrements.
+const HEARTBEAT_CHECK_CYCLES: u64 = 2_048;
+
+/// Per-run telemetry state for the instrumented drive loop: metric
+/// handles resolved once at run start plus countdowns for the two
+/// sampled activities (occupancy sampling, heartbeat checks).
+struct ObsState<'t> {
+    tel: &'t Telemetry,
+    metrics: bool,
+    sample_every: u64,
+    until_sample: u64,
+    until_heartbeat: u64,
+    last_cycles: u64,
+    last_injected: u64,
+    last_delivered: u64,
+    last_rejected: u64,
+    /// Per-stage total-queued-messages gauges (empty when metrics off).
+    stage_occupancy: Vec<Arc<Gauge>>,
+    /// Distribution of per-queue occupancy across all sampled queues.
+    occupancy_hist: Option<Arc<Histogram>>,
+}
+
+impl<'t> ObsState<'t> {
+    fn new(tel: &'t Telemetry, stages: usize) -> Self {
+        let metrics = tel.metrics_enabled();
+        let stage_occupancy = if metrics {
+            (0..stages)
+                .map(|s| tel.registry().gauge(&format!("net.occupancy.stage{:02}", s + 1)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let occupancy_hist =
+            metrics.then(|| tel.registry().histogram("net.queue_occupancy", POW2_BOUNDS));
+        let sample_every = tel.config().sample_every.max(1);
+        ObsState {
+            tel,
+            metrics,
+            sample_every,
+            until_sample: sample_every,
+            until_heartbeat: HEARTBEAT_CHECK_CYCLES,
+            last_cycles: 0,
+            last_injected: 0,
+            last_delivered: 0,
+            last_rejected: 0,
+            stage_occupancy,
+            occupancy_hist,
+        }
+    }
+
+    /// Per-cycle bookkeeping of an instrumented run (never called on the
+    /// disabled path): two countdowns, everything else amortized.
+    #[inline]
+    fn tick(&mut self, sim: &NetworkSim) {
+        if self.metrics {
+            self.until_sample -= 1;
+            if self.until_sample == 0 {
+                self.until_sample = self.sample_every;
+                self.sample_occupancy(sim);
+            }
+        }
+        self.until_heartbeat -= 1;
+        if self.until_heartbeat == 0 {
+            self.until_heartbeat = HEARTBEAT_CHECK_CYCLES;
+            self.push_progress(sim);
+            self.tel.heartbeat_tick();
+        }
+    }
+
+    /// Samples every queue's occupancy into the per-stage gauges (with
+    /// high-water marks) and the global occupancy histogram.
+    #[cold]
+    fn sample_occupancy(&self, sim: &NetworkSim) {
+        let hist = self.occupancy_hist.as_ref().expect("metrics enabled");
+        for (s, gauge) in self.stage_occupancy.iter().enumerate() {
+            let mut total = 0u64;
+            for q in &sim.queues[s * sim.ports..(s + 1) * sim.ports] {
+                total += u64::from(q.len);
+                hist.record(u64::from(q.len));
+            }
+            gauge.set(total);
+        }
+    }
+
+    /// Pushes counter deltas since the last push into the shared
+    /// progress ledger.
+    fn push_progress(&mut self, sim: &NetworkSim) {
+        self.tel.progress().add_cycles(sim.now - self.last_cycles);
+        self.tel.progress().add_messages(
+            sim.stats.injected_total - self.last_injected,
+            sim.stats.delivered_total - self.last_delivered,
+            sim.stats.rejected_total - self.last_rejected,
+        );
+        self.last_cycles = sim.now;
+        self.last_injected = sim.stats.injected_total;
+        self.last_delivered = sim.stats.delivered_total;
+        self.last_rejected = sim.stats.rejected_total;
+    }
+
+    /// End-of-run flush: final progress delta plus the conservation
+    /// ledger, tracked-message counters, and the slab high-water mark.
+    fn flush_final(&mut self, sim: &NetworkSim) {
+        self.push_progress(sim);
+        if !self.metrics {
+            return;
+        }
+        let reg = self.tel.registry();
+        let st = &sim.stats;
+        reg.counter("net.injected_total").add(st.injected_total);
+        reg.counter("net.delivered_total").add(st.delivered_total);
+        reg.counter("net.rejected_total").add(st.rejected_total);
+        reg.counter("net.in_flight_at_end").add(st.in_flight_at_end);
+        reg.counter("net.cycles").add(st.cycles);
+        reg.counter("net.tracked_injected").add(st.injected);
+        reg.counter("net.tracked_delivered").add(st.delivered);
+        // The slab never shrinks, so its length is the peak number of
+        // messages simultaneously in flight over the whole run.
+        reg.gauge("net.slab_high_water").set(sim.slab.len() as u64);
+        reg.counter("net.runs").inc();
     }
 }
 
 /// Convenience: build and run in one call.
 pub fn run_network(cfg: NetworkConfig) -> NetworkStats {
     NetworkSim::new(cfg).run()
+}
+
+/// Convenience: build and run one instrumented simulation, registering
+/// its expected cycle count with the shared progress ledger first (so
+/// heartbeat ETAs are meaningful).
+pub fn run_network_instrumented(cfg: NetworkConfig, tel: &Telemetry) -> NetworkStats {
+    if tel.active() {
+        tel.progress()
+            .add_expected_cycles(cfg.warmup_cycles + cfg.measure_cycles);
+    }
+    NetworkSim::new(cfg).run_instrumented(tel)
 }
 
 #[cfg(test)]
@@ -690,6 +884,67 @@ mod tests {
         assert_eq!(stats.injected, 0);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.injected_total, 0);
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_to_plain_run() {
+        use banyan_obs::TelemetryConfig;
+        let base = run_network(quick_cfg(2, 4, 0.6, 2));
+        for cfg in [
+            TelemetryConfig::on(),
+            TelemetryConfig::on().with_sample_every(17),
+            TelemetryConfig::off().with_progress(),
+        ] {
+            let tel = Telemetry::new(cfg);
+            let inst = run_network_instrumented(quick_cfg(2, 4, 0.6, 2), &tel);
+            assert_eq!(inst.injected, base.injected);
+            assert_eq!(inst.delivered, base.delivered);
+            assert_eq!(inst.injected_total, base.injected_total);
+            assert_eq!(inst.delivered_total, base.delivered_total);
+            assert_eq!(inst.in_flight_at_end, base.in_flight_at_end);
+            assert_eq!(inst.cycles, base.cycles);
+            for (a, b) in inst.stage_waits.iter().zip(&base.stage_waits) {
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+                assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+            }
+            assert_eq!(
+                inst.total_wait.mean().to_bits(),
+                base.total_wait.mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_run_records_spans_counters_and_occupancy() {
+        use banyan_obs::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::on().with_sample_every(32));
+        let stats = run_network_instrumented(quick_cfg(2, 3, 0.5, 1), &tel);
+        for phase in ["net/warmup", "net/measure", "net/drain"] {
+            let st = tel.spans().stat(phase).unwrap_or_else(|| panic!("missing span {phase}"));
+            assert_eq!(st.calls, 1, "{phase}");
+        }
+        let reg = tel.registry();
+        assert_eq!(reg.counter_value("net.injected_total"), Some(stats.injected_total));
+        assert_eq!(reg.counter_value("net.delivered_total"), Some(stats.delivered_total));
+        assert_eq!(reg.counter_value("net.in_flight_at_end"), Some(stats.in_flight_at_end));
+        assert_eq!(reg.counter_value("net.cycles"), Some(stats.cycles));
+        assert_eq!(reg.counter_value("net.runs"), Some(1));
+        // The conservation ledger closes inside the registry too.
+        assert_eq!(
+            reg.counter_value("net.injected_total").unwrap(),
+            reg.counter_value("net.delivered_total").unwrap()
+                + reg.counter_value("net.in_flight_at_end").unwrap()
+        );
+        let snap = reg.snapshot_json();
+        assert!(snap.contains("net.occupancy.stage01"), "occupancy gauges present");
+        assert!(snap.contains("net.queue_occupancy"), "occupancy histogram present");
+        assert!(snap.contains("net.slab_high_water"), "slab HWM present");
+        // Progress ledger saw the whole run (warmup + measure + drain).
+        let p = tel.progress().snapshot();
+        assert_eq!(p.cycles, stats.cycles);
+        assert_eq!(p.injected, stats.injected_total);
+        assert_eq!(p.delivered, stats.delivered_total);
+        assert_eq!(p.in_flight(), stats.in_flight_at_end);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! simulator does not exercise at a single port.
 
 use crate::traffic::ServiceDist;
+use banyan_obs::Telemetry;
 use banyan_stats::{CoMoment, IntHistogram, OnlineStats};
 use banyan_prng::rngs::SmallRng;
 use banyan_prng::{Rng, SeedableRng};
@@ -175,74 +176,158 @@ impl QueueStats {
     }
 }
 
-/// Runs the Lindley-recursion simulation.
-pub fn run_queue(cfg: &QueueConfig) -> QueueStats {
-    cfg.service.validate();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut s: u64 = 0; // unfinished work at end of previous cycle
-    let mut wait = OnlineStats::new();
-    let mut hist = IntHistogram::new();
-    let mut backlog_stats = OnlineStats::new();
-    let mut backlog_hist = IntHistogram::new();
-    let mut busy_cycles: u64 = 0;
-    let mut idle_ends: u64 = 0;
-    let mut autocorr = [CoMoment::new(), CoMoment::new(), CoMoment::new(), CoMoment::new()];
-    let mut busy_history = [0.0f64; 4];
-    let mut history_len = 0usize;
+/// The Lindley-recursion state, factored out so the plain and
+/// instrumented entry points drive the *same* per-cycle body (identical
+/// operation and RNG order → bit-identical statistics).
+struct LindleyState {
+    rng: SmallRng,
+    /// Unfinished work at end of previous cycle.
+    s: u64,
+    wait: OnlineStats,
+    hist: IntHistogram,
+    backlog_stats: OnlineStats,
+    backlog_hist: IntHistogram,
+    busy_cycles: u64,
+    idle_ends: u64,
+    autocorr: [CoMoment; 4],
+    busy_history: [f64; 4],
+    history_len: usize,
+}
 
-    for cycle in 0..(cfg.warmup_cycles + cfg.measure_cycles) {
-        let measuring = cycle >= cfg.warmup_cycles;
-        let count = cfg.arrivals.sample(&mut rng);
+impl LindleyState {
+    fn new(cfg: &QueueConfig) -> Self {
+        cfg.service.validate();
+        LindleyState {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            s: 0,
+            wait: OnlineStats::new(),
+            hist: IntHistogram::new(),
+            backlog_stats: OnlineStats::new(),
+            backlog_hist: IntHistogram::new(),
+            busy_cycles: 0,
+            idle_ends: 0,
+            autocorr: [CoMoment::new(), CoMoment::new(), CoMoment::new(), CoMoment::new()],
+            busy_history: [0.0; 4],
+            history_len: 0,
+        }
+    }
+
+    /// Advances one cycle of the batch-arrival Lindley recursion.
+    #[inline]
+    fn step(&mut self, cfg: &QueueConfig, measuring: bool) {
+        let count = cfg.arrivals.sample(&mut self.rng);
         let mut batch_work: u64 = 0;
         for _ in 0..count {
-            let v = cfg.service.sample(&mut rng) as u64;
-            let w = s + batch_work;
+            let v = cfg.service.sample(&mut self.rng) as u64;
+            let w = self.s + batch_work;
             if measuring {
-                wait.push(w as f64);
-                hist.record(w);
+                self.wait.push(w as f64);
+                self.hist.record(w);
             }
             batch_work += v;
         }
-        let backlog = s + batch_work;
+        let backlog = self.s + batch_work;
         let busy = if backlog > 0 { 1.0 } else { 0.0 };
         if measuring && backlog > 0 {
-            busy_cycles += 1;
+            self.busy_cycles += 1;
         }
-        s = backlog.saturating_sub(1);
+        self.s = backlog.saturating_sub(1);
         if measuring {
-            backlog_stats.push(s as f64);
-            backlog_hist.record(s);
-            if s == 0 {
-                idle_ends += 1;
+            self.backlog_stats.push(self.s as f64);
+            self.backlog_hist.record(self.s);
+            if self.s == 0 {
+                self.idle_ends += 1;
             }
             // Output-process autocorrelation at lags 1..=4
             // (busy_history[j] = busy indicator j+1 cycles ago).
             for lag in 1..=4usize {
-                if history_len >= lag {
-                    autocorr[lag - 1].push(busy_history[lag - 1], busy);
+                if self.history_len >= lag {
+                    self.autocorr[lag - 1].push(self.busy_history[lag - 1], busy);
                 }
             }
             // Shift ring: history[0] = most recent.
-            busy_history.rotate_right(1);
-            busy_history[0] = busy;
-            history_len = (history_len + 1).min(4);
+            self.busy_history.rotate_right(1);
+            self.busy_history[0] = busy;
+            self.history_len = (self.history_len + 1).min(4);
         }
     }
 
-    QueueStats {
-        wait,
-        hist,
-        backlog: backlog_stats,
-        backlog_hist,
-        idle_fraction: idle_ends as f64 / cfg.measure_cycles.max(1) as f64,
-        utilization: busy_cycles as f64 / cfg.measure_cycles.max(1) as f64,
-        output_autocorr: [
-            autocorr[0].correlation(),
-            autocorr[1].correlation(),
-            autocorr[2].correlation(),
-            autocorr[3].correlation(),
-        ],
+    fn finish(self, cfg: &QueueConfig) -> QueueStats {
+        QueueStats {
+            wait: self.wait,
+            hist: self.hist,
+            backlog: self.backlog_stats,
+            backlog_hist: self.backlog_hist,
+            idle_fraction: self.idle_ends as f64 / cfg.measure_cycles.max(1) as f64,
+            utilization: self.busy_cycles as f64 / cfg.measure_cycles.max(1) as f64,
+            output_autocorr: [
+                self.autocorr[0].correlation(),
+                self.autocorr[1].correlation(),
+                self.autocorr[2].correlation(),
+                self.autocorr[3].correlation(),
+            ],
+        }
     }
+}
+
+/// Runs the Lindley-recursion simulation.
+pub fn run_queue(cfg: &QueueConfig) -> QueueStats {
+    let mut st = LindleyState::new(cfg);
+    for cycle in 0..(cfg.warmup_cycles + cfg.measure_cycles) {
+        st.step(cfg, cycle >= cfg.warmup_cycles);
+    }
+    st.finish(cfg)
+}
+
+/// How often (in cycles) the instrumented queue run pushes progress
+/// deltas and lets the heartbeat check its interval.
+const HEARTBEAT_CHECK_CYCLES: u64 = 65_536;
+
+/// Like [`run_queue`], but reporting into `tel`: `queue/warmup` and
+/// `queue/measure` spans, progress-ledger cycle deltas, and end-of-run
+/// counters (`queue.cycles`, `queue.messages`, `queue.runs`). Telemetry
+/// is observational only — the returned statistics are bit-identical to
+/// [`run_queue`] for any configuration; with telemetry off this *is*
+/// [`run_queue`].
+pub fn run_queue_instrumented(cfg: &QueueConfig, tel: &Telemetry) -> QueueStats {
+    if !tel.active() {
+        return run_queue(cfg);
+    }
+    let mut st = LindleyState::new(cfg);
+    let mut since_push = 0u64;
+    {
+        let _span = tel.span("queue/warmup");
+        for _ in 0..cfg.warmup_cycles {
+            st.step(cfg, false);
+            since_push += 1;
+            if since_push == HEARTBEAT_CHECK_CYCLES {
+                tel.progress().add_cycles(since_push);
+                since_push = 0;
+                tel.heartbeat_tick();
+            }
+        }
+    }
+    {
+        let _span = tel.span("queue/measure");
+        for _ in 0..cfg.measure_cycles {
+            st.step(cfg, true);
+            since_push += 1;
+            if since_push == HEARTBEAT_CHECK_CYCLES {
+                tel.progress().add_cycles(since_push);
+                since_push = 0;
+                tel.heartbeat_tick();
+            }
+        }
+    }
+    tel.progress().add_cycles(since_push);
+    let stats = st.finish(cfg);
+    if tel.metrics_enabled() {
+        let reg = tel.registry();
+        reg.counter("queue.cycles").add(cfg.warmup_cycles + cfg.measure_cycles);
+        reg.counter("queue.messages").add(stats.wait.count());
+        reg.counter("queue.runs").inc();
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -384,6 +469,42 @@ mod tests {
                 < 1e-15
         );
         assert!((ArrivalDist::Tabulated(vec![0.5, 0.25, 0.25]).lambda() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instrumented_queue_run_is_bit_identical_and_records() {
+        use banyan_obs::TelemetryConfig;
+        let cfg = QueueConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 50_000,
+            ..QueueConfig::new(
+                ArrivalDist::UniformSwitch { k: 2, s: 2, p: 0.5 },
+                ServiceDist::Geometric(0.75),
+            )
+        };
+        let base = run_queue(&cfg);
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let inst = run_queue_instrumented(&cfg, &tel);
+        assert_eq!(inst.wait.count(), base.wait.count());
+        assert_eq!(inst.wait.mean().to_bits(), base.wait.mean().to_bits());
+        assert_eq!(inst.wait.variance().to_bits(), base.wait.variance().to_bits());
+        assert_eq!(inst.backlog.mean().to_bits(), base.backlog.mean().to_bits());
+        assert_eq!(inst.idle_fraction.to_bits(), base.idle_fraction.to_bits());
+        for (a, b) in inst.output_autocorr.iter().zip(&base.output_autocorr) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(tel.spans().stat("queue/warmup").unwrap().calls, 1);
+        assert_eq!(tel.spans().stat("queue/measure").unwrap().calls, 1);
+        let reg = tel.registry();
+        assert_eq!(reg.counter_value("queue.cycles"), Some(52_000));
+        assert_eq!(reg.counter_value("queue.messages"), Some(base.wait.count()));
+        assert_eq!(reg.counter_value("queue.runs"), Some(1));
+        assert_eq!(tel.progress().snapshot().cycles, 52_000);
+        // A disabled sink takes the plain path and records nothing.
+        let off = Telemetry::off();
+        let quiet = run_queue_instrumented(&cfg, &off);
+        assert_eq!(quiet.wait.mean().to_bits(), base.wait.mean().to_bits());
+        assert!(off.registry().is_empty());
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! thread count — the merge always proceeds in replication order — and
 //! any published table row is reproducible from its base seed alone.
 
-use crate::network::{run_network, NetworkConfig, NetworkStats};
-use crate::queue::{run_queue, QueueConfig, QueueStats};
+use crate::network::{NetworkConfig, NetworkSim, NetworkStats};
+use crate::queue::{run_queue_instrumented, QueueConfig, QueueStats};
+use banyan_obs::Telemetry;
 
 /// Runs `reps` independent replications of a network simulation on up to
 /// `threads` worker threads (seeds `cfg.seed + 0 … cfg.seed + reps − 1`)
@@ -22,9 +23,39 @@ use crate::queue::{run_queue, QueueConfig, QueueStats};
 /// # Panics
 /// Panics if `reps == 0`, or if a worker's simulation panics.
 pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) -> NetworkStats {
+    run_network_replicated_instrumented(cfg, reps, threads, &Telemetry::off())
+}
+
+/// [`run_network_replicated`] with shared telemetry: per-worker spans
+/// (`runner/workerNN`), a `runner/merge` span, expected-cycle
+/// registration for heartbeat ETAs, and one run-log provenance line.
+/// All sinks in `tel` are thread-safe, so every replication reports into
+/// the same registry. Telemetry never touches a replication's RNG or
+/// the merge order, so the merged statistics are **bit-identical** for
+/// any `TelemetryConfig` and any thread count.
+///
+/// # Panics
+/// Panics if `reps == 0`, or if a worker's simulation panics.
+pub fn run_network_replicated_instrumented(
+    cfg: &NetworkConfig,
+    reps: u32,
+    threads: usize,
+    tel: &Telemetry,
+) -> NetworkStats {
     assert!(reps > 0, "need at least one replication");
     let reps = reps as usize;
     let threads = threads.clamp(1, reps);
+    if tel.active() {
+        tel.progress().add_expected_cycles(
+            (cfg.warmup_cycles + cfg.measure_cycles) * reps as u64,
+        );
+    }
+    if tel.metrics_enabled() {
+        tel.log_run(format!(
+            "network reps={reps} threads={threads} base_seed={:#x} cfg={:?}",
+            cfg.seed, cfg
+        ));
+    }
     // ceil-split so no worker is idle while another holds 2+ extra reps;
     // the last chunk may be short (or some trailing workers may get
     // nothing when threads does not divide reps — chunks() simply
@@ -35,10 +66,13 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
         for (chunk_idx, chunk) in partials.chunks_mut(chunk_len).enumerate() {
             let base = chunk_idx * chunk_len;
             scope.spawn(move || {
+                let _span = tel
+                    .metrics_enabled()
+                    .then(|| tel.span(&format!("runner/worker{chunk_idx:02}")));
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let mut c = cfg.clone();
                     c.seed = cfg.seed.wrapping_add((base + off) as u64);
-                    *slot = Some(run_network(c));
+                    *slot = Some(NetworkSim::new(c).run_instrumented(tel));
                 }
             });
         }
@@ -46,6 +80,7 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
     // Every slot belongs to exactly one chunk and scope joins all
     // workers (propagating panics), so the merge in replication order
     // never observes an empty slot.
+    let _span = tel.metrics_enabled().then(|| tel.span("runner/merge"));
     let mut iter = partials
         .into_iter()
         .map(|s| s.expect("scope joined every worker"));
@@ -67,23 +102,53 @@ pub fn run_network_replicated(cfg: &NetworkConfig, reps: u32, threads: usize) ->
 /// # Panics
 /// Panics if `reps == 0`, or if a worker's simulation panics.
 pub fn run_queue_replicated(cfg: &QueueConfig, reps: u32, threads: usize) -> QueueStats {
+    run_queue_replicated_instrumented(cfg, reps, threads, &Telemetry::off())
+}
+
+/// [`run_queue_replicated`] with shared telemetry — the queue-side
+/// counterpart of [`run_network_replicated_instrumented`], with the same
+/// bit-identity guarantee.
+///
+/// # Panics
+/// Panics if `reps == 0`, or if a worker's simulation panics.
+pub fn run_queue_replicated_instrumented(
+    cfg: &QueueConfig,
+    reps: u32,
+    threads: usize,
+    tel: &Telemetry,
+) -> QueueStats {
     assert!(reps > 0, "need at least one replication");
     let reps = reps as usize;
     let threads = threads.clamp(1, reps);
+    if tel.active() {
+        tel.progress().add_expected_cycles(
+            (cfg.warmup_cycles + cfg.measure_cycles) * reps as u64,
+        );
+    }
+    if tel.metrics_enabled() {
+        tel.log_run(format!(
+            "queue reps={reps} threads={threads} base_seed={:#x} cfg={:?}",
+            cfg.seed, cfg
+        ));
+    }
     let chunk_len = reps.div_ceil(threads);
     let mut partials: Vec<Option<QueueStats>> = vec![None; reps];
     std::thread::scope(|scope| {
         for (chunk_idx, chunk) in partials.chunks_mut(chunk_len).enumerate() {
             let base = chunk_idx * chunk_len;
             scope.spawn(move || {
+                let _span = tel
+                    .metrics_enabled()
+                    .then(|| tel.span(&format!("runner/worker{chunk_idx:02}")));
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let mut c = cfg.clone();
                     c.seed = cfg.seed.wrapping_add((base + off) as u64);
-                    *slot = Some(run_queue(&c));
+                    *slot = Some(run_queue_instrumented(&c, tel));
                 }
             });
         }
     });
+    let _span = tel.metrics_enabled().then(|| tel.span("runner/merge"));
     let mut iter = partials
         .into_iter()
         .map(|s| s.expect("scope joined every worker"));
@@ -97,7 +162,8 @@ pub fn run_queue_replicated(cfg: &QueueConfig, reps: u32, threads: usize) -> Que
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::ArrivalDist;
+    use crate::network::run_network;
+    use crate::queue::{run_queue, ArrivalDist};
     use crate::traffic::{ServiceDist, Workload};
 
     fn quick_net() -> NetworkConfig {
@@ -235,6 +301,38 @@ mod tests {
         let four = run_queue_replicated(&cfg, 4, 2);
         assert!(four.wait.count() > 3 * one.wait.count());
         assert!((four.wait.mean() - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn instrumented_replication_is_bit_identical_and_shares_sink() {
+        use banyan_obs::{Telemetry, TelemetryConfig};
+        let cfg = quick_net();
+        let base = run_network_replicated(&cfg, 4, 2);
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let inst = run_network_replicated_instrumented(&cfg, 4, 2, &tel);
+        assert_eq!(inst.delivered, base.delivered);
+        assert_eq!(inst.total_wait.mean().to_bits(), base.total_wait.mean().to_bits());
+        assert_eq!(
+            inst.total_wait.variance().to_bits(),
+            base.total_wait.variance().to_bits()
+        );
+        // All four replications reported into the one registry…
+        assert_eq!(tel.registry().counter_value("net.runs"), Some(4));
+        assert_eq!(
+            tel.registry().counter_value("net.delivered_total"),
+            Some(inst.delivered_total)
+        );
+        // …under two worker spans plus the merge span, with expected
+        // cycles registered for the ETA.
+        assert_eq!(tel.spans().stat("runner/worker00").unwrap().calls, 1);
+        assert_eq!(tel.spans().stat("runner/worker01").unwrap().calls, 1);
+        assert_eq!(tel.spans().stat("runner/merge").unwrap().calls, 1);
+        let snap = tel.progress().snapshot();
+        assert_eq!(
+            snap.expected_cycles,
+            4 * (cfg.warmup_cycles + cfg.measure_cycles)
+        );
+        assert!(tel.run_log_json().contains("network reps=4 threads=2"));
     }
 
     #[test]

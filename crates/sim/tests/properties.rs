@@ -199,6 +199,67 @@ fn input_queued_conserves_messages() {
 }
 
 #[test]
+fn telemetry_never_perturbs_replicated_results() {
+    // The observability contract: `run_network_replicated` is
+    // bit-identical with telemetry off vs on (any sampling cadence, any
+    // thread count) — telemetry observes counters and queues but never
+    // the RNG or the dynamics.
+    use banyan_obs::{Telemetry, TelemetryConfig};
+    use banyan_sim::runner::run_network_replicated_instrumented;
+    check(CASES, |g| {
+        let p = g.f64(0.1..0.8);
+        let n = g.u32(2..5);
+        let reps = g.pick(&[1u32, 2, 3]);
+        let threads = g.pick(&[1usize, 2, 4]);
+        let sample_every = g.pick(&[1u64, 7, 256]);
+        let seed = g.any_u64();
+        let cfg = NetworkConfig {
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            seed,
+            ..NetworkConfig::new(2, n, Workload::uniform(p, 1))
+        };
+        let off = run_network_replicated_instrumented(&cfg, reps, threads, &Telemetry::off());
+        let tel = Telemetry::new(TelemetryConfig::on().with_sample_every(sample_every));
+        let on = run_network_replicated_instrumented(&cfg, reps, threads, &tel);
+        let label = format!("p={p} n={n} reps={reps} threads={threads} every={sample_every}");
+        assert_eq!(on.injected, off.injected, "{label}");
+        assert_eq!(on.delivered, off.delivered, "{label}");
+        assert_eq!(on.injected_total, off.injected_total, "{label}");
+        assert_eq!(on.delivered_total, off.delivered_total, "{label}");
+        assert_eq!(on.in_flight_at_end, off.in_flight_at_end, "{label}");
+        assert_eq!(
+            on.total_wait.mean().to_bits(),
+            off.total_wait.mean().to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            on.total_wait.variance().to_bits(),
+            off.total_wait.variance().to_bits(),
+            "{label}"
+        );
+        for (a, b) in on.stage_waits.iter().zip(&off.stage_waits) {
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{label}");
+            assert_eq!(a.variance().to_bits(), b.variance().to_bits(), "{label}");
+        }
+        // The registry agrees with the merged stats: telemetry is a
+        // faithful observer, not a second bookkeeper.
+        let reg = tel.registry();
+        assert_eq!(reg.counter_value("net.runs"), Some(u64::from(reps)), "{label}");
+        assert_eq!(
+            reg.counter_value("net.injected_total"),
+            Some(on.injected_total),
+            "{label}"
+        );
+        assert_eq!(
+            reg.counter_value("net.delivered_total"),
+            Some(on.delivered_total),
+            "{label}"
+        );
+    });
+}
+
+#[test]
 fn same_seed_same_results() {
     check(CASES, |g| {
         let p = g.f64(0.1..0.8);

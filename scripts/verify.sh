@@ -63,6 +63,27 @@ echo "ok: all dependencies are path/workspace entries"
 echo "== offline release build =="
 timed "release build" cargo build --workspace --release --offline
 
+echo "== telemetry smoke =="
+telemetry_smoke() {
+    local manifest
+    manifest=$(mktemp)
+    ./target/release/banyan simulate --stages 3 --p 0.4 --cycles 2000 \
+        --telemetry "$manifest" --progress > /dev/null
+    python3 - "$manifest" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["schema"] == "banyan-obs/manifest/v1", m["schema"]
+c = m["metrics"]["counters"]
+for key in ("net.injected_total", "net.delivered_total", "net.in_flight_at_end"):
+    assert key in c, f"missing counter {key}"
+assert c["net.injected_total"] == c["net.delivered_total"] + c["net.in_flight_at_end"], c
+assert any(s.startswith("net/") for s in m["spans"]), m["spans"].keys()
+print("ok: manifest parses; conservation ledger closes")
+PY
+    rm -f "$manifest"
+}
+timed "telemetry smoke" telemetry_smoke
+
 if [ "$QUICK" -eq 1 ]; then
     echo "== offline unit tests (--quick: libs + bins, minus the bench suites) =="
     # banyan-bench's lib tests exercise real timed benchmark runs
@@ -87,6 +108,10 @@ for suite in crates/*/tests/*.rs; do
     timed "suite: $pkg/$name" cargo test -q --offline -p "$pkg" --test "$name"
 done
 timed "doc tests" cargo test --workspace -q --offline --doc
+
+echo "== telemetry overhead guard =="
+timed "overhead guard" cargo run -q --offline --release -p banyan-bench --bin overhead_guard
+
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (-D warnings) =="

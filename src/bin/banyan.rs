@@ -7,15 +7,29 @@
 //! banyan first-stage --k 2 --p 0.5 --geometric-mu 0.5
 //! banyan total --k 2 --stages 12 --p 0.5 --m 1 [--quantiles]
 //! banyan simulate --k 2 --stages 6 --p 0.5 --m 1 [--cycles N] [--q HOT] [--capacity C]
+//!                 [--reps R] [--threads T] [--telemetry FILE] [--progress]
 //! banyan pmf --k 2 --p 0.5 --m 1 --len 32
 //! ```
 //!
-//! Flags are `--name value`; anything unknown is an error. This binary
-//! deliberately avoids external argument-parsing crates.
+//! Flags are `--name value`; anything unknown is an error with a
+//! "did you mean" suggestion. Simulation results go to stdout;
+//! diagnostics (`--progress` heartbeats, telemetry notices) go to
+//! stderr, so stdout stays machine-parseable. This binary deliberately
+//! avoids external argument-parsing crates.
 
-use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, Flags};
+use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, validate_flags, Flags};
 use banyan_repro::prelude::*;
 use std::process::ExitCode;
+
+/// Known flags per subcommand: parse_flags accepts any `--name value`
+/// pair, so each command validates against its own set before running.
+const FIRST_STAGE_FLAGS: &[&str] = &["k", "p", "q", "b", "m", "geometric-mu", "mix"];
+const TOTAL_FLAGS: &[&str] = &["k", "stages", "p", "m", "quantiles"];
+const SIMULATE_FLAGS: &[&str] = &[
+    "k", "stages", "p", "q", "cycles", "seed", "m", "geometric-mu", "mix", "capacity", "reps",
+    "threads", "telemetry", "progress",
+];
+const PMF_FLAGS: &[&str] = &["k", "p", "m", "len"];
 
 fn cmd_first_stage(flags: &Flags) -> Result<(), String> {
     let k: u32 = get(flags, "k", 2)?;
@@ -109,7 +123,13 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let q: f64 = get_prob(flags, "q", 0.0)?;
     let cycles: u64 = get(flags, "cycles", 20_000u64)?;
     let seed: u64 = get(flags, "seed", 1u64)?;
+    let reps: u32 = get(flags, "reps", 1u32)?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let threads: usize = get(flags, "threads", 1usize)?;
     let service = service_from_flags(flags)?;
+    let service_desc = format!("{service:?}");
     let mut cfg = NetworkConfig::new(k, n, Workload { p, q, service });
     cfg.measure_cycles = cycles;
     cfg.warmup_cycles = (cycles / 10).max(500);
@@ -123,7 +143,23 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         }
         cfg.buffer_capacity = Some(cap);
     }
-    let stats = run_network(cfg);
+    let telemetry_path = flags.get("telemetry").cloned();
+    let mut tcfg = if telemetry_path.is_some() {
+        TelemetryConfig::on()
+    } else {
+        TelemetryConfig::off()
+    };
+    if flags.contains_key("progress") {
+        tcfg = tcfg.with_progress();
+    }
+    let tel = Telemetry::new(tcfg);
+    let started = std::time::Instant::now();
+    let stats = run_network_replicated_instrumented(&cfg, reps, threads, &tel);
+    let run_secs = started.elapsed().as_secs_f64();
+    // Telemetry never touches the RNG or the dynamics, so everything
+    // printed below (stdout) is byte-identical with or without
+    // --progress/--telemetry — only stderr gains output.
+    tel.heartbeat_final();
     println!("delivered {} messages over {} cycles", stats.delivered, stats.cycles);
     if stats.rejected_total > 0 {
         let offered = stats.injected_total + stats.rejected_total;
@@ -148,6 +184,26 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         stats.total_wait.variance(),
         stats.total_hist.quantile(0.99).unwrap_or(0)
     );
+    if let Some(path) = telemetry_path {
+        let mut m = Manifest::new("banyan-simulate");
+        m.config("k", k)
+            .config("stages", n)
+            .config("p", p)
+            .config("q", q)
+            .config("cycles", cycles)
+            .config("service", &service_desc)
+            .seed("base", seed)
+            .reps(reps)
+            .threads(threads)
+            .phase("run", run_secs);
+        if let Some(cap) = cfg.buffer_capacity {
+            m.config("capacity", cap);
+        }
+        let written = m
+            .write(&path, Some(&tel))
+            .map_err(|e| format!("cannot write --telemetry {path}: {e}"))?;
+        eprintln!("telemetry manifest written to {}", written.display());
+    }
     Ok(())
 }
 
@@ -169,7 +225,8 @@ fn cmd_pmf(flags: &Flags) -> Result<(), String> {
 
 const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
 commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  pmf          print the exact first-stage waiting distribution\n\
-common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len";
+common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
+simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --progress (heartbeat on stderr; stdout unchanged)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -185,10 +242,12 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "first-stage" => cmd_first_stage(&flags),
-        "total" => cmd_total(&flags),
-        "simulate" => cmd_simulate(&flags),
-        "pmf" => cmd_pmf(&flags),
+        "first-stage" => {
+            validate_flags(&flags, FIRST_STAGE_FLAGS).and_then(|()| cmd_first_stage(&flags))
+        }
+        "total" => validate_flags(&flags, TOTAL_FLAGS).and_then(|()| cmd_total(&flags)),
+        "simulate" => validate_flags(&flags, SIMULATE_FLAGS).and_then(|()| cmd_simulate(&flags)),
+        "pmf" => validate_flags(&flags, PMF_FLAGS).and_then(|()| cmd_pmf(&flags)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

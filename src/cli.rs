@@ -33,6 +33,59 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(map)
 }
 
+/// Rejects flags that are not in `known` — previously unknown flags were
+/// silently ignored, so a typo like `--stage 6` ran with the default
+/// stage count. The error lists the offending flag and, when an entry of
+/// `known` is within Levenshtein distance 2, suggests it. Flags are
+/// checked in sorted order so the first error is deterministic.
+pub fn validate_flags(flags: &Flags, known: &[&str]) -> Result<(), String> {
+    let mut names: Vec<&str> = flags.keys().map(String::as_str).collect();
+    names.sort_unstable();
+    for name in names {
+        if known.contains(&name) {
+            continue;
+        }
+        let suggestion = known
+            .iter()
+            .map(|k| (levenshtein(name, k), *k))
+            .filter(|&(d, _)| d <= 2)
+            .min();
+        let mut msg = format!("unknown flag --{name}");
+        if let Some((_, k)) = suggestion {
+            msg.push_str(&format!(" (did you mean --{k}?)"));
+        } else {
+            let mut all: Vec<&str> = known.to_vec();
+            all.sort_unstable();
+            msg.push_str(&format!(
+                " (known flags: {})",
+                all.iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
+/// Edit distance between two ASCII flag names (two-row DP).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 /// Fetches a typed flag with a default.
 pub fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
@@ -106,6 +159,45 @@ mod tests {
     fn rejects_positional_arguments() {
         let err = parse_flags(&args(&["bogus"])).unwrap_err();
         assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn validate_accepts_known_flags() {
+        let f = parse_flags(&args(&["--k", "4", "--p", "0.5"])).unwrap();
+        assert!(validate_flags(&f, &["k", "p", "m"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_with_suggestion() {
+        // `--stage` instead of `--stages`: previously silently ignored.
+        let f = parse_flags(&args(&["--stage", "6"])).unwrap();
+        let err = validate_flags(&f, &["k", "p", "stages"]).unwrap_err();
+        assert!(err.contains("unknown flag --stage"), "{err}");
+        assert!(err.contains("did you mean --stages?"), "{err}");
+    }
+
+    #[test]
+    fn validate_lists_known_flags_when_no_near_match() {
+        let f = parse_flags(&args(&["--bananas", "6"])).unwrap();
+        let err = validate_flags(&f, &["k", "p", "stages"]).unwrap_err();
+        assert!(err.contains("unknown flag --bananas"), "{err}");
+        assert!(err.contains("known flags: --k --p --stages"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_first_unknown_in_sorted_order() {
+        let f = parse_flags(&args(&["--zzz", "1", "--aaa", "2"])).unwrap();
+        let err = validate_flags(&f, &["k"]).unwrap_err();
+        assert!(err.contains("--aaa"), "{err}");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("stage", "stages"), 1);
+        assert_eq!(levenshtein("thread", "threads"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
     }
 
     #[test]

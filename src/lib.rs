@@ -29,6 +29,7 @@ pub mod cli;
 
 pub use banyan_core as core;
 pub use banyan_numerics as numerics;
+pub use banyan_obs as obs;
 pub use banyan_sim as sim;
 pub use banyan_stats as stats;
 
@@ -40,10 +41,16 @@ pub mod prelude {
     };
     pub use banyan_core::total_delay::TotalWaiting;
     pub use banyan_core::{FirstStage, Pgf};
+    pub use banyan_obs::{Manifest, Telemetry, TelemetryConfig};
     pub use banyan_sim::input_queued::{run_input_queued, InputQueuedConfig};
-    pub use banyan_sim::network::{run_network, NetworkConfig, NetworkStats, Routing};
-    pub use banyan_sim::queue::{run_queue, ArrivalDist, QueueConfig};
-    pub use banyan_sim::runner::{run_network_replicated, run_queue_replicated};
+    pub use banyan_sim::network::{
+        run_network, run_network_instrumented, NetworkConfig, NetworkStats, Routing,
+    };
+    pub use banyan_sim::queue::{run_queue, run_queue_instrumented, ArrivalDist, QueueConfig};
+    pub use banyan_sim::runner::{
+        run_network_replicated, run_network_replicated_instrumented, run_queue_replicated,
+        run_queue_replicated_instrumented,
+    };
     pub use banyan_sim::traffic::{ServiceDist, Workload};
     pub use banyan_stats::{Gamma, IntHistogram, OnlineStats, Sectioned};
 }

@@ -62,6 +62,81 @@ fn pmf_command_prints_distribution() {
 }
 
 #[test]
+fn unknown_flag_is_rejected_with_suggestion() {
+    // Regression: `--stage` (for `--stages`) used to be silently ignored
+    // and the run proceeded with the default stage count.
+    let (ok, _, stderr) = banyan(&["simulate", "--stage", "3", "--cycles", "500"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --stage"), "{stderr}");
+    assert!(stderr.contains("did you mean --stages?"), "{stderr}");
+    // A flag valid for one command is still unknown for another.
+    let (ok, _, stderr) = banyan(&["pmf", "--cycles", "500"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --cycles"), "{stderr}");
+}
+
+#[test]
+fn progress_flag_leaves_stdout_byte_identical() {
+    let args = ["simulate", "--stages", "3", "--p", "0.4", "--cycles", "2000", "--seed", "7"];
+    let (ok, plain_stdout, plain_stderr) = banyan(&args);
+    assert!(ok);
+    let mut with_progress: Vec<&str> = args.to_vec();
+    with_progress.push("--progress");
+    let (ok, progress_stdout, progress_stderr) = banyan(&with_progress);
+    assert!(ok);
+    // The heartbeat goes to stderr only; stdout stays machine-parseable
+    // and byte-identical.
+    assert_eq!(progress_stdout, plain_stdout);
+    assert!(progress_stderr.len() > plain_stderr.len(), "{progress_stderr:?}");
+    assert!(progress_stderr.contains("banyan"), "{progress_stderr:?}");
+}
+
+#[test]
+fn telemetry_flag_writes_manifest_and_keeps_results_identical() {
+    let dir = std::env::temp_dir().join(format!("banyan_cli_test_{}", std::process::id()));
+    let path = dir.join("run.manifest.json");
+    let args = ["simulate", "--stages", "3", "--p", "0.4", "--cycles", "2000", "--reps", "2"];
+    let (ok, plain_stdout, _) = banyan(&args);
+    assert!(ok);
+    let mut with_tel: Vec<&str> = args.to_vec();
+    let path_str = path.to_str().unwrap().to_string();
+    with_tel.extend(["--telemetry", &path_str]);
+    let (ok, tel_stdout, stderr) = banyan(&with_tel);
+    assert!(ok, "{stderr}");
+    assert_eq!(tel_stdout, plain_stdout, "telemetry must not perturb results");
+    assert!(stderr.contains("telemetry manifest written"), "{stderr}");
+    let manifest = std::fs::read_to_string(&path).unwrap();
+    for key in [
+        "\"schema\"",
+        "\"banyan-obs/manifest/v1\"",
+        "\"net.injected_total\"",
+        "\"net.delivered_total\"",
+        "\"net/measure\"",
+        "\"reps\": 2",
+    ] {
+        assert!(manifest.contains(key), "missing {key} in manifest");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_reps_merge_more_messages() {
+    let base = ["simulate", "--stages", "3", "--p", "0.4", "--cycles", "1500"];
+    let (ok, one, _) = banyan(&base);
+    assert!(ok);
+    let mut rep_args: Vec<&str> = base.to_vec();
+    rep_args.extend(["--reps", "3", "--threads", "2"]);
+    let (ok, three, _) = banyan(&rep_args);
+    assert!(ok);
+    let delivered = |s: &str| -> u64 {
+        s.lines()
+            .find_map(|l| l.strip_prefix("delivered ")?.split(' ').next()?.parse().ok())
+            .expect("delivered line")
+    };
+    assert!(delivered(&three) > 2 * delivered(&one));
+}
+
+#[test]
 fn unstable_load_is_an_error() {
     let (ok, _, stderr) = banyan(&["total", "--p", "0.5", "--m", "4"]);
     assert!(!ok);
