@@ -1,0 +1,225 @@
+//! Structural validator for the JSON artifacts a run leaves behind:
+//! run manifests (`*.manifest.json`, schema v1 or v2), distribution
+//! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), and trace-event
+//! files (`--trace-out`, chrome://tracing format).
+//!
+//! Usage: `manifest_check FILE...` — each file is sniffed by its
+//! `schema` key (or by a top-level `traceEvents` array) and checked for
+//! schema version, required keys, finite numbers, and internal
+//! consistency (pmf counts summing to the sketch count, the
+//! injected = delivered + in-flight conservation ledger, …). Exits
+//! nonzero on the first file that fails; `scripts/verify.sh` runs it
+//! over `results/` and the smoke artifacts.
+
+use banyan_obs::json::JsonValue;
+
+/// Walks a parsed document and fails on any non-finite number. The
+/// writer serializes NaN/inf as `null`, so a non-finite value can only
+/// enter via an overflowing literal (e.g. `1e999`) — always a bug.
+fn check_finite(v: &JsonValue, path: &str) -> Result<(), String> {
+    match v {
+        JsonValue::Num(n) if !n.is_finite() => Err(format!("{path}: non-finite number")),
+        JsonValue::Arr(items) => items
+            .iter()
+            .enumerate()
+            .try_for_each(|(i, item)| check_finite(item, &format!("{path}[{i}]"))),
+        JsonValue::Obj(members) => members
+            .iter()
+            .try_for_each(|(k, item)| check_finite(item, &format!("{path}.{k}"))),
+        _ => Ok(()),
+    }
+}
+
+fn require<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    doc.get(key).ok_or_else(|| format!("missing required key \"{key}\""))
+}
+
+/// One distribution sketch object: parallel `values`/`counts` arrays
+/// whose counts sum to `count`, with finite moments.
+fn check_sketch(name: &str, sk: &JsonValue) -> Result<(), String> {
+    let ctx = |msg: String| format!("sketch \"{name}\": {msg}");
+    let count = require(sk, "count")?
+        .as_u64()
+        .ok_or_else(|| ctx("count is not a nonnegative integer".into()))?;
+    for key in ["mean", "variance"] {
+        require(sk, key)?
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| ctx(format!("{key} is not a finite number")))?;
+    }
+    let values = require(sk, "values")?
+        .as_array()
+        .ok_or_else(|| ctx("values is not an array".into()))?;
+    let counts = require(sk, "counts")?
+        .as_array()
+        .ok_or_else(|| ctx("counts is not an array".into()))?;
+    if values.len() != counts.len() {
+        return Err(ctx(format!(
+            "values/counts length mismatch: {} vs {}",
+            values.len(),
+            counts.len()
+        )));
+    }
+    let mut sum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        let c = c
+            .as_u64()
+            .ok_or_else(|| ctx(format!("counts[{i}] is not a nonnegative integer")))?;
+        if c == 0 {
+            return Err(ctx(format!("counts[{i}] is zero (sparse pmf must omit it)")));
+        }
+        sum += c;
+    }
+    if sum != count {
+        return Err(ctx(format!("pmf counts sum to {sum}, count says {count}")));
+    }
+    Ok(())
+}
+
+/// Checks every sketch under a `distributions` object.
+fn check_distributions(doc: &JsonValue) -> Result<usize, String> {
+    let dists = require(doc, "distributions")?
+        .as_object()
+        .ok_or("distributions is not an object")?;
+    for (name, sk) in dists {
+        check_sketch(name, sk)?;
+    }
+    Ok(dists.len())
+}
+
+/// A run manifest, v1 or v2. All v1 keys are required in both; v2 adds
+/// `span_quantiles` and `distributions`.
+fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
+    let v2 = match schema {
+        "banyan-obs/manifest/v1" => false,
+        "banyan-obs/manifest/v2" => true,
+        other => return Err(format!("unknown manifest schema \"{other}\"")),
+    };
+    for key in [
+        "name", "created_unix", "host_parallelism", "config", "seeds", "phases",
+        "artifacts", "spans", "metrics", "runs",
+    ] {
+        require(doc, key)?;
+    }
+    require(doc, "name")?.as_str().ok_or("name is not a string")?;
+    require(doc, "created_unix")?.as_u64().ok_or("created_unix is not an integer")?;
+    let n_dists = if v2 {
+        require(doc, "span_quantiles")?
+            .as_object()
+            .ok_or("span_quantiles is not an object")?;
+        check_distributions(doc)?
+    } else {
+        0
+    };
+    // Conservation ledger: whenever the network counters are present,
+    // injected = delivered + in-flight must balance exactly.
+    if let Some(metrics) = doc.get("metrics") {
+        let counter = |name: &str| {
+            metrics
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(JsonValue::as_u64)
+        };
+        if let (Some(injected), Some(delivered), Some(in_flight)) = (
+            counter("net.injected_total"),
+            counter("net.delivered_total"),
+            counter("net.in_flight_at_end"),
+        ) {
+            if injected != delivered + in_flight {
+                return Err(format!(
+                    "conservation ledger broken: injected {injected} != \
+                     delivered {delivered} + in-flight {in_flight}"
+                ));
+            }
+        }
+    }
+    Ok(format!("manifest {} ({n_dists} distributions)", if v2 { "v2" } else { "v1" }))
+}
+
+/// A `--dist-out` dump: per-stage sketches plus drift reports.
+fn check_dist(doc: &JsonValue) -> Result<String, String> {
+    let n = check_distributions(doc)?;
+    if n == 0 {
+        return Err("distributions object is empty".into());
+    }
+    let drift = require(doc, "drift")?.as_array().ok_or("drift is not an array")?;
+    for (i, r) in drift.iter().enumerate() {
+        let ctx = |msg: &str| format!("drift[{i}]: {msg}");
+        require(r, "name")?.as_str().ok_or_else(|| ctx("name is not a string"))?;
+        require(r, "count")?.as_u64().ok_or_else(|| ctx("count is not an integer"))?;
+        let ks = require(r, "ks")?
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| ctx("ks is not a finite number"))?;
+        if !(0.0..=1.0).contains(&ks) {
+            return Err(ctx(&format!("ks {ks} outside [0, 1]")));
+        }
+        for key in ["observed_mean", "analytic_mean"] {
+            require(r, key)?
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ctx(&format!("{key} is not a finite number")))?;
+        }
+    }
+    Ok(format!("dist v1 ({n} distributions, {} drift reports)", drift.len()))
+}
+
+/// A chrome://tracing file: `traceEvents`, each with `ph`/`name`/
+/// `pid`/`tid`, and `ts`/`dur` on complete (`X`) events.
+fn check_trace(doc: &JsonValue) -> Result<String, String> {
+    let events = require(doc, "traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut complete = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = require(e, "ph")?.as_str().ok_or_else(|| ctx("ph is not a string"))?;
+        require(e, "name")?.as_str().ok_or_else(|| ctx("name is not a string"))?;
+        require(e, "pid")?.as_u64().ok_or_else(|| ctx("pid is not an integer"))?;
+        match ph {
+            "X" => {
+                require(e, "tid")?.as_u64().ok_or_else(|| ctx("tid is not an integer"))?;
+                require(e, "ts")?.as_u64().ok_or_else(|| ctx("ts is not an integer"))?;
+                require(e, "dur")?.as_u64().ok_or_else(|| ctx("dur is not an integer"))?;
+                complete += 1;
+            }
+            // Metadata: process_name carries no tid, thread_name does.
+            "M" => {}
+            other => return Err(ctx(&format!("unexpected event phase \"{other}\""))),
+        }
+    }
+    Ok(format!("trace ({} events, {complete} complete)", events.len()))
+}
+
+/// Dispatches one file by its schema (or trace shape).
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    check_finite(&doc, "$")?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s.starts_with("banyan-obs/manifest/") => check_manifest(&doc, s),
+        Some("banyan-obs/dist/v1") => check_dist(&doc),
+        Some(other) => Err(format!("unknown schema \"{other}\"")),
+        None if doc.get("traceEvents").is_some() => check_trace(&doc),
+        None => Err("no schema key and no traceEvents array".into()),
+    }
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: manifest_check FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match check_file(path) {
+            Ok(summary) => println!("{path}: ok — {summary}"),
+            Err(msg) => {
+                eprintln!("{path}: FAIL — {msg}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

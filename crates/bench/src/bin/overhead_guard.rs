@@ -69,6 +69,36 @@ fn main() {
     assert_bit_identical("on vs plain", &on_stats, &plain_stats);
     eprintln!("bit-identity: ok ({} messages delivered)", plain_stats.delivered);
 
+    // The enabled path must also have captured exact per-stage wait
+    // sketches that agree with the (bit-identical) online accumulators.
+    for (i, st) in on_stats.stage_waits.iter().enumerate() {
+        let name = format!("net.wait.stage{:02}", i + 1);
+        let sk = tel_on
+            .sketches()
+            .get(&name)
+            .unwrap_or_else(|| panic!("missing sketch {name}"));
+        assert_eq!(sk.count(), st.count(), "{name}: count vs stage accumulator");
+        assert!(
+            (sk.mean() - st.mean()).abs() <= 1e-9 * st.mean().abs().max(1.0),
+            "{name}: sketch mean {} vs stage mean {}",
+            sk.mean(),
+            st.mean()
+        );
+        assert!(
+            (sk.variance() - st.variance()).abs() <= 1e-9 * st.variance().abs().max(1.0),
+            "{name}: sketch variance {} vs stage variance {}",
+            sk.variance(),
+            st.variance()
+        );
+    }
+    let total_sk = tel_on.sketches().get("net.wait.total").expect("total sketch");
+    assert_eq!(total_sk.count(), on_stats.delivered, "total sketch vs delivered");
+    eprintln!(
+        "sketches: ok ({} stage pmfs + total, {} messages each)",
+        on_stats.stage_waits.len(),
+        total_sk.count()
+    );
+
     // One untimed warmup pass per variant, then interleaved samples.
     let mut t_plain = Vec::with_capacity(samples);
     let mut t_off = Vec::with_capacity(samples);

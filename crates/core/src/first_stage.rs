@@ -437,6 +437,21 @@ impl<R: Pgf, U: Pgf> FirstStage<R, U> {
         pmf.iter().sum::<f64>().min(1.0)
     }
 
+    /// Cumulative table `[P(w <= 0), …, P(w <= len−1)]` from a single
+    /// pmf inversion. Prefer this over repeated [`wait_cdf`] calls when
+    /// the CDF is needed at many points (e.g. KS drift checks): one FFT
+    /// instead of `len`.
+    pub fn wait_cdf_table(&self, len: usize) -> Vec<f64> {
+        let pmf = self.pmf(len);
+        let mut acc = 0.0;
+        pmf.iter()
+            .map(|&p| {
+                acc += p;
+                acc.min(1.0)
+            })
+            .collect()
+    }
+
     /// Smallest `v` with `P(w <= v) >= q`, for `q ∈ (0, 1)`.
     ///
     /// # Panics
@@ -994,6 +1009,24 @@ mod tests {
                 assert!(q.wait_cdf(v - 1) < level);
             }
         }
+    }
+
+    #[test]
+    fn wait_cdf_table_matches_pointwise_cdf() {
+        let q = FirstStage::new(
+            UniformBernoulli::square(2, 0.5),
+            ConstantService::unit(),
+        )
+        .unwrap();
+        let table = q.wait_cdf_table(12);
+        assert_eq!(table.len(), 12);
+        for (v, &c) in table.iter().enumerate() {
+            assert!((c - q.wait_cdf(v as u64)).abs() < 1e-12, "v={v}");
+            assert!((0.0..=1.0).contains(&c));
+        }
+        // Monotone nondecreasing, approaching 1.
+        assert!(table.windows(2).all(|w| w[1] >= w[0]));
+        assert!(table[11] > 0.999);
     }
 
     #[test]

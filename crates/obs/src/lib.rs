@@ -3,9 +3,12 @@
 //! Zero-dependency run telemetry for the banyan reproduction: a
 //! metrics [`registry`] (monotonic counters, gauges with high-water
 //! marks, fixed-bucket histograms), hierarchical [`span`] timers,
-//! a rate-limited stderr progress [`heartbeat`], and
-//! provenance-stamped run [`manifest`]s (config, seeds, phase wall
-//! times, metric snapshot, host parallelism, git revision).
+//! distribution [`sketch`]es (exact sparse integer pmfs, P² streaming
+//! quantiles), [`tail`] tracking with analytic drift checks, a
+//! `chrome://tracing` [`trace`] exporter, a rate-limited stderr
+//! progress [`heartbeat`], and provenance-stamped run [`manifest`]s
+//! (config, seeds, phase wall times, metric snapshot, host
+//! parallelism, git revision).
 //!
 //! The central type is [`Telemetry`]: one shared, thread-safe sink per
 //! run. The design contract, enforced by the `overhead_guard` bench in
@@ -36,12 +39,17 @@ pub mod heartbeat;
 pub mod json;
 pub mod manifest;
 pub mod registry;
+pub mod sketch;
 pub mod span;
+pub mod tail;
+pub mod trace;
 
 pub use heartbeat::{Heartbeat, Progress, ProgressSnapshot};
 pub use manifest::Manifest;
 pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use span::{SpanGuard, SpanSet, SpanStat};
+pub use sketch::{DistSketch, P2Quantile, QuantileSet, SketchSet};
+pub use span::{SpanEvent, SpanGuard, SpanSet, SpanStat};
+pub use tail::DriftReport;
 
 use crate::json::escape;
 use std::sync::Mutex;
@@ -104,6 +112,7 @@ pub struct Telemetry {
     cfg: TelemetryConfig,
     registry: Registry,
     spans: SpanSet,
+    sketches: SketchSet,
     progress: Progress,
     heartbeat: Option<Heartbeat>,
     run_log: Mutex<Vec<String>>,
@@ -119,6 +128,7 @@ impl Telemetry {
             cfg,
             registry: Registry::new(),
             spans: SpanSet::new(),
+            sketches: SketchSet::new(),
             progress: Progress::default(),
             heartbeat,
             run_log: Mutex::new(Vec::new()),
@@ -162,6 +172,13 @@ impl Telemetry {
     /// The span timings.
     pub fn spans(&self) -> &SpanSet {
         &self.spans
+    }
+
+    /// The distribution sketches (per-stage wait pmfs and friends).
+    /// Workers record into local [`DistSketch`]es and fold them in
+    /// here once per replication via [`SketchSet::merge_sketch`].
+    pub fn sketches(&self) -> &SketchSet {
+        &self.sketches
     }
 
     /// The shared progress ledger.
@@ -215,11 +232,13 @@ impl Telemetry {
         format!("[{}]", items.join(", "))
     }
 
-    /// Full snapshot: `{"spans": .., "metrics": .., "runs": ..}`.
+    /// Full snapshot: `{"spans": .., "metrics": .., "distributions": ..,
+    /// "runs": ..}`.
     pub fn snapshot_json(&self) -> String {
         let mut o = json::JsonObject::new();
         o.field_raw("spans", &self.spans.snapshot_json())
             .field_raw("metrics", &self.registry.snapshot_json())
+            .field_raw("distributions", &self.sketches.snapshot_json())
             .field_raw("runs", &self.run_log_json());
         o.finish()
     }

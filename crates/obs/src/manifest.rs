@@ -13,7 +13,14 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Manifest schema identifier written into every file.
-pub const SCHEMA: &str = "banyan-obs/manifest/v1";
+///
+/// v2 adds the `distributions` section (per-stage waiting-time
+/// sketches with exact pmf, moments, and report quantiles), the
+/// `span_quantiles` section (P² duration quantiles per span path),
+/// and free-form extra sections such as `drift` (observed-vs-analytic
+/// KS reports). v1 readers that only consume the v1 keys keep working
+/// — all v1 keys are retained unchanged.
+pub const SCHEMA: &str = "banyan-obs/manifest/v2";
 
 /// Builder for one run manifest.
 #[derive(Debug)]
@@ -28,6 +35,8 @@ pub struct Manifest {
     threads: Option<usize>,
     phases: Vec<(String, f64)>,
     artifacts: Vec<String>,
+    /// Extra top-level sections: `(key, pre-rendered JSON value)`.
+    sections: Vec<(String, String)>,
 }
 
 impl Manifest {
@@ -48,6 +57,7 @@ impl Manifest {
             threads: None,
             phases: Vec::new(),
             artifacts: Vec::new(),
+            sections: Vec::new(),
         }
     }
 
@@ -84,6 +94,14 @@ impl Manifest {
     /// Records an output artifact path produced by the run.
     pub fn artifact(&mut self, path: impl std::fmt::Display) -> &mut Self {
         self.artifacts.push(path.to_string());
+        self
+    }
+
+    /// Adds an extra top-level section whose value is already-rendered
+    /// JSON (e.g. `drift` reports). Sections are emitted after the
+    /// telemetry snapshots, in insertion order.
+    pub fn section_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.sections.push((key.to_string(), json.to_string()));
         self
     }
 
@@ -138,14 +156,21 @@ impl Manifest {
         match telemetry {
             Some(tel) => {
                 o.field_raw("spans", &tel.spans().snapshot_json());
+                o.field_raw("span_quantiles", &tel.spans().duration_quantiles_json());
                 o.field_raw("metrics", &tel.registry().snapshot_json());
+                o.field_raw("distributions", &tel.sketches().snapshot_json());
                 o.field_raw("runs", &tel.run_log_json());
             }
             None => {
                 o.field_raw("spans", "{}");
+                o.field_raw("span_quantiles", "{}");
                 o.field_raw("metrics", "{}");
+                o.field_raw("distributions", "{}");
                 o.field_raw("runs", "[]");
             }
+        }
+        for (key, json) in &self.sections {
+            o.field_raw(key, json);
         }
         let mut s = o.finish_pretty(2);
         s.push('\n');
@@ -220,7 +245,7 @@ mod tests {
         let s = m.to_json(Some(&tel));
         for key in [
             "\"schema\"",
-            "\"banyan-obs/manifest/v1\"",
+            "\"banyan-obs/manifest/v2\"",
             "\"config\"",
             "\"k\": \"2\"",
             "\"seeds\"",
@@ -244,7 +269,26 @@ mod tests {
         let s = Manifest::new("bare").to_json(None);
         assert!(s.contains("\"spans\": {}"));
         assert!(s.contains("\"metrics\": {}"));
+        assert!(s.contains("\"distributions\": {}"));
         assert!(s.contains("\"runs\": []"));
+    }
+
+    #[test]
+    fn sketches_and_sections_are_embedded() {
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let mut sk = crate::DistSketch::new_exact();
+        sk.record_n(0, 3);
+        sk.record_n(2, 1);
+        tel.sketches().merge_sketch("net.wait.total", &sk);
+        let mut m = Manifest::new("dist");
+        m.section_raw("drift", "[{\"name\": \"net.wait.total\", \"ks\": 0.01}]");
+        let s = m.to_json(Some(&tel));
+        assert!(s.contains("\"distributions\""));
+        assert!(s.contains("\"net.wait.total\""));
+        assert!(s.contains("\"kind\": \"exact\""));
+        assert!(s.contains("\"drift\""));
+        assert!(s.contains("\"span_quantiles\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Mean observation (0 when empty).
+    /// Mean observation. **Empty-state contract:** a zero-count
+    /// histogram reports a mean of exactly `0.0` — never NaN — so
+    /// downstream JSON and assertions stay well-defined before the
+    /// first `record`.
     pub fn mean(&self) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -125,6 +128,12 @@ impl Histogram {
     }
 
     /// Per-bucket counts, overflow bucket last.
+    ///
+    /// Under concurrent `record` calls, each returned bucket is a
+    /// point-in-time atomic read; the per-bucket counts, `count()`,
+    /// and `sum()` each individually never lose an increment, and once
+    /// recording quiesces `bucket_counts().sum() == count()` exactly
+    /// (see the `concurrent_records_stay_consistent` test).
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
@@ -135,6 +144,26 @@ impl Histogram {
     /// Bucket upper bounds (the overflow bucket has none).
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
+    }
+
+    /// Folds another histogram's contents into this one. Both must
+    /// share identical bucket bounds. Used to aggregate worker-local
+    /// histograms into a shared registry once per run, so hot loops
+    /// record into unshared memory instead of contending on registry
+    /// atomics.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
     }
 }
 
@@ -291,6 +320,68 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![1, 1, 2, 2]);
         assert_eq!(h.count(), 6);
         assert_eq!(h.sum(), 1012);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_mean_not_nan() {
+        let h = Histogram::new(POW2_BOUNDS);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0, "empty mean must be the documented 0.0");
+        assert!(!h.mean().is_nan());
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn concurrent_records_stay_consistent() {
+        // Satellite regression: bucket_counts()/count()/sum() must not
+        // lose increments under concurrent record(); after the writers
+        // join, all three views agree exactly.
+        let h = std::sync::Arc::new(Histogram::new(&[0, 1, 4]));
+        let threads = 4;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record((i + t) % 7);
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(h.count(), total);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), total);
+        let expected_sum: u64 =
+            (0..threads).map(|t| (0..per_thread).map(|i| (i + t) % 7).sum::<u64>()).sum();
+        assert_eq!(h.sum(), expected_sum);
+    }
+
+    #[test]
+    fn merge_adds_buckets_count_and_sum() {
+        let a = Histogram::new(&[0, 1, 4]);
+        let b = Histogram::new(&[0, 1, 4]);
+        for v in [0, 2, 9] {
+            a.record(v);
+        }
+        for v in [1, 1, 4, 100] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 117);
+        assert_eq!(a.bucket_counts(), vec![1, 2, 2, 2]);
+        // b is untouched.
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[0, 1]);
+        let b = Histogram::new(&[0, 2]);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,589 @@
+//! Distribution sketches: lossless integer pmfs and streaming quantiles.
+//!
+//! The paper's central object is the *distribution* of waiting times,
+//! not its mean — so the telemetry layer captures shape, not just
+//! scalars. Two sketch kinds cover the two value domains we meet:
+//!
+//! * [`DistSketch::Exact`] — a sparse integer histogram. Waiting times
+//!   in a clocked network are small non-negative integers (cycles), so
+//!   the full pmf fits in a handful of map entries and can be captured
+//!   **losslessly**. Mean and variance are computed from exact integer
+//!   sums (`Σv`, `Σv²`), so they agree bit-for-bit with any other exact
+//!   accumulation over the same values. Merging two sketches is plain
+//!   counter addition — commutative and lossless — so per-worker
+//!   instances fold cleanly in `runner`'s replication merge.
+//! * [`P2Quantile`] — the Jain & Chlamtac P² streaming estimator for
+//!   continuous values (span durations in seconds), five markers per
+//!   tracked quantile, O(1) memory. Exact below five observations.
+//!
+//! [`SketchSet`] is the named registry of sketches hanging off a
+//! `Telemetry` sink, mirroring `Registry` for scalar metrics.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::{escape, fmt_f64, JsonObject};
+
+/// The standard report quantiles: p50 / p90 / p99 / p999.
+pub const REPORT_QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+/// Conventional label for a quantile probability: `0.5` → `"p50"`,
+/// `0.99` → `"p99"`, `0.999` → `"p999"`.
+pub fn quantile_label(q: f64) -> String {
+    let pct = q * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("p{}", pct.round() as u64)
+    } else {
+        format!("p{}", (q * 1000.0).round() as u64)
+    }
+}
+
+/// A mergeable distribution sketch.
+///
+/// Currently one variant: the exact sparse integer histogram. The enum
+/// leaves room for lossy variants (e.g. DDSketch-style relative-error
+/// bins) without changing the registry or manifest surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistSketch {
+    /// Exact sparse pmf over non-negative integers.
+    Exact {
+        /// value -> count, sparse (only observed values present).
+        counts: BTreeMap<u64, u64>,
+        /// Total number of recorded observations.
+        count: u64,
+        /// Exact integer sum of recorded values.
+        sum: u128,
+        /// Exact integer sum of squared values.
+        sum_sq: u128,
+    },
+}
+
+impl Default for DistSketch {
+    fn default() -> Self {
+        Self::new_exact()
+    }
+}
+
+impl DistSketch {
+    /// An empty exact sketch.
+    pub fn new_exact() -> Self {
+        DistSketch::Exact { counts: BTreeMap::new(), count: 0, sum: 0, sum_sq: 0 }
+    }
+
+    /// Build an exact sketch from a dense `counts[value] = n` slice
+    /// (the layout used by `banyan-stats`' `IntHistogram`).
+    pub fn from_dense_counts(dense: &[u64]) -> Self {
+        let mut s = Self::new_exact();
+        for (v, &n) in dense.iter().enumerate() {
+            if n > 0 {
+                s.record_n(v as u64, n);
+            }
+        }
+        s
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let DistSketch::Exact { counts, count, sum, sum_sq } = self;
+        *counts.entry(value).or_insert(0) += n;
+        *count += n;
+        *sum += value as u128 * n as u128;
+        *sum_sq += (value as u128 * value as u128) * n as u128;
+    }
+
+    /// Fold another sketch into this one. Exact and lossless: the
+    /// result is identical to having recorded both observation streams
+    /// into a single sketch, in any order.
+    pub fn merge(&mut self, other: &DistSketch) {
+        let DistSketch::Exact { counts: oc, count: on, sum: os, sum_sq: osq } = other;
+        let DistSketch::Exact { counts, count, sum, sum_sq } = self;
+        for (&v, &n) in oc {
+            *counts.entry(v).or_insert(0) += n;
+        }
+        *count += on;
+        *sum += os;
+        *sum_sq += osq;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        let DistSketch::Exact { count, .. } = self;
+        *count
+    }
+
+    /// Exact mean; a documented `0.0` on an empty sketch (never NaN).
+    pub fn mean(&self) -> f64 {
+        let DistSketch::Exact { count, sum, .. } = self;
+        if *count == 0 {
+            0.0
+        } else {
+            *sum as f64 / *count as f64
+        }
+    }
+
+    /// Exact population variance; `0.0` on an empty sketch.
+    pub fn variance(&self) -> f64 {
+        let DistSketch::Exact { count, sum, sum_sq, .. } = self;
+        if *count == 0 {
+            return 0.0;
+        }
+        let n = *count as f64;
+        let mean = *sum as f64 / n;
+        // E[X²] − E[X]²; the integer sums are exact so the only
+        // rounding is the final float arithmetic.
+        (*sum_sq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// The sparse pmf points `(value, P(X = value))`, ascending.
+    pub fn pmf_points(&self) -> Vec<(u64, f64)> {
+        let DistSketch::Exact { counts, count, .. } = self;
+        if *count == 0 {
+            return Vec::new();
+        }
+        let n = *count as f64;
+        counts.iter().map(|(&v, &c)| (v, c as f64 / n)).collect()
+    }
+
+    /// Complementary CDF `P(X >= value)`; exact; `0.0` when empty.
+    pub fn ccdf_at(&self, value: u64) -> f64 {
+        let DistSketch::Exact { counts, count, .. } = self;
+        if *count == 0 {
+            return 0.0;
+        }
+        let ge: u64 = counts.range(value..).map(|(_, &c)| c).sum();
+        ge as f64 / *count as f64
+    }
+
+    /// CDF `P(X <= value)`; exact; `0.0` when empty.
+    pub fn cdf_at(&self, value: u64) -> f64 {
+        let DistSketch::Exact { counts, count, .. } = self;
+        if *count == 0 {
+            return 0.0;
+        }
+        let le: u64 = counts.range(..=value).map(|(_, &c)| c).sum();
+        le as f64 / *count as f64
+    }
+
+    /// Smallest value v with `P(X <= v) >= q`. Empty sketch: 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let DistSketch::Exact { counts, count, .. } = self;
+        if *count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * *count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (&v, &c) in counts {
+            acc += c;
+            if acc >= target {
+                return v;
+            }
+        }
+        *counts.keys().next_back().expect("non-empty")
+    }
+
+    /// Serialize to a JSON object: kind, count, exact moments, report
+    /// quantiles, and the full sparse pmf as parallel arrays.
+    pub fn to_json(&self) -> String {
+        let DistSketch::Exact { counts, count, .. } = self;
+        let mut o = JsonObject::new();
+        o.field_str("kind", "exact")
+            .field_u64("count", *count)
+            .field_f64("mean", self.mean())
+            .field_f64("variance", self.variance());
+        let mut q = JsonObject::new();
+        for &p in &REPORT_QUANTILES {
+            q.field_u64(&quantile_label(p), self.quantile(p));
+        }
+        o.field_raw("quantiles", &q.finish());
+        let values: Vec<String> = counts.keys().map(|v| v.to_string()).collect();
+        let cs: Vec<String> = counts.values().map(|c| c.to_string()).collect();
+        o.field_raw("values", &format!("[{}]", values.join(",")));
+        o.field_raw("counts", &format!("[{}]", cs.join(",")));
+        o.finish()
+    }
+}
+
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm,
+/// CACM 1985): five markers track `q` without storing observations.
+/// Exact while fewer than five observations have been seen.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far (first five fill `heights` directly).
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Track the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile probability.
+    pub fn probability(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x, clamping the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4).find(|&i| x < self.heights[i + 1]).unwrap_or(3)
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. Exact for fewer than five
+    /// observations (sorted lookup); `0.0` when no data at all.
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            n @ 1..=4 => {
+                let mut seen = self.heights[..n as usize].to_vec();
+                seen.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize) - 1;
+                seen[idx]
+            }
+            _ => self.heights[2],
+        }
+    }
+}
+
+/// A bundle of P² estimators at the standard report quantiles.
+#[derive(Debug, Clone)]
+pub struct QuantileSet {
+    estimators: Vec<P2Quantile>,
+}
+
+impl Default for QuantileSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSet {
+    /// Track p50/p90/p99/p999.
+    pub fn new() -> Self {
+        QuantileSet { estimators: REPORT_QUANTILES.iter().map(|&q| P2Quantile::new(q)).collect() }
+    }
+
+    /// Record one observation into every estimator.
+    pub fn record(&mut self, x: f64) {
+        for e in &mut self.estimators {
+            e.record(x);
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.estimators.first().map_or(0, |e| e.count())
+    }
+
+    /// `(probability, estimate)` pairs.
+    pub fn estimates(&self) -> Vec<(f64, f64)> {
+        self.estimators.iter().map(|e| (e.probability(), e.estimate())).collect()
+    }
+
+    /// JSON object `{"count": …, "p50": …, "p90": …, …}`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count());
+        for e in &self.estimators {
+            o.field_f64(&quantile_label(e.probability()), e.estimate());
+        }
+        o.finish()
+    }
+}
+
+/// Named registry of distribution sketches, the shape analogue of
+/// `Registry`. Coarse-grained lock: workers record into **local**
+/// sketches and merge here once per replication, so the mutex is never
+/// on a hot loop.
+#[derive(Debug, Default)]
+pub struct SketchSet {
+    sketches: Mutex<BTreeMap<String, DistSketch>>,
+}
+
+impl SketchSet {
+    /// An empty sketch registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `sketch` into the named slot (creating it when absent).
+    /// Merging is commutative, so concurrent workers may flush in any
+    /// order without affecting the result.
+    pub fn merge_sketch(&self, name: &str, sketch: &DistSketch) {
+        let mut map = self.sketches.lock().expect("sketch registry poisoned");
+        map.entry(name.to_string()).or_insert_with(DistSketch::new_exact).merge(sketch);
+    }
+
+    /// Clone of the named sketch, if present.
+    pub fn get(&self, name: &str) -> Option<DistSketch> {
+        self.sketches.lock().expect("sketch registry poisoned").get(name).cloned()
+    }
+
+    /// Sorted snapshot of all named sketches.
+    pub fn snapshot(&self) -> Vec<(String, DistSketch)> {
+        self.sketches
+            .lock()
+            .expect("sketch registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// True when no sketch has been merged yet.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.lock().expect("sketch registry poisoned").is_empty()
+    }
+
+    /// JSON object mapping sketch name to its serialized form.
+    pub fn snapshot_json(&self) -> String {
+        let map = self.sketches.lock().expect("sketch registry poisoned");
+        let parts: Vec<String> =
+            map.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), v.to_json())).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Convenience: format an `(value, prob)` list as a JSON array of
+/// `[v, p]` pairs (used by drift reports).
+pub fn points_json(points: &[(u64, f64)]) -> String {
+    let parts: Vec<String> =
+        points.iter().map(|&(v, p)| format!("[{}, {}]", v, fmt_f64(p))).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sketch_moments_match_direct_computation() {
+        let mut s = DistSketch::new_exact();
+        let data = [0u64, 0, 1, 2, 2, 2, 5, 9];
+        for &v in &data {
+            s.record(v);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<u64>() as f64 / n;
+        let var = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert_eq!(s.count(), data.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sketch_is_documented_zeroes() {
+        let s = DistSketch::new_exact();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.ccdf_at(0), 0.0);
+        assert!(s.pmf_points().is_empty());
+    }
+
+    #[test]
+    fn merge_is_lossless_and_order_free() {
+        let mut a = DistSketch::new_exact();
+        let mut b = DistSketch::new_exact();
+        let mut whole = DistSketch::new_exact();
+        for v in [1u64, 1, 3, 7] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 3, 3, 40] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn quantiles_and_tails_are_exact() {
+        let mut s = DistSketch::new_exact();
+        // pmf: P(0)=.5, P(1)=.3, P(4)=.2
+        s.record_n(0, 50);
+        s.record_n(1, 30);
+        s.record_n(4, 20);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(0.6), 1);
+        assert_eq!(s.quantile(0.99), 4);
+        assert!((s.ccdf_at(1) - 0.5).abs() < 1e-12);
+        assert!((s.ccdf_at(4) - 0.2).abs() < 1e-12);
+        assert!((s.ccdf_at(5) - 0.0).abs() < 1e-12);
+        assert!((s.cdf_at(0) - 0.5).abs() < 1e-12);
+        let total: f64 = s.pmf_points().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_dense_counts_round_trips() {
+        let dense = [5u64, 0, 3, 0, 0, 2];
+        let s = DistSketch::from_dense_counts(&dense);
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.pmf_points().len(), 3);
+        assert!((s.mean() - 1.6).abs() < 1e-12); // (0·5 + 2·3 + 5·2) / 10
+    }
+
+    #[test]
+    fn p2_tracks_uniform_median_closely() {
+        // Deterministic LCG; no external RNG in the obs crate.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut p2 = P2Quantile::new(0.5);
+        for _ in 0..20_000 {
+            p2.record(next());
+        }
+        assert!((p2.estimate() - 0.5).abs() < 0.02, "median estimate {}", p2.estimate());
+    }
+
+    #[test]
+    fn p2_exact_under_five_observations() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), 0.0);
+        p2.record(10.0);
+        assert_eq!(p2.estimate(), 10.0);
+        p2.record(2.0);
+        p2.record(6.0);
+        assert_eq!(p2.estimate(), 6.0);
+    }
+
+    #[test]
+    fn p2_tail_quantile_on_skewed_data() {
+        let mut p2 = P2Quantile::new(0.9);
+        // 0..=999 in a scrambled but deterministic order.
+        for i in 0..1000u64 {
+            p2.record(((i * 373) % 1000) as f64);
+        }
+        assert!((p2.estimate() - 900.0).abs() < 25.0, "p90 estimate {}", p2.estimate());
+    }
+
+    #[test]
+    fn sketch_set_merges_across_names() {
+        let set = SketchSet::new();
+        let mut w1 = DistSketch::new_exact();
+        w1.record_n(1, 4);
+        let mut w2 = DistSketch::new_exact();
+        w2.record_n(2, 6);
+        set.merge_sketch("net.wait.total", &w1);
+        set.merge_sketch("net.wait.total", &w2);
+        let merged = set.get("net.wait.total").expect("present");
+        assert_eq!(merged.count(), 10);
+        assert!((merged.mean() - 1.6).abs() < 1e-12);
+        assert!(set.get("missing").is_none());
+        let json = set.snapshot_json();
+        assert!(json.contains("\"net.wait.total\""));
+        assert!(json.contains("\"kind\": \"exact\""));
+    }
+
+    #[test]
+    fn sketch_json_contains_quantiles_and_pmf() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 9);
+        s.record_n(3, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"count\": 10"));
+        assert!(json.contains("\"p50\": 0"));
+        assert!(json.contains("\"p999\": 3"));
+        assert!(json.contains("\"values\": [0,3]"));
+        assert!(json.contains("\"counts\": [9,1]"));
+    }
+}

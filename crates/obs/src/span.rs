@@ -8,9 +8,43 @@
 //! no timestamps and touches no locks.
 
 use crate::json::JsonObject;
+use crate::sketch::QuantileSet;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Completed span events kept for trace export are capped so a
+/// long-running job cannot grow the log without bound. Spans are per
+/// phase / per worker, so real runs stay far below this.
+const MAX_TRACE_EVENTS: usize = 65_536;
+
+/// Process-wide dense thread ids for trace export (`std::thread::ThreadId`
+/// has no stable integer form). Each thread gets the next counter value
+/// on first use.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TRACE_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Dense id of the calling thread, stable for the thread's lifetime.
+pub fn trace_tid() -> u64 {
+    TRACE_TID.with(|t| *t)
+}
+
+/// One completed span occurrence, retained for trace export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span path (`"net/measure"`).
+    pub name: String,
+    /// Start timestamp, microseconds since the [`SpanSet`]'s epoch.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Dense thread id (see [`trace_tid`]).
+    pub tid: u64,
+}
 
 /// Accumulated timing of one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,9 +63,29 @@ impl SpanStat {
 }
 
 /// Shared, thread-safe collection of span timings.
-#[derive(Debug, Default)]
+///
+/// Besides the per-path aggregate [`SpanStat`]s, every completed span
+/// also appends a [`SpanEvent`] (bounded by [`MAX_TRACE_EVENTS`]) for
+/// `chrome://tracing` export, and feeds a per-path P² [`QuantileSet`]
+/// of durations in seconds (p50/p90/p99/p999 of span wall time).
+#[derive(Debug)]
 pub struct SpanSet {
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    /// Zero point for event timestamps: creation of this set.
+    epoch: Instant,
+    events: Mutex<Vec<SpanEvent>>,
+    quantiles: Mutex<BTreeMap<String, QuantileSet>>,
+}
+
+impl Default for SpanSet {
+    fn default() -> Self {
+        SpanSet {
+            spans: Mutex::new(BTreeMap::new()),
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            quantiles: Mutex::new(BTreeMap::new()),
+        }
+    }
 }
 
 impl SpanSet {
@@ -53,11 +107,55 @@ impl SpanSet {
     }
 
     /// Adds `ns` to `path` (also usable for externally timed phases).
+    /// The trace event's start time is synthesized as "now − duration"
+    /// relative to the set's epoch, which is exact for guards dropped
+    /// immediately after their span and a close bound otherwise.
     pub fn record_ns(&self, path: &str, ns: u64) {
-        let mut m = self.spans.lock().expect("span set poisoned");
-        let st = m.entry(path.to_string()).or_default();
-        st.calls += 1;
-        st.total_ns += ns;
+        {
+            let mut m = self.spans.lock().expect("span set poisoned");
+            let st = m.entry(path.to_string()).or_default();
+            st.calls += 1;
+            st.total_ns += ns;
+        }
+        {
+            let mut q = self.quantiles.lock().expect("span quantiles poisoned");
+            q.entry(path.to_string()).or_default().record(ns as f64 * 1e-9);
+        }
+        let elapsed_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let dur_us = ns / 1_000;
+        let mut ev = self.events.lock().expect("span events poisoned");
+        if ev.len() < MAX_TRACE_EVENTS {
+            ev.push(SpanEvent {
+                name: path.to_string(),
+                ts_us: elapsed_us.saturating_sub(dur_us),
+                dur_us,
+                tid: trace_tid(),
+            });
+        }
+    }
+
+    /// All completed span events so far, in completion order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().expect("span events poisoned").clone()
+    }
+
+    /// Per-path duration quantile estimates (seconds), sorted by path.
+    pub fn duration_quantiles(&self) -> Vec<(String, QuantileSet)> {
+        self.quantiles
+            .lock()
+            .expect("span quantiles poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// JSON object mapping span path to its duration quantiles.
+    pub fn duration_quantiles_json(&self) -> String {
+        let mut out = JsonObject::new();
+        for (path, q) in self.duration_quantiles() {
+            out.field_raw(&path, &q.to_json());
+        }
+        out.finish()
     }
 
     /// Accumulated stat for `path`, if any span completed under it.
@@ -138,6 +236,43 @@ mod tests {
             let _g = SpanSet::noop();
         }
         assert!(set.snapshot().is_empty());
+    }
+
+    #[test]
+    fn events_capture_name_duration_and_tid() {
+        let set = SpanSet::new();
+        {
+            let _g = set.time("net/measure");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set.record_ns("runner/merge", 2_000_000);
+        let ev = set.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "net/measure");
+        assert!(ev[0].dur_us >= 1_000, "{}", ev[0].dur_us);
+        assert_eq!(ev[1].name, "runner/merge");
+        assert_eq!(ev[1].dur_us, 2_000);
+        assert_eq!(ev[0].tid, ev[1].tid, "same thread, same tid");
+        let other = std::thread::spawn(trace_tid).join().unwrap();
+        assert_ne!(other, trace_tid(), "distinct threads get distinct tids");
+    }
+
+    #[test]
+    fn duration_quantiles_track_span_times() {
+        let set = SpanSet::new();
+        for i in 1..=100u64 {
+            set.record_ns("w", i * 1_000_000); // 1..=100 ms
+        }
+        let qs = set.duration_quantiles();
+        assert_eq!(qs.len(), 1);
+        let (path, q) = &qs[0];
+        assert_eq!(path, "w");
+        assert_eq!(q.count(), 100);
+        let p50 = q.estimates()[0].1;
+        assert!((p50 - 0.050).abs() < 0.01, "p50 {p50}");
+        let json = set.duration_quantiles_json();
+        assert!(json.contains("\"w\""));
+        assert!(json.contains("\"p999\""));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Tail tracking and analytic drift checks.
+//!
+//! The paper's Theorem 1 gives waiting-time distributions whose tails
+//! decay geometrically: `P(w = j) ~ C·r^j` with `r = 1/σ`. This module
+//! turns an exact [`DistSketch`] into the complementary tail
+//! `P(w >= t)`, fits the geometric decay rate from the log-ccdf, and
+//! measures drift between the observed distribution and an analytic
+//! CDF via the Kolmogorov–Smirnov distance — the "is the simulator
+//! still on theory?" gauge surfaced in run manifests.
+
+use crate::json::JsonObject;
+use crate::sketch::{points_json, DistSketch};
+
+/// Complementary CDF points `(t, P(X >= t))` for `t = 0..=max`,
+/// stopping after the tail reaches zero. Exact.
+pub fn ccdf_points(sketch: &DistSketch) -> Vec<(u64, f64)> {
+    let pmf = sketch.pmf_points();
+    let Some(&(max, _)) = pmf.last() else { return Vec::new() };
+    let mut out = Vec::with_capacity(max as usize + 1);
+    // Walk downward accumulating P(X >= t) exactly once per t.
+    let mut tail = 0.0;
+    let mut rev: Vec<(u64, f64)> = Vec::with_capacity(max as usize + 1);
+    let mut iter = pmf.iter().rev().peekable();
+    for t in (0..=max).rev() {
+        if let Some(&&(v, p)) = iter.peek() {
+            if v == t {
+                tail += p;
+                iter.next();
+            }
+        }
+        rev.push((t, tail));
+    }
+    out.extend(rev.into_iter().rev());
+    out
+}
+
+/// Least-squares fit of `log P(X >= t) = a + t·log r` over the tail
+/// region (the upper half of the support with nonzero mass, at least
+/// two points). Returns the decay rate `r` in `(0, 1)`, or `None` when
+/// the support is too small to fit.
+///
+/// For a geometric tail `P(w = j) ~ C·r^j` the ccdf also decays as
+/// `r^t`, so the fitted slope estimates the paper's `1/σ` directly.
+pub fn fit_geometric_tail(sketch: &DistSketch) -> Option<f64> {
+    let ccdf = ccdf_points(sketch);
+    // Tail region: from the median of the support upward, keeping
+    // only strictly positive tail probabilities.
+    let pts: Vec<(f64, f64)> = ccdf
+        .iter()
+        .skip(ccdf.len() / 2)
+        .filter(|&&(_, p)| p > 0.0)
+        .map(|&(t, p)| (t as f64, p.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let r = slope.exp();
+    (r > 0.0 && r < 1.0).then_some(r)
+}
+
+/// Kolmogorov–Smirnov distance between the sketch's empirical CDF and
+/// a model CDF, evaluated with the half-integer continuity correction
+/// (`model_cdf(v + 0.5)`) used throughout `banyan-stats` so discrete
+/// and continuous CDFs compare fairly. `0.0` on an empty sketch.
+pub fn ks_distance(sketch: &DistSketch, model_cdf: impl Fn(f64) -> f64) -> f64 {
+    if sketch.count() == 0 {
+        return 0.0;
+    }
+    let mut worst = 0.0f64;
+    for (v, _) in sketch.pmf_points() {
+        let emp = sketch.cdf_at(v);
+        let model = model_cdf(v as f64 + 0.5);
+        let d = (emp - model).abs();
+        if d > worst {
+            worst = d;
+        }
+    }
+    worst
+}
+
+/// A drift report comparing one observed sketch against analytic
+/// theory: KS distance, fitted vs analytic geometric tail rate, and
+/// observed vs analytic mean.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Which distribution this covers (e.g. `net.wait.stage01`).
+    pub name: String,
+    /// Observations behind the empirical side.
+    pub count: u64,
+    /// KS distance between empirical and analytic CDFs.
+    pub ks: f64,
+    /// Empirical mean (exact).
+    pub observed_mean: f64,
+    /// Analytic mean from Theorem 1 / stage constants.
+    pub analytic_mean: f64,
+    /// Fitted geometric tail decay rate, when the support allows a fit.
+    pub fitted_tail_rate: Option<f64>,
+    /// Analytic tail decay rate `1/σ`, when the model provides one.
+    pub analytic_tail_rate: Option<f64>,
+}
+
+impl DriftReport {
+    /// Build a report for `sketch` against an analytic CDF and moments.
+    pub fn against(
+        name: &str,
+        sketch: &DistSketch,
+        model_cdf: impl Fn(f64) -> f64,
+        analytic_mean: f64,
+        analytic_tail_rate: Option<f64>,
+    ) -> Self {
+        DriftReport {
+            name: name.to_string(),
+            count: sketch.count(),
+            ks: ks_distance(sketch, model_cdf),
+            observed_mean: sketch.mean(),
+            analytic_mean,
+            fitted_tail_rate: fit_geometric_tail(sketch),
+            analytic_tail_rate,
+        }
+    }
+
+    /// KS distance in parts-per-million, for the integer `Gauge`
+    /// surface (`net.drift.ks_ppm`).
+    pub fn ks_ppm(&self) -> u64 {
+        (self.ks * 1e6).round() as u64
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("name", &self.name)
+            .field_u64("count", self.count)
+            .field_f64("ks", self.ks)
+            .field_f64("observed_mean", self.observed_mean)
+            .field_f64("analytic_mean", self.analytic_mean);
+        match self.fitted_tail_rate {
+            Some(r) => o.field_f64("fitted_tail_rate", r),
+            None => o.field_raw("fitted_tail_rate", "null"),
+        };
+        match self.analytic_tail_rate {
+            Some(r) => o.field_f64("analytic_tail_rate", r),
+            None => o.field_raw("analytic_tail_rate", "null"),
+        };
+        o.finish()
+    }
+}
+
+/// Serialize the tail of a sketch (`(t, P(X >= t))` pairs) as JSON.
+pub fn ccdf_json(sketch: &DistSketch) -> String {
+    points_json(&ccdf_points(sketch))
+}
+
+/// Format a drift list as a JSON array.
+pub fn drift_array_json(reports: &[DriftReport]) -> String {
+    let parts: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// Render one human line for a drift report (used by `banyan report`).
+pub fn drift_line(r: &DriftReport) -> String {
+    let fitted = r.fitted_tail_rate.map_or("    n/a".to_string(), |x| format!("{x:.5}"));
+    let analytic =
+        r.analytic_tail_rate.map_or("    n/a".to_string(), |x| format!("{x:.5}"));
+    format!(
+        "{:<18} n={:>9}  E(w) obs {:>8.4} vs thy {:>8.4}  KS {:.5}  tail r obs {} vs thy {}",
+        r.name,
+        r.count,
+        r.observed_mean,
+        r.analytic_mean,
+        r.ks,
+        fitted,
+        analytic
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric_sketch(r: f64, n_per_level: u64, levels: u64) -> DistSketch {
+        // counts proportional to r^j — an exactly geometric pmf.
+        let mut s = DistSketch::new_exact();
+        for j in 0..levels {
+            let c = (n_per_level as f64 * r.powi(j as i32)).round() as u64;
+            if c > 0 {
+                s.record_n(j, c);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn ccdf_points_sum_and_monotone() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 6);
+        s.record_n(2, 3);
+        s.record_n(3, 1);
+        let pts = ccdf_points(&s);
+        assert_eq!(pts[0], (0, 1.0));
+        assert!((pts[1].1 - 0.4).abs() < 1e-12); // P(X >= 1)
+        assert!((pts[2].1 - 0.4).abs() < 1e-12); // P(X >= 2)
+        assert!((pts[3].1 - 0.1).abs() < 1e-12); // P(X >= 3)
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1, "ccdf must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn geometric_fit_recovers_rate() {
+        let r = 0.3;
+        let s = geometric_sketch(r, 1_000_000, 12);
+        let fitted = fit_geometric_tail(&s).expect("fit");
+        assert!((fitted - r).abs() < 0.02, "fitted {fitted} vs true {r}");
+    }
+
+    #[test]
+    fn fit_declines_on_tiny_support() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 10);
+        assert!(fit_geometric_tail(&s).is_none());
+        assert!(fit_geometric_tail(&DistSketch::new_exact()).is_none());
+    }
+
+    #[test]
+    fn ks_zero_against_own_cdf() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 5);
+        s.record_n(1, 3);
+        s.record_n(2, 2);
+        let clone = s.clone();
+        // Model CDF = the sketch's own empirical CDF (floor of v + 0.5).
+        let ks = ks_distance(&s, move |x| clone.cdf_at(x.floor().max(0.0) as u64));
+        assert!(ks < 1e-12, "ks {ks}");
+    }
+
+    #[test]
+    fn ks_detects_mean_shift() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 50);
+        s.record_n(1, 50);
+        // Model: all mass at 0.
+        let ks = ks_distance(&s, |x| if x >= 0.0 { 1.0 } else { 0.0 });
+        assert!((ks - 0.5).abs() < 1e-12);
+        assert_eq!(ks_distance(&DistSketch::new_exact(), |_| 0.0), 0.0);
+    }
+
+    #[test]
+    fn drift_report_serializes_with_null_rates() {
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 10);
+        let r = DriftReport::against("net.wait.total", &s, |_| 1.0, 0.0, None);
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"net.wait.total\""));
+        assert!(json.contains("\"fitted_tail_rate\": null"));
+        assert!(json.contains("\"analytic_tail_rate\": null"));
+        assert_eq!(r.ks_ppm(), (r.ks * 1e6).round() as u64);
+    }
+}

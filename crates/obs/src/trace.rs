@@ -1,0 +1,115 @@
+//! `chrome://tracing`-compatible trace-event export.
+//!
+//! Serializes the completed [`SpanEvent`]s of a [`SpanSet`] in the
+//! Trace Event Format's JSON object form:
+//!
+//! ```json
+//! {"traceEvents": [
+//!   {"ph": "X", "name": "net/measure", "ts": 120, "dur": 4500,
+//!    "pid": 1, "tid": 0, "cat": "banyan"}
+//! ]}
+//! ```
+//!
+//! `ph: "X"` is a *complete* event (start + duration in one record);
+//! `ts`/`dur` are microseconds, as the format requires. The output
+//! loads directly in Perfetto or `chrome://tracing`.
+
+use crate::json::{escape, JsonObject};
+use crate::span::{SpanEvent, SpanSet};
+
+/// Fixed pid: the exporter covers a single process.
+const TRACE_PID: u64 = 1;
+
+/// Render one complete ("X") trace event.
+fn event_json(ev: &SpanEvent) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("ph", "X")
+        .field_str("name", &ev.name)
+        .field_str("cat", "banyan")
+        .field_u64("ts", ev.ts_us)
+        .field_u64("dur", ev.dur_us)
+        .field_u64("pid", TRACE_PID)
+        .field_u64("tid", ev.tid);
+    o.finish()
+}
+
+/// Render a full trace document from explicit events.
+pub fn trace_json_from_events(events: &[SpanEvent]) -> String {
+    let mut parts = Vec::with_capacity(events.len() + 2);
+    // Metadata events give the process and threads readable names.
+    let mut proc_meta = JsonObject::new();
+    proc_meta
+        .field_str("ph", "M")
+        .field_str("name", "process_name")
+        .field_u64("pid", TRACE_PID)
+        .field_raw("args", "{\"name\": \"banyan\"}");
+    parts.push(proc_meta.finish());
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut m = JsonObject::new();
+        m.field_str("ph", "M")
+            .field_str("name", "thread_name")
+            .field_u64("pid", TRACE_PID)
+            .field_u64("tid", tid)
+            .field_raw("args", &format!("{{\"name\": \"{}\"}}", escape(&format!("thread-{tid}"))));
+        parts.push(m.finish());
+    }
+    parts.extend(events.iter().map(event_json));
+    let mut doc = JsonObject::new();
+    doc.field_raw("traceEvents", &format!("[\n  {}\n]", parts.join(",\n  ")))
+        .field_str("displayTimeUnit", "ms");
+    format!("{}\n", doc.finish_pretty(2))
+}
+
+/// Render a full trace document from a span set's event log.
+pub fn trace_json(spans: &SpanSet) -> String {
+    trace_json_from_events(&spans.events())
+}
+
+/// Write the trace document for `spans` to `path`.
+pub fn write_trace(path: &std::path::Path, spans: &SpanSet) -> std::io::Result<()> {
+    std::fs::write(path, trace_json(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_document_has_required_fields() {
+        let events = vec![
+            SpanEvent { name: "net/warmup".into(), ts_us: 0, dur_us: 120, tid: 0 },
+            SpanEvent { name: "net/measure".into(), ts_us: 120, dur_us: 4_500, tid: 0 },
+            SpanEvent { name: "runner/worker01".into(), ts_us: 10, dur_us: 4_000, tid: 1 },
+        ];
+        let doc = trace_json_from_events(&events);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"name\": \"net/measure\""));
+        assert!(doc.contains("\"dur\": 4500"));
+        assert!(doc.contains("\"tid\": 1"));
+        assert!(doc.contains("\"process_name\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn live_span_set_exports_its_spans() {
+        let set = SpanSet::new();
+        {
+            let _g = set.time("queue/measure");
+        }
+        let doc = trace_json(&set);
+        assert!(doc.contains("\"queue/measure\""));
+        assert!(doc.contains("\"pid\": 1"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_shape() {
+        let doc = trace_json_from_events(&[]);
+        assert!(doc.contains("\"traceEvents\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -672,6 +672,16 @@ impl NetworkSim {
     /// the `OBS = false` instantiation compiles to the original
     /// telemetry-free loops.
     fn drive<const OBS: bool>(mut self, tel: &Telemetry) -> NetworkStats {
+        // With metrics on, per-stage waiting-time pmfs are captured for
+        // the distribution sketches. Flipping the existing `stage_hists`
+        // option *before* the run reuses deliver()'s existing branch —
+        // the OBS = false instantiation compiles to the same None check
+        // it always had, and the dynamics (RNG, queues) are untouched,
+        // so statistics stay bit-identical.
+        if OBS && tel.metrics_enabled() && self.stats.stage_hists.is_none() {
+            self.stats.stage_hists =
+                Some(vec![IntHistogram::new(); self.cfg.stages as usize]);
+        }
         let mut obs = if OBS {
             Some(ObsState::new(tel, self.cfg.stages as usize))
         } else {
@@ -746,7 +756,12 @@ struct ObsState<'t> {
     /// Per-stage total-queued-messages gauges (empty when metrics off).
     stage_occupancy: Vec<Arc<Gauge>>,
     /// Distribution of per-queue occupancy across all sampled queues.
-    occupancy_hist: Option<Arc<Histogram>>,
+    /// **Worker-local** (owned, not a registry handle): samples land in
+    /// unshared memory and are folded into the shared registry's
+    /// `net.queue_occupancy` once, at flush, via [`Histogram::merge`] —
+    /// concurrent replications never contend on registry atomics from
+    /// the sampling path.
+    occupancy_hist: Option<Histogram>,
 }
 
 impl<'t> ObsState<'t> {
@@ -759,8 +774,7 @@ impl<'t> ObsState<'t> {
         } else {
             Vec::new()
         };
-        let occupancy_hist =
-            metrics.then(|| tel.registry().histogram("net.queue_occupancy", POW2_BOUNDS));
+        let occupancy_hist = metrics.then(|| Histogram::new(POW2_BOUNDS));
         let sample_every = tel.config().sample_every.max(1);
         ObsState {
             tel,
@@ -827,7 +841,9 @@ impl<'t> ObsState<'t> {
     }
 
     /// End-of-run flush: final progress delta plus the conservation
-    /// ledger, tracked-message counters, and the slab high-water mark.
+    /// ledger, tracked-message counters, the slab high-water mark, the
+    /// worker-local occupancy histogram, and the per-stage / total
+    /// waiting-time distribution sketches.
     fn flush_final(&mut self, sim: &NetworkSim) {
         self.push_progress(sim);
         if !self.metrics {
@@ -846,6 +862,25 @@ impl<'t> ObsState<'t> {
         // messages simultaneously in flight over the whole run.
         reg.gauge("net.slab_high_water").set(sim.slab.len() as u64);
         reg.counter("net.runs").inc();
+        if let Some(local) = &self.occupancy_hist {
+            reg.histogram("net.queue_occupancy", POW2_BOUNDS).merge(local);
+        }
+        // Fold the exact waiting-time pmfs into the shared sketch set.
+        // Sketch merging is commutative integer addition, so concurrent
+        // workers may flush in any order without changing the result.
+        let sketches = self.tel.sketches();
+        if let Some(hists) = &st.stage_hists {
+            for (i, h) in hists.iter().enumerate() {
+                sketches.merge_sketch(
+                    &format!("net.wait.stage{:02}", i + 1),
+                    &banyan_obs::DistSketch::from_dense_counts(h.counts()),
+                );
+            }
+        }
+        sketches.merge_sketch(
+            "net.wait.total",
+            &banyan_obs::DistSketch::from_dense_counts(st.total_hist.counts()),
+        );
     }
 }
 
@@ -945,6 +980,50 @@ mod tests {
         assert_eq!(p.injected, stats.injected_total);
         assert_eq!(p.delivered, stats.delivered_total);
         assert_eq!(p.in_flight(), stats.in_flight_at_end);
+    }
+
+    #[test]
+    fn instrumented_run_captures_exact_wait_sketches() {
+        use banyan_obs::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let stats = run_network_instrumented(quick_cfg(2, 4, 0.5, 1), &tel);
+        let sketches = tel.sketches();
+        // One sketch per stage plus the end-to-end total, even though
+        // the config did not request stage histograms explicitly.
+        for i in 1..=4 {
+            let name = format!("net.wait.stage{i:02}");
+            let sk = sketches.get(&name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sk.count(), stats.delivered, "{name} pmf must sum to delivered");
+            let i0 = i - 1;
+            assert!(
+                (sk.mean() - stats.stage_waits[i0].mean()).abs() < 1e-9,
+                "{name} mean {} vs E(w) {}",
+                sk.mean(),
+                stats.stage_waits[i0].mean()
+            );
+            assert!(
+                (sk.variance() - stats.stage_waits[i0].variance()).abs() < 1e-9,
+                "{name} variance {} vs Var(w) {}",
+                sk.variance(),
+                stats.stage_waits[i0].variance()
+            );
+        }
+        let total = sketches.get("net.wait.total").expect("total sketch");
+        assert_eq!(total.count(), stats.delivered);
+        assert!((total.mean() - stats.total_wait.mean()).abs() < 1e-9);
+        // The pmf itself is exact: probabilities sum to one.
+        let mass: f64 = total.pmf_points().iter().map(|&(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+        // The returned stats now carry the per-stage histograms too.
+        assert!(stats.stage_hists.is_some());
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_sketches() {
+        let tel = Telemetry::off();
+        let stats = NetworkSim::new(quick_cfg(2, 3, 0.5, 1)).run_instrumented(&tel);
+        assert!(tel.sketches().is_empty());
+        assert!(stats.stage_hists.is_none(), "off path must not allocate stage hists");
     }
 
     #[test]

@@ -326,6 +326,12 @@ pub fn run_queue_instrumented(cfg: &QueueConfig, tel: &Telemetry) -> QueueStats 
         reg.counter("queue.cycles").add(cfg.warmup_cycles + cfg.measure_cycles);
         reg.counter("queue.messages").add(stats.wait.count());
         reg.counter("queue.runs").inc();
+        // Fold the exact waiting-time pmf (already collected by the
+        // Lindley loop — zero extra hot-path work) into the sketch set.
+        tel.sketches().merge_sketch(
+            "queue.wait",
+            &banyan_obs::DistSketch::from_dense_counts(stats.hist.counts()),
+        );
     }
     stats
 }
@@ -500,6 +506,11 @@ mod tests {
         assert_eq!(reg.counter_value("queue.messages"), Some(base.wait.count()));
         assert_eq!(reg.counter_value("queue.runs"), Some(1));
         assert_eq!(tel.progress().snapshot().cycles, 52_000);
+        // The exact waiting-time pmf is mirrored into the sketch set.
+        let sk = tel.sketches().get("queue.wait").expect("queue.wait sketch");
+        assert_eq!(sk.count(), base.wait.count());
+        assert!((sk.mean() - base.wait.mean()).abs() < 1e-9);
+        assert!((sk.variance() - base.wait.variance()).abs() < 1e-9);
         // A disabled sink takes the plain path and records nothing.
         let off = Telemetry::off();
         let quiet = run_queue_instrumented(&cfg, &off);

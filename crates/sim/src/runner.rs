@@ -336,6 +336,33 @@ mod tests {
     }
 
     #[test]
+    fn wait_sketches_fold_identically_across_thread_counts() {
+        use banyan_obs::{Telemetry, TelemetryConfig};
+        // Sketch merges are commutative and lossless, so the folded
+        // per-stage pmfs must be exactly equal no matter how the
+        // replications shard across workers.
+        let cfg = quick_net();
+        let tel1 = Telemetry::new(TelemetryConfig::on());
+        let base = run_network_replicated_instrumented(&cfg, 4, 1, &tel1);
+        for threads in [2usize, 4, 8] {
+            let tel = Telemetry::new(TelemetryConfig::on());
+            let inst = run_network_replicated_instrumented(&cfg, 4, threads, &tel);
+            assert_eq!(inst.delivered, base.delivered, "threads = {threads}");
+            for name in ["net.wait.stage01", "net.wait.stage03", "net.wait.total"] {
+                let a = tel1.sketches().get(name).expect(name);
+                let b = tel.sketches().get(name).expect(name);
+                assert_eq!(a.count(), b.count(), "{name} threads = {threads}");
+                assert_eq!(a.pmf_points(), b.pmf_points(), "{name} threads = {threads}");
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+                assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+            }
+            // The total sketch holds every measured delivery's wait.
+            let total = tel.sketches().get("net.wait.total").unwrap();
+            assert_eq!(total.count(), inst.delivered);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one replication")]
     fn zero_reps_panics() {
         let cfg = QueueConfig::new(

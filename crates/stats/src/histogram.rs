@@ -90,6 +90,18 @@ impl IntHistogram {
         c as f64 / self.total as f64
     }
 
+    /// Empirical complementary CDF `P(X >= value)` (exact: a count
+    /// ratio, not `1 − cdf_at(value − 1)` with its cancellation error).
+    /// Returns 0.0 when the histogram is empty.
+    pub fn ccdf_at(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let from = (value as usize).min(self.counts.len());
+        let c: u64 = self.counts[from..].iter().sum();
+        c as f64 / self.total as f64
+    }
+
     /// Empirical mean.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -199,6 +211,21 @@ mod tests {
         }
         assert_eq!(h.cdf_at(9), 1.0);
         assert_eq!(h.cdf_at(100), 1.0);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let h = hist(&[2, 5, 5, 9]);
+        assert_eq!(h.ccdf_at(0), 1.0);
+        assert_eq!(h.ccdf_at(2), 1.0);
+        assert_eq!(h.ccdf_at(3), 0.75);
+        assert_eq!(h.ccdf_at(6), 0.25);
+        assert_eq!(h.ccdf_at(10), 0.0);
+        for v in 0..12u64 {
+            let complement = if v == 0 { 1.0 } else { 1.0 - h.cdf_at(v - 1) };
+            assert!((h.ccdf_at(v) - complement).abs() < 1e-15, "v={v}");
+        }
+        assert_eq!(IntHistogram::new().ccdf_at(0), 0.0);
     }
 
     #[test]

@@ -65,22 +65,29 @@ timed "release build" cargo build --workspace --release --offline
 
 echo "== telemetry smoke =="
 telemetry_smoke() {
-    local manifest
-    manifest=$(mktemp)
+    local workdir
+    workdir=$(mktemp -d)
     ./target/release/banyan simulate --stages 3 --p 0.4 --cycles 2000 \
-        --telemetry "$manifest" --progress > /dev/null
-    python3 - "$manifest" <<'PY'
+        --telemetry "$workdir/t.json" --dist-out "$workdir/d.json" \
+        --trace-out "$workdir/tr.json" --progress > /dev/null
+    python3 - "$workdir/t.json" <<'PY'
 import json, sys
 m = json.load(open(sys.argv[1]))
-assert m["schema"] == "banyan-obs/manifest/v1", m["schema"]
+assert m["schema"] == "banyan-obs/manifest/v2", m["schema"]
 c = m["metrics"]["counters"]
 for key in ("net.injected_total", "net.delivered_total", "net.in_flight_at_end"):
     assert key in c, f"missing counter {key}"
 assert c["net.injected_total"] == c["net.delivered_total"] + c["net.in_flight_at_end"], c
 assert any(s.startswith("net/") for s in m["spans"]), m["spans"].keys()
-print("ok: manifest parses; conservation ledger closes")
+assert "net.wait.total" in m["distributions"], m["distributions"].keys()
+assert m["span_quantiles"], "span quantiles missing"
+assert any(g.startswith("net.drift.ks_ppm.") for g in m["metrics"]["gauges"]), \
+    m["metrics"]["gauges"].keys()
+print("ok: manifest v2 parses; conservation ledger closes; sketches + drift present")
 PY
-    rm -f "$manifest"
+    # Structural validation of all three artifacts by the dedicated tool.
+    ./target/release/manifest_check "$workdir/t.json" "$workdir/d.json" "$workdir/tr.json"
+    rm -rf "$workdir"
 }
 timed "telemetry smoke" telemetry_smoke
 
@@ -111,6 +118,12 @@ timed "doc tests" cargo test --workspace -q --offline --doc
 
 echo "== telemetry overhead guard =="
 timed "overhead guard" cargo run -q --offline --release -p banyan-bench --bin overhead_guard
+
+echo "== manifest check over recorded artifacts =="
+# Every committed run manifest (plus any freshly regenerated ones) must
+# stay structurally valid: schema v1 or v2, finite numbers, pmf mass
+# equal to sketch counts, conservation ledger closed.
+timed "manifest check" ./target/release/manifest_check results/*.manifest.json
 
 
 if cargo clippy --version >/dev/null 2>&1; then

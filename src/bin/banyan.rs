@@ -7,7 +7,9 @@
 //! banyan first-stage --k 2 --p 0.5 --geometric-mu 0.5
 //! banyan total --k 2 --stages 12 --p 0.5 --m 1 [--quantiles]
 //! banyan simulate --k 2 --stages 6 --p 0.5 --m 1 [--cycles N] [--q HOT] [--capacity C]
-//!                 [--reps R] [--threads T] [--telemetry FILE] [--progress]
+//!                 [--reps R] [--threads T] [--telemetry FILE]
+//!                 [--dist-out FILE] [--trace-out FILE] [--progress]
+//! banyan report --k 2 --stages 6 --p 0.5 --m 1 [--cycles N] [--reps R]
 //! banyan pmf --k 2 --p 0.5 --m 1 --len 32
 //! ```
 //!
@@ -18,6 +20,9 @@
 //! avoids external argument-parsing crates.
 
 use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, validate_flags, Flags};
+use banyan_repro::obs::json::JsonObject;
+use banyan_repro::obs::tail::{drift_array_json, drift_line, DriftReport};
+use banyan_repro::obs::trace::write_trace;
 use banyan_repro::prelude::*;
 use std::process::ExitCode;
 
@@ -27,9 +32,14 @@ const FIRST_STAGE_FLAGS: &[&str] = &["k", "p", "q", "b", "m", "geometric-mu", "m
 const TOTAL_FLAGS: &[&str] = &["k", "stages", "p", "m", "quantiles"];
 const SIMULATE_FLAGS: &[&str] = &[
     "k", "stages", "p", "q", "cycles", "seed", "m", "geometric-mu", "mix", "capacity", "reps",
-    "threads", "telemetry", "progress",
+    "threads", "telemetry", "dist-out", "trace-out", "progress",
 ];
+const REPORT_FLAGS: &[&str] =
+    &["k", "stages", "p", "m", "cycles", "seed", "reps", "threads", "progress"];
 const PMF_FLAGS: &[&str] = &["k", "p", "m", "len"];
+
+/// Schema identifier of the `--dist-out` distribution dump.
+const DIST_SCHEMA: &str = "banyan-obs/dist/v1";
 
 fn cmd_first_stage(flags: &Flags) -> Result<(), String> {
     let k: u32 = get(flags, "k", 2)?;
@@ -116,6 +126,97 @@ fn cmd_total(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Evaluates a dense integer CDF table at a continuity-corrected point:
+/// `table[floor(x)]`, clamped to `[0, 1]` outside the table. The KS
+/// helper probes the model at `v + 0.5`, so a discrete analytic model
+/// tabulated at integers is compared at exactly `F(v)`.
+fn table_cdf(table: &[f64], x: f64) -> f64 {
+    if x < 0.0 {
+        return 0.0;
+    }
+    let i = x.floor() as usize;
+    if i >= table.len() {
+        1.0
+    } else {
+        table[i]
+    }
+}
+
+/// Builds observed-vs-analytic drift reports from the per-stage wait
+/// sketches the instrumented run captured: stage 1 against the exact
+/// Theorem 1 distribution, stages ≥ 2 against the gamma fitted to the
+/// §IV stage-constant moments, and the end-to-end total against the §V
+/// gamma. Returns an empty list for workloads outside the analytic
+/// model's reach (non-constant service, hot-spot traffic, finite
+/// buffers, unstable load).
+fn drift_reports(
+    tel: &Telemetry,
+    k: u32,
+    n: u32,
+    p: f64,
+    q: f64,
+    service: &ServiceDist,
+    finite_buffers: bool,
+) -> Vec<DriftReport> {
+    let ServiceDist::Constant(m) = service else {
+        return Vec::new();
+    };
+    if q > 0.0 || finite_buffers {
+        return Vec::new();
+    }
+    let Ok(fs) = uniform_queue(k, p, *m) else {
+        return Vec::new();
+    };
+    let sc = StageConstants::paper();
+    let tail_rate = fs.tail_decay_rate();
+    let mf = f64::from(*m);
+    let mut out = Vec::new();
+    for i in 1..=n {
+        let name = format!("net.wait.stage{i:02}");
+        let Some(sk) = tel.sketches().get(&name) else {
+            continue;
+        };
+        if sk.count() == 0 {
+            continue;
+        }
+        let max = sk.pmf_points().last().map_or(0, |&(v, _)| v) as usize;
+        let report = if i == 1 {
+            // Exact Theorem 1 CDF, tabulated once over the support.
+            let table = fs.wait_cdf_table(max + 2);
+            DriftReport::against(
+                &name,
+                &sk,
+                |x| table_cdf(&table, x),
+                fs.mean_wait(),
+                tail_rate,
+            )
+        } else {
+            // §IV approximation: gamma fitted to the stage-i moments.
+            let (wm, vm) = (sc.w_stage_m(i, p, k, mf), sc.v_stage_m(i, p, k, mf));
+            let Some(g) = Gamma::from_mean_var(wm, vm) else {
+                continue;
+            };
+            DriftReport::against(&name, &sk, |x| g.cdf(x), wm, tail_rate)
+        };
+        out.push(report);
+    }
+    if let Some(sk) = tel.sketches().get("net.wait.total") {
+        if sk.count() > 0 {
+            let t = TotalWaiting::new(k, n, p, *m);
+            if let Some(g) = t.gamma() {
+                out.push(DriftReport::against(
+                    "net.wait.total",
+                    &sk,
+                    |x| g.cdf(x),
+                    t.mean_total(),
+                    None,
+                ));
+            }
+        }
+    }
+    out
+}
+
 fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let k: u32 = get(flags, "k", 2)?;
     let n: u32 = get(flags, "stages", 6)?;
@@ -144,7 +245,11 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         cfg.buffer_capacity = Some(cap);
     }
     let telemetry_path = flags.get("telemetry").cloned();
-    let mut tcfg = if telemetry_path.is_some() {
+    let dist_path = flags.get("dist-out").cloned();
+    let trace_path = flags.get("trace-out").cloned();
+    // Any observability output needs the instrumented collection path;
+    // stdout stays byte-identical either way.
+    let mut tcfg = if telemetry_path.is_some() || dist_path.is_some() || trace_path.is_some() {
         TelemetryConfig::on()
     } else {
         TelemetryConfig::off()
@@ -184,6 +289,55 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         stats.total_wait.variance(),
         stats.total_hist.quantile(0.99).unwrap_or(0)
     );
+    // Drift gauges + reports: observed per-stage pmfs vs Theorem 1 /
+    // §IV–§V analytics, computed before any artifact is written so the
+    // manifest's metrics snapshot includes the ppm gauges.
+    let drift = if tel.metrics_enabled() {
+        let reports = drift_reports(
+            &tel,
+            k,
+            n,
+            p,
+            q,
+            &cfg.workload.service,
+            cfg.buffer_capacity.is_some(),
+        );
+        for r in &reports {
+            tel.registry()
+                .gauge(&format!("net.drift.ks_ppm.{}", r.name))
+                .set(r.ks_ppm());
+        }
+        reports
+    } else {
+        Vec::new()
+    };
+    if let Some(path) = &dist_path {
+        let mut o = JsonObject::new();
+        o.field_str("schema", DIST_SCHEMA)
+            .field_str("name", "banyan-simulate")
+            .field_u64("k", u64::from(k))
+            .field_u64("stages", u64::from(n))
+            .field_f64("p", p)
+            .field_str("service", &service_desc)
+            .field_u64("seed", seed)
+            .field_u64("reps", u64::from(reps))
+            .field_raw("distributions", &tel.sketches().snapshot_json())
+            .field_raw("drift", &drift_array_json(&drift));
+        let mut json = o.finish_pretty(2);
+        json.push('\n');
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory for --dist-out {path}: {e}"))?;
+        }
+        std::fs::write(path, json).map_err(|e| format!("cannot write --dist-out {path}: {e}"))?;
+        eprintln!("distribution dump written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        write_trace(std::path::Path::new(path), tel.spans())
+            .map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
     if let Some(path) = telemetry_path {
         let mut m = Manifest::new("banyan-simulate");
         m.config("k", k)
@@ -199,10 +353,80 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         if let Some(cap) = cfg.buffer_capacity {
             m.config("capacity", cap);
         }
+        if let Some(dist) = &dist_path {
+            m.artifact(dist);
+        }
+        if let Some(trace) = &trace_path {
+            m.artifact(trace);
+        }
+        if !drift.is_empty() {
+            m.section_raw("drift", &drift_array_json(&drift));
+        }
         let written = m
             .write(&path, Some(&tel))
             .map_err(|e| format!("cannot write --telemetry {path}: {e}"))?;
         eprintln!("telemetry manifest written to {}", written.display());
+    }
+    Ok(())
+}
+
+/// `banyan report` — run the simulator with distribution capture on and
+/// print an observed-vs-analytic table: per-stage and total exact
+/// moments, KS drift against Theorem 1 (stage 1), the §IV
+/// stage-constant gamma (later stages) and the §V gamma (total), plus
+/// fitted vs analytic geometric tail rates and report quantiles.
+fn cmd_report(flags: &Flags) -> Result<(), String> {
+    let k: u32 = get(flags, "k", 2)?;
+    let n: u32 = get(flags, "stages", 6)?;
+    let p: f64 = get_prob(flags, "p", 0.5)?;
+    let m: u32 = get(flags, "m", 1)?;
+    let cycles: u64 = get(flags, "cycles", 20_000u64)?;
+    let seed: u64 = get(flags, "seed", 1u64)?;
+    let reps: u32 = get(flags, "reps", 1u32)?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let threads: usize = get(flags, "threads", 1usize)?;
+    if (f64::from(m)) * p >= 1.0 {
+        return Err(format!("unstable load: rho = {}", f64::from(m) * p));
+    }
+    let service = ServiceDist::Constant(m);
+    let mut cfg = NetworkConfig::new(k, n, Workload { p, q: 0.0, service: service.clone() });
+    cfg.measure_cycles = cycles;
+    cfg.warmup_cycles = (cycles / 10).max(500);
+    cfg.seed = seed;
+    let mut tcfg = TelemetryConfig::on();
+    if flags.contains_key("progress") {
+        tcfg = tcfg.with_progress();
+    }
+    let tel = Telemetry::new(tcfg);
+    let stats = run_network_replicated_instrumented(&cfg, reps, threads, &tel);
+    tel.heartbeat_final();
+    let drift = drift_reports(&tel, k, n, p, 0.0, &service, false);
+    if drift.is_empty() {
+        return Err("no delivered messages to report on (try more --cycles)".into());
+    }
+    println!(
+        "waiting-time distributions, observed vs analytic (k={k}, stages={n}, p={p}, m={m}, \
+         {} messages)",
+        stats.delivered
+    );
+    for r in &drift {
+        println!("{}", drift_line(r));
+    }
+    println!("quantiles (observed):");
+    for (name, sk) in tel.sketches().snapshot() {
+        let qs: Vec<String> = banyan_repro::obs::sketch::REPORT_QUANTILES
+            .iter()
+            .map(|&level| {
+                format!(
+                    "{} {}",
+                    banyan_repro::obs::sketch::quantile_label(level),
+                    sk.quantile(level)
+                )
+            })
+            .collect();
+        println!("  {name:<18} {}", qs.join("  "));
     }
     Ok(())
 }
@@ -224,9 +448,9 @@ fn cmd_pmf(flags: &Flags) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
-commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  pmf          print the exact first-stage waiting distribution\n\
+commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n\
 common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
-simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --progress (heartbeat on stderr; stdout unchanged)";
+simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -247,6 +471,7 @@ fn main() -> ExitCode {
         }
         "total" => validate_flags(&flags, TOTAL_FLAGS).and_then(|()| cmd_total(&flags)),
         "simulate" => validate_flags(&flags, SIMULATE_FLAGS).and_then(|()| cmd_simulate(&flags)),
+        "report" => validate_flags(&flags, REPORT_FLAGS).and_then(|()| cmd_report(&flags)),
         "pmf" => validate_flags(&flags, PMF_FLAGS).and_then(|()| cmd_pmf(&flags)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

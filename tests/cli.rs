@@ -108,15 +108,152 @@ fn telemetry_flag_writes_manifest_and_keeps_results_identical() {
     let manifest = std::fs::read_to_string(&path).unwrap();
     for key in [
         "\"schema\"",
-        "\"banyan-obs/manifest/v1\"",
+        "\"banyan-obs/manifest/v2\"",
         "\"net.injected_total\"",
         "\"net.delivered_total\"",
         "\"net/measure\"",
         "\"reps\": 2",
+        "\"distributions\"",
+        "\"span_quantiles\"",
+        "\"drift\"",
     ] {
         assert!(manifest.contains(key), "missing {key} in manifest");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dist_out_writes_consistent_sketches_and_drift() {
+    use banyan_repro::obs::json::JsonValue;
+    let dir = std::env::temp_dir().join(format!("banyan_cli_dist_{}", std::process::id()));
+    let path = dir.join("d.json");
+    let path_str = path.to_str().unwrap().to_string();
+    let args = [
+        "simulate", "--stages", "3", "--p", "0.5", "--cycles", "2000", "--seed", "11",
+        "--dist-out", &path_str,
+    ];
+    let (ok, stdout, stderr) = banyan(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("distribution dump written"), "{stderr}");
+    let delivered: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("delivered ")?.split(' ').next()?.parse().ok())
+        .expect("delivered line");
+    let doc = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("banyan-obs/dist/v1")
+    );
+    // Each per-stage pmf carries exactly one count per delivered message.
+    let dists = doc.get("distributions").unwrap().as_object().unwrap();
+    for stage in ["net.wait.stage01", "net.wait.stage02", "net.wait.stage03", "net.wait.total"] {
+        let sk = dists
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing sketch {stage}"));
+        let count = sk.get("count").unwrap().as_u64().unwrap();
+        assert_eq!(count, delivered, "{stage}");
+        let counts = sk.get("counts").unwrap().as_array().unwrap();
+        let sum: u64 = counts.iter().map(|c| c.as_u64().unwrap()).sum();
+        assert_eq!(sum, count, "{stage}: pmf mass");
+        for label in ["p50", "p90", "p99", "p999"] {
+            assert!(sk.get("quantiles").unwrap().get(label).is_some(), "{stage}: {label}");
+        }
+    }
+    // Drift reports cover every stage plus the total, with KS in [0, 1].
+    let drift = doc.get("drift").unwrap().as_array().unwrap();
+    assert_eq!(drift.len(), 4, "3 stages + total");
+    for r in drift {
+        let ks = r.get("ks").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&ks), "ks = {ks}");
+    }
+    // Stage 1 is simulated against the exact Theorem 1 law: KS is tiny.
+    let ks1 = drift[0].get("ks").unwrap().as_f64().unwrap();
+    assert!(ks1 < 0.02, "stage-1 KS drift vs Theorem 1: {ks1}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_writes_loadable_trace_events() {
+    use banyan_repro::obs::json::JsonValue;
+    let dir = std::env::temp_dir().join(format!("banyan_cli_trace_{}", std::process::id()));
+    let path = dir.join("tr.json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_str = path.to_str().unwrap().to_string();
+    let (ok, _, stderr) = banyan(&[
+        "simulate", "--stages", "3", "--p", "0.4", "--cycles", "1500", "--trace-out", &path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    let doc = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    // Structure Perfetto accepts: metadata names the process, complete
+    // events carry name/cat/ts/dur/pid/tid.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(JsonValue::as_str) == Some("M")
+            && e.get("name").and_then(JsonValue::as_str) == Some("process_name")
+    }));
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .collect();
+    assert!(!complete.is_empty());
+    for e in &complete {
+        assert!(e.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("dur").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("pid").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("tid").and_then(JsonValue::as_u64).is_some());
+    }
+    // The simulator phases appear as named spans.
+    assert!(complete
+        .iter()
+        .any(|e| e.get("name").and_then(JsonValue::as_str) == Some("net/measure")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn observability_flags_keep_stdout_byte_identical() {
+    // Acceptance shape from the issue: --reps 8 with all three artifact
+    // flags produces the same stdout as a bare run, plus three files.
+    let dir = std::env::temp_dir().join(format!("banyan_cli_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let t = dir.join("t.json");
+    let d = dir.join("d.json");
+    let tr = dir.join("tr.json");
+    let (t_s, d_s, tr_s) = (
+        t.to_str().unwrap().to_string(),
+        d.to_str().unwrap().to_string(),
+        tr.to_str().unwrap().to_string(),
+    );
+    let base = ["simulate", "--stages", "3", "--p", "0.5", "--cycles", "1000", "--reps", "8"];
+    let (ok, plain_stdout, _) = banyan(&base);
+    assert!(ok);
+    let mut full: Vec<&str> = base.to_vec();
+    full.extend(["--telemetry", &t_s, "--dist-out", &d_s, "--trace-out", &tr_s]);
+    let (ok, obs_stdout, stderr) = banyan(&full);
+    assert!(ok, "{stderr}");
+    assert_eq!(obs_stdout, plain_stdout, "observability must not perturb results");
+    for p in [&t, &d, &tr] {
+        assert!(p.exists(), "missing artifact {}", p.display());
+    }
+    let manifest = std::fs::read_to_string(&t).unwrap();
+    assert!(manifest.contains("\"banyan-obs/manifest/v2\""));
+    assert!(manifest.contains("net.drift.ks_ppm.net.wait.stage01"), "drift gauge missing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_command_prints_drift_table() {
+    let (ok, stdout, stderr) = banyan(&[
+        "report", "--stages", "3", "--p", "0.5", "--cycles", "2000", "--seed", "3",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("observed vs analytic"), "{stdout}");
+    for needle in ["net.wait.stage01", "net.wait.stage03", "net.wait.total", "KS", "p999"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
 }
 
 #[test]
