@@ -31,7 +31,8 @@ fn check_finite(v: &JsonValue, path: &str) -> Result<(), String> {
 }
 
 fn require<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
-    doc.get(key).ok_or_else(|| format!("missing required key \"{key}\""))
+    doc.get(key)
+        .ok_or_else(|| format!("missing required key \"{key}\""))
 }
 
 /// One distribution sketch object: parallel `values`/`counts` arrays
@@ -66,7 +67,9 @@ fn check_sketch(name: &str, sk: &JsonValue) -> Result<(), String> {
             .as_u64()
             .ok_or_else(|| ctx(format!("counts[{i}] is not a nonnegative integer")))?;
         if c == 0 {
-            return Err(ctx(format!("counts[{i}] is zero (sparse pmf must omit it)")));
+            return Err(ctx(format!(
+                "counts[{i}] is zero (sparse pmf must omit it)"
+            )));
         }
         sum += c;
     }
@@ -96,13 +99,25 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
         other => return Err(format!("unknown manifest schema \"{other}\"")),
     };
     for key in [
-        "name", "created_unix", "host_parallelism", "config", "seeds", "phases",
-        "artifacts", "spans", "metrics", "runs",
+        "name",
+        "created_unix",
+        "host_parallelism",
+        "config",
+        "seeds",
+        "phases",
+        "artifacts",
+        "spans",
+        "metrics",
+        "runs",
     ] {
         require(doc, key)?;
     }
-    require(doc, "name")?.as_str().ok_or("name is not a string")?;
-    require(doc, "created_unix")?.as_u64().ok_or("created_unix is not an integer")?;
+    require(doc, "name")?
+        .as_str()
+        .ok_or("name is not a string")?;
+    require(doc, "created_unix")?
+        .as_u64()
+        .ok_or("created_unix is not an integer")?;
     let n_dists = if v2 {
         require(doc, "span_quantiles")?
             .as_object()
@@ -132,8 +147,24 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
                 ));
             }
         }
+        // Lane-engine provenance: `net.lane_runs` counts replications
+        // that went through the lane-batched engine, so it can never
+        // exceed the total replication count.
+        if let Some(lane_runs) = counter("net.lane_runs") {
+            let runs = counter("net.runs").ok_or(format!(
+                "net.lane_runs {lane_runs} present without net.runs"
+            ))?;
+            if lane_runs > runs {
+                return Err(format!(
+                    "lane ledger broken: net.lane_runs {lane_runs} > net.runs {runs}"
+                ));
+            }
+        }
     }
-    Ok(format!("manifest {} ({n_dists} distributions)", if v2 { "v2" } else { "v1" }))
+    Ok(format!(
+        "manifest {} ({n_dists} distributions)",
+        if v2 { "v2" } else { "v1" }
+    ))
 }
 
 /// A `--dist-out` dump: per-stage sketches plus drift reports.
@@ -142,11 +173,17 @@ fn check_dist(doc: &JsonValue) -> Result<String, String> {
     if n == 0 {
         return Err("distributions object is empty".into());
     }
-    let drift = require(doc, "drift")?.as_array().ok_or("drift is not an array")?;
+    let drift = require(doc, "drift")?
+        .as_array()
+        .ok_or("drift is not an array")?;
     for (i, r) in drift.iter().enumerate() {
         let ctx = |msg: &str| format!("drift[{i}]: {msg}");
-        require(r, "name")?.as_str().ok_or_else(|| ctx("name is not a string"))?;
-        require(r, "count")?.as_u64().ok_or_else(|| ctx("count is not an integer"))?;
+        require(r, "name")?
+            .as_str()
+            .ok_or_else(|| ctx("name is not a string"))?;
+        require(r, "count")?
+            .as_u64()
+            .ok_or_else(|| ctx("count is not an integer"))?;
         let ks = require(r, "ks")?
             .as_f64()
             .filter(|x| x.is_finite())
@@ -161,7 +198,10 @@ fn check_dist(doc: &JsonValue) -> Result<String, String> {
                 .ok_or_else(|| ctx(&format!("{key} is not a finite number")))?;
         }
     }
-    Ok(format!("dist v1 ({n} distributions, {} drift reports)", drift.len()))
+    Ok(format!(
+        "dist v1 ({n} distributions, {} drift reports)",
+        drift.len()
+    ))
 }
 
 /// A chrome://tracing file: `traceEvents`, each with `ph`/`name`/
@@ -173,14 +213,26 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
     let mut complete = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
-        let ph = require(e, "ph")?.as_str().ok_or_else(|| ctx("ph is not a string"))?;
-        require(e, "name")?.as_str().ok_or_else(|| ctx("name is not a string"))?;
-        require(e, "pid")?.as_u64().ok_or_else(|| ctx("pid is not an integer"))?;
+        let ph = require(e, "ph")?
+            .as_str()
+            .ok_or_else(|| ctx("ph is not a string"))?;
+        require(e, "name")?
+            .as_str()
+            .ok_or_else(|| ctx("name is not a string"))?;
+        require(e, "pid")?
+            .as_u64()
+            .ok_or_else(|| ctx("pid is not an integer"))?;
         match ph {
             "X" => {
-                require(e, "tid")?.as_u64().ok_or_else(|| ctx("tid is not an integer"))?;
-                require(e, "ts")?.as_u64().ok_or_else(|| ctx("ts is not an integer"))?;
-                require(e, "dur")?.as_u64().ok_or_else(|| ctx("dur is not an integer"))?;
+                require(e, "tid")?
+                    .as_u64()
+                    .ok_or_else(|| ctx("tid is not an integer"))?;
+                require(e, "ts")?
+                    .as_u64()
+                    .ok_or_else(|| ctx("ts is not an integer"))?;
+                require(e, "dur")?
+                    .as_u64()
+                    .ok_or_else(|| ctx("dur is not an integer"))?;
                 complete += 1;
             }
             // Metadata: process_name carries no tid, thread_name does.
@@ -188,7 +240,10 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
             other => return Err(ctx(&format!("unexpected event phase \"{other}\""))),
         }
     }
-    Ok(format!("trace ({} events, {complete} complete)", events.len()))
+    Ok(format!(
+        "trace ({} events, {complete} complete)",
+        events.len()
+    ))
 }
 
 /// Dispatches one file by its schema (or trace shape).

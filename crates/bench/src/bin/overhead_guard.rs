@@ -12,13 +12,21 @@
 //!
 //! Asserts the off/plain median ratio is within the hot-path budget
 //! (2% at full scale), the on/plain ratio within the enabled envelope,
-//! and that all three produce bit-identical statistics. Writes
+//! and that all three produce bit-identical statistics.
+//!
+//! A second section guards the replicated lane engine the same way:
+//! scalar-engine and lane-engine runs of the same replicated config
+//! (interleaved, telemetry off) must merge to bit-identical statistics
+//! with the lane engine no slower than scalar beyond the off budget,
+//! and enabling telemetry on the lane engine must stay within the
+//! enabled envelope while changing nothing. Writes
 //! `results/BENCH_overhead_guard.json`.
 
 use banyan_obs::json::JsonObject;
 use banyan_obs::{Telemetry, TelemetryConfig};
 use banyan_sim::network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
 use banyan_sim::traffic::Workload;
+use banyan_sim::{run_network_replicated_with_engine, ReplicationEngine};
 use std::time::Instant;
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -28,7 +36,10 @@ fn median(samples: &mut [f64]) -> f64 {
 
 fn assert_bit_identical(label: &str, a: &NetworkStats, b: &NetworkStats) {
     assert_eq!(a.delivered, b.delivered, "{label}: delivered");
-    assert_eq!(a.injected_total, b.injected_total, "{label}: injected_total");
+    assert_eq!(
+        a.injected_total, b.injected_total,
+        "{label}: injected_total"
+    );
     assert_eq!(a.in_flight_at_end, b.in_flight_at_end, "{label}: in_flight");
     assert_eq!(a.cycles, b.cycles, "{label}: cycles");
     assert_eq!(
@@ -42,7 +53,11 @@ fn assert_bit_identical(label: &str, a: &NetworkStats, b: &NetworkStats) {
         "{label}: total variance"
     );
     for (i, (x, y)) in a.stage_waits.iter().zip(&b.stage_waits).enumerate() {
-        assert_eq!(x.mean().to_bits(), y.mean().to_bits(), "{label}: stage {i} mean");
+        assert_eq!(
+            x.mean().to_bits(),
+            y.mean().to_bits(),
+            "{label}: stage {i} mean"
+        );
     }
 }
 
@@ -52,8 +67,11 @@ fn main() {
     // config so the guard speaks to the recorded baseline medians; quick
     // shrinks the network and sample count, and relaxes the thresholds
     // (short runs are noisier), to smoke-test the same code path.
-    let (stages, samples, off_budget, on_budget) =
-        if quick { (6u32, 5usize, 1.10, 1.60) } else { (10, 11, 1.02, 1.35) };
+    let (stages, samples, off_budget, on_budget) = if quick {
+        (6u32, 5usize, 1.10, 1.60)
+    } else {
+        (10, 11, 1.02, 1.35)
+    };
     let mk = || NetworkConfig {
         warmup_cycles: 100,
         measure_cycles: 3_000,
@@ -67,7 +85,10 @@ fn main() {
     let on_stats = NetworkSim::new(mk()).run_instrumented(&tel_on);
     assert_bit_identical("off vs plain", &off_stats, &plain_stats);
     assert_bit_identical("on vs plain", &on_stats, &plain_stats);
-    eprintln!("bit-identity: ok ({} messages delivered)", plain_stats.delivered);
+    eprintln!(
+        "bit-identity: ok ({} messages delivered)",
+        plain_stats.delivered
+    );
 
     // The enabled path must also have captured exact per-stage wait
     // sketches that agree with the (bit-identical) online accumulators.
@@ -91,8 +112,15 @@ fn main() {
             st.variance()
         );
     }
-    let total_sk = tel_on.sketches().get("net.wait.total").expect("total sketch");
-    assert_eq!(total_sk.count(), on_stats.delivered, "total sketch vs delivered");
+    let total_sk = tel_on
+        .sketches()
+        .get("net.wait.total")
+        .expect("total sketch");
+    assert_eq!(
+        total_sk.count(),
+        on_stats.delivered,
+        "total sketch vs delivered"
+    );
     eprintln!(
         "sketches: ok ({} stage pmfs + total, {} messages each)",
         on_stats.stage_waits.len(),
@@ -137,9 +165,94 @@ fn main() {
         on_ratio
     );
 
+    // Replicated lane engine: same purity contract, one level up. The
+    // scalar and lane engines must merge to bit-identical statistics,
+    // the lane engine must never be slower than scalar beyond the off
+    // budget (it exists to be faster), and telemetry on the lane engine
+    // must stay a pure observer within the enabled envelope.
+    let (lane_reps, lane_samples) = if quick { (4u32, 3usize) } else { (8, 5) };
+    let lane_mk = || NetworkConfig {
+        warmup_cycles: 100,
+        measure_cycles: 3_000,
+        ..NetworkConfig::new(2, 6, Workload::uniform(0.5, 1))
+    };
+    let lane_engine = ReplicationEngine::Lanes(lane_reps as usize);
+    let scalar_stats = run_network_replicated_with_engine(
+        &lane_mk(),
+        lane_reps,
+        1,
+        &Telemetry::off(),
+        ReplicationEngine::Scalar,
+    );
+    let lane_stats = run_network_replicated_with_engine(
+        &lane_mk(),
+        lane_reps,
+        1,
+        &Telemetry::off(),
+        lane_engine,
+    );
+    let lane_tel_on = Telemetry::new(TelemetryConfig::on());
+    let lane_on_stats =
+        run_network_replicated_with_engine(&lane_mk(), lane_reps, 1, &lane_tel_on, lane_engine);
+    assert_bit_identical("lanes vs scalar", &lane_stats, &scalar_stats);
+    assert_bit_identical("lanes-on vs lanes-off", &lane_on_stats, &lane_stats);
+    eprintln!(
+        "lane engine bit-identity: ok ({lane_reps} replications, {} messages delivered)",
+        lane_stats.delivered
+    );
+
+    let mut t_scalar = Vec::with_capacity(lane_samples);
+    let mut t_lanes = Vec::with_capacity(lane_samples);
+    let mut t_lanes_on = Vec::with_capacity(lane_samples);
+    for pass in 0..=lane_samples {
+        let t0 = Instant::now();
+        let a = run_network_replicated_with_engine(
+            &lane_mk(),
+            lane_reps,
+            1,
+            &off,
+            ReplicationEngine::Scalar,
+        );
+        let d_scalar = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let b = run_network_replicated_with_engine(&lane_mk(), lane_reps, 1, &off, lane_engine);
+        let d_lanes = t0.elapsed().as_secs_f64();
+        let on = Telemetry::new(TelemetryConfig::on());
+        let t0 = Instant::now();
+        let c = run_network_replicated_with_engine(&lane_mk(), lane_reps, 1, &on, lane_engine);
+        let d_lanes_on = t0.elapsed().as_secs_f64();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.delivered, c.delivered);
+        if pass > 0 {
+            t_scalar.push(d_scalar);
+            t_lanes.push(d_lanes);
+            t_lanes_on.push(d_lanes_on);
+        }
+    }
+    let m_scalar = median(&mut t_scalar);
+    let m_lanes = median(&mut t_lanes);
+    let m_lanes_on = median(&mut t_lanes_on);
+    let lanes_ratio = m_lanes / m_scalar;
+    let lanes_on_ratio = m_lanes_on / m_lanes;
+    eprintln!(
+        "replicated: scalar {:.3} ms | lanes {:.3} ms ({:.3}x) | lanes+tel {:.3} ms ({:.3}x)",
+        m_scalar * 1e3,
+        m_lanes * 1e3,
+        lanes_ratio,
+        m_lanes_on * 1e3,
+        lanes_on_ratio
+    );
+
     let mut o = JsonObject::new();
     o.field_str("suite", "overhead_guard")
-        .field_str("config", if quick { "network_k2_n6_p05_m1" } else { "network_k2_n10_p05_m1" })
+        .field_str(
+            "config",
+            if quick {
+                "network_k2_n6_p05_m1"
+            } else {
+                "network_k2_n10_p05_m1"
+            },
+        )
         .field_u64("samples", samples as u64)
         .field_f64("plain_median_ns", m_plain * 1e9)
         .field_f64("off_median_ns", m_off * 1e9)
@@ -147,7 +260,13 @@ fn main() {
         .field_f64("off_over_plain", off_ratio)
         .field_f64("on_over_plain", on_ratio)
         .field_f64("off_budget", off_budget)
-        .field_f64("on_budget", on_budget);
+        .field_f64("on_budget", on_budget)
+        .field_u64("lane_reps", lane_reps as u64)
+        .field_f64("scalar_engine_median_ns", m_scalar * 1e9)
+        .field_f64("lane_engine_median_ns", m_lanes * 1e9)
+        .field_f64("lane_engine_on_median_ns", m_lanes_on * 1e9)
+        .field_f64("lanes_over_scalar", lanes_ratio)
+        .field_f64("lanes_on_over_lanes_off", lanes_on_ratio);
     let json = format!("{}\n", o.finish_pretty(2));
     let cwd = std::env::current_dir().expect("current dir");
     let root = cwd
@@ -170,8 +289,18 @@ fn main() {
         on_ratio <= on_budget,
         "telemetry-on overhead {on_ratio:.4}x exceeds envelope {on_budget}x"
     );
+    assert!(
+        lanes_ratio <= off_budget,
+        "lane engine {lanes_ratio:.4}x vs scalar exceeds budget {off_budget}x: \
+         the lane-batched engine has become slower than running the lanes one by one"
+    );
+    assert!(
+        lanes_on_ratio <= on_budget,
+        "lane-engine telemetry overhead {lanes_on_ratio:.4}x exceeds envelope {on_budget}x"
+    );
     println!(
         "overhead guard: off {off_ratio:.4}x (budget {off_budget}x), \
-         on {on_ratio:.4}x (budget {on_budget}x) -- ok"
+         on {on_ratio:.4}x (budget {on_budget}x), \
+         lanes {lanes_ratio:.4}x (budget {off_budget}x) -- ok"
     );
 }

@@ -28,7 +28,9 @@ pub fn analysis() -> std::path::PathBuf {
     let q = uniform_queue(2, 0.5, 1).unwrap();
     s.bench("waiting_pmf_64_terms", || q.pmf(black_box(64)));
     let q8 = uniform_queue(2, 0.8, 1).unwrap();
-    s.bench("waiting_pmf_256_terms_heavy_load", || q8.pmf(black_box(256)));
+    s.bench("waiting_pmf_256_terms_heavy_load", || {
+        q8.pmf(black_box(256))
+    });
 
     s.bench("tail_decay_rate", || q.tail_decay_rate());
 
@@ -68,7 +70,61 @@ pub fn simulator() -> std::path::PathBuf {
         // delivered-message count every timed iteration will repeat —
         // giving both cycles/sec and delivered-messages/sec.
         let delivered = run_network(mk()).delivered;
-        s.bench_throughput2(label, cycles, delivered, move || run_network(mk()).delivered);
+        s.bench_throughput2(label, cycles, delivered, move || {
+            run_network(mk()).delivered
+        });
+    }
+
+    // Replicated Table-I family (k = 2, 8 stages = 256 ports): the
+    // replication runner's scalar engine vs the lane-sweep engine the
+    // Auto policy picks, across the load sweep ρ = 0.2..0.8. One thread
+    // and reps = lane width, so both engines schedule the identical
+    // work as one worker chunk. Suite-scale cycle counts keep a
+    // full-effort run tractable; EXPERIMENTS.md records the
+    // experiment-scale family numbers.
+    {
+        use banyan_obs::Telemetry;
+        use banyan_sim::{run_network_replicated_with_engine, ReplicationEngine};
+        let reps = 16u32;
+        let measure = 500u64;
+        for &(p, tag) in &[
+            (0.2, "p020"),
+            (0.35, "p035"),
+            (0.5, "p050"),
+            (0.65, "p065"),
+            (0.8, "p080"),
+        ] {
+            let mk = move || NetworkConfig {
+                warmup_cycles: 100,
+                measure_cycles: measure,
+                ..NetworkConfig::new(2, 8, Workload::uniform(p, 1))
+            };
+            // Engines are bit-identical, so one probe run gives the
+            // delivered count both timed rows repeat.
+            let delivered = run_network_replicated_with_engine(
+                &mk(),
+                reps,
+                1,
+                &Telemetry::off(),
+                ReplicationEngine::Scalar,
+            )
+            .delivered_total;
+            for (engine, ename) in [
+                (ReplicationEngine::Scalar, "scalar"),
+                (ReplicationEngine::Auto, "lanes"),
+            ] {
+                let cfg = mk();
+                s.bench_throughput2(
+                    &format!("table01_rep_{ename}_{tag}"),
+                    measure * reps as u64,
+                    delivered,
+                    move || {
+                        run_network_replicated_with_engine(&cfg, reps, 1, &Telemetry::off(), engine)
+                            .delivered
+                    },
+                );
+            }
+        }
     }
 
     let cycles = 200_000u64;

@@ -67,7 +67,12 @@ impl Default for DistSketch {
 impl DistSketch {
     /// An empty exact sketch.
     pub fn new_exact() -> Self {
-        DistSketch::Exact { counts: BTreeMap::new(), count: 0, sum: 0, sum_sq: 0 }
+        DistSketch::Exact {
+            counts: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            sum_sq: 0,
+        }
     }
 
     /// Build an exact sketch from a dense `counts[value] = n` slice
@@ -92,7 +97,12 @@ impl DistSketch {
         if n == 0 {
             return;
         }
-        let DistSketch::Exact { counts, count, sum, sum_sq } = self;
+        let DistSketch::Exact {
+            counts,
+            count,
+            sum,
+            sum_sq,
+        } = self;
         *counts.entry(value).or_insert(0) += n;
         *count += n;
         *sum += value as u128 * n as u128;
@@ -103,8 +113,18 @@ impl DistSketch {
     /// result is identical to having recorded both observation streams
     /// into a single sketch, in any order.
     pub fn merge(&mut self, other: &DistSketch) {
-        let DistSketch::Exact { counts: oc, count: on, sum: os, sum_sq: osq } = other;
-        let DistSketch::Exact { counts, count, sum, sum_sq } = self;
+        let DistSketch::Exact {
+            counts: oc,
+            count: on,
+            sum: os,
+            sum_sq: osq,
+        } = other;
+        let DistSketch::Exact {
+            counts,
+            count,
+            sum,
+            sum_sq,
+        } = self;
         for (&v, &n) in oc {
             *counts.entry(v).or_insert(0) += n;
         }
@@ -131,7 +151,9 @@ impl DistSketch {
 
     /// Exact population variance; `0.0` on an empty sketch.
     pub fn variance(&self) -> f64 {
-        let DistSketch::Exact { count, sum, sum_sq, .. } = self;
+        let DistSketch::Exact {
+            count, sum, sum_sq, ..
+        } = self;
         if *count == 0 {
             return 0.0;
         }
@@ -140,6 +162,15 @@ impl DistSketch {
         // E[X²] − E[X]²; the integer sums are exact so the only
         // rounding is the final float arithmetic.
         (*sum_sq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// The sparse support points `(value, count)`, ascending. Exact
+    /// integer counts — the raw material for cumulative statistics that
+    /// must be bit-reproducible (running integer sums divided once,
+    /// rather than accumulated float probabilities).
+    pub fn count_points(&self) -> Vec<(u64, u64)> {
+        let DistSketch::Exact { counts, .. } = self;
+        counts.iter().map(|(&v, &c)| (v, c)).collect()
     }
 
     /// The sparse pmf points `(value, P(X = value))`, ascending.
@@ -263,7 +294,8 @@ impl P2Quantile {
             self.heights[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }
@@ -296,12 +328,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -309,7 +341,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         h + d / (np - nm)
             * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
     }
@@ -351,7 +387,12 @@ impl Default for QuantileSet {
 impl QuantileSet {
     /// Track p50/p90/p99/p999.
     pub fn new() -> Self {
-        QuantileSet { estimators: REPORT_QUANTILES.iter().map(|&q| P2Quantile::new(q)).collect() }
+        QuantileSet {
+            estimators: REPORT_QUANTILES
+                .iter()
+                .map(|&q| P2Quantile::new(q))
+                .collect(),
+        }
     }
 
     /// Record one observation into every estimator.
@@ -366,17 +407,37 @@ impl QuantileSet {
         self.estimators.first().map_or(0, |e| e.count())
     }
 
-    /// `(probability, estimate)` pairs.
+    /// `(probability, estimate)` pairs, non-decreasing in probability.
+    ///
+    /// The five-marker estimators are independent, and on
+    /// duplicate-heavy or strongly patterned streams two adjacent ones
+    /// can momentarily cross (e.g. p90 above p99) even though each
+    /// stays within `[min, max]`. A crossed pair sits inside the pair's
+    /// joint uncertainty band, so the standard isotonic repair — a
+    /// running maximum over increasing probability — restores
+    /// monotonicity without leaving `[min, max]` and without touching
+    /// marker state.
     pub fn estimates(&self) -> Vec<(f64, f64)> {
-        self.estimators.iter().map(|e| (e.probability(), e.estimate())).collect()
+        let mut out: Vec<(f64, f64)> = self
+            .estimators
+            .iter()
+            .map(|e| (e.probability(), e.estimate()))
+            .collect();
+        let mut running = f64::NEG_INFINITY;
+        for e in &mut out {
+            running = running.max(e.1);
+            e.1 = running;
+        }
+        out
     }
 
-    /// JSON object `{"count": …, "p50": …, "p90": …, …}`.
+    /// JSON object `{"count": …, "p50": …, "p90": …, …}` (monotone, the
+    /// same repaired values as [`QuantileSet::estimates`]).
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("count", self.count());
-        for e in &self.estimators {
-            o.field_f64(&quantile_label(e.probability()), e.estimate());
+        for (p, e) in self.estimates() {
+            o.field_f64(&quantile_label(p), e);
         }
         o.finish()
     }
@@ -402,12 +463,18 @@ impl SketchSet {
     /// order without affecting the result.
     pub fn merge_sketch(&self, name: &str, sketch: &DistSketch) {
         let mut map = self.sketches.lock().expect("sketch registry poisoned");
-        map.entry(name.to_string()).or_insert_with(DistSketch::new_exact).merge(sketch);
+        map.entry(name.to_string())
+            .or_insert_with(DistSketch::new_exact)
+            .merge(sketch);
     }
 
     /// Clone of the named sketch, if present.
     pub fn get(&self, name: &str) -> Option<DistSketch> {
-        self.sketches.lock().expect("sketch registry poisoned").get(name).cloned()
+        self.sketches
+            .lock()
+            .expect("sketch registry poisoned")
+            .get(name)
+            .cloned()
     }
 
     /// Sorted snapshot of all named sketches.
@@ -422,14 +489,19 @@ impl SketchSet {
 
     /// True when no sketch has been merged yet.
     pub fn is_empty(&self) -> bool {
-        self.sketches.lock().expect("sketch registry poisoned").is_empty()
+        self.sketches
+            .lock()
+            .expect("sketch registry poisoned")
+            .is_empty()
     }
 
     /// JSON object mapping sketch name to its serialized form.
     pub fn snapshot_json(&self) -> String {
         let map = self.sketches.lock().expect("sketch registry poisoned");
-        let parts: Vec<String> =
-            map.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), v.to_json())).collect();
+        let parts: Vec<String> = map
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", escape(k), v.to_json()))
+            .collect();
         format!("{{{}}}", parts.join(", "))
     }
 }
@@ -437,8 +509,10 @@ impl SketchSet {
 /// Convenience: format an `(value, prob)` list as a JSON array of
 /// `[v, p]` pairs (used by drift reports).
 pub fn points_json(points: &[(u64, f64)]) -> String {
-    let parts: Vec<String> =
-        points.iter().map(|&(v, p)| format!("[{}, {}]", v, fmt_f64(p))).collect();
+    let parts: Vec<String> = points
+        .iter()
+        .map(|&(v, p)| format!("[{}, {}]", v, fmt_f64(p)))
+        .collect();
     format!("[{}]", parts.join(", "))
 }
 
@@ -525,14 +599,20 @@ mod tests {
         // Deterministic LCG; no external RNG in the obs crate.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut p2 = P2Quantile::new(0.5);
         for _ in 0..20_000 {
             p2.record(next());
         }
-        assert!((p2.estimate() - 0.5).abs() < 0.02, "median estimate {}", p2.estimate());
+        assert!(
+            (p2.estimate() - 0.5).abs() < 0.02,
+            "median estimate {}",
+            p2.estimate()
+        );
     }
 
     #[test]
@@ -553,7 +633,139 @@ mod tests {
         for i in 0..1000u64 {
             p2.record(((i * 373) % 1000) as f64);
         }
-        assert!((p2.estimate() - 900.0).abs() < 25.0, "p90 estimate {}", p2.estimate());
+        assert!(
+            (p2.estimate() - 900.0).abs() < 25.0,
+            "p90 estimate {}",
+            p2.estimate()
+        );
+    }
+
+    /// White-box P² invariants after every observation: marker heights
+    /// sorted, marker positions strictly increasing, estimate within
+    /// the observed `[min, max]`.
+    fn assert_p2_invariants(p2: &P2Quantile, min: f64, max: f64, ctx: &str) {
+        if p2.count >= 5 {
+            for w in p2.heights.windows(2) {
+                assert!(w[0] <= w[1], "{ctx}: heights out of order {:?}", p2.heights);
+            }
+            for w in p2.positions.windows(2) {
+                assert!(
+                    w[1] - w[0] >= 1.0,
+                    "{ctx}: positions collapsed {:?}",
+                    p2.positions
+                );
+            }
+        }
+        let e = p2.estimate();
+        assert!(
+            e >= min && e <= max,
+            "{ctx}: estimate {e} outside [{min}, {max}]"
+        );
+    }
+
+    /// Adversarial stream families for the quantile property tests:
+    /// duplicate-heavy small alphabets, sawtooth patterns, alternating
+    /// extremes, constants, and block-sorted runs — the shapes known to
+    /// stress five-marker estimators.
+    fn adversarial_stream(g: &mut banyan_prng::check::Gen) -> Vec<f64> {
+        let len = g.usize(5..400);
+        match g.u32(0..5) {
+            0 => {
+                // Duplicate-heavy: tiny alphabet, arbitrary scale.
+                let alphabet = g.u64(1..6);
+                let scale = g.f64(0.001..1e6);
+                (0..len)
+                    .map(|_| g.u64(0..alphabet) as f64 * scale)
+                    .collect()
+            }
+            1 => {
+                let period = g.u64(2..12);
+                (0..len).map(|i| (i as u64 % period) as f64).collect()
+            }
+            2 => {
+                let hi = g.f64(1.0..1e9);
+                (0..len)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { hi })
+                    .collect()
+            }
+            3 => vec![g.f64(-100.0..100.0); len],
+            _ => {
+                // Ascending or descending run with duplicates.
+                let mut v: Vec<f64> = (0..len).map(|i| (i / 3) as f64).collect();
+                if g.u32(0..2) == 0 {
+                    v.reverse();
+                }
+                v
+            }
+        }
+    }
+
+    #[test]
+    fn p2_markers_stay_ordered_and_bounded_on_adversarial_streams() {
+        banyan_prng::check::check(64, |g| {
+            let stream = adversarial_stream(g);
+            let q = g.pick(&[0.5, 0.9, 0.99, 0.999]);
+            let mut p2 = P2Quantile::new(q);
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for (i, &x) in stream.iter().enumerate() {
+                p2.record(x);
+                min = min.min(x);
+                max = max.max(x);
+                assert_p2_invariants(&p2, min, max, &format!("q={q} step {i}"));
+            }
+        });
+    }
+
+    #[test]
+    fn quantile_set_estimates_are_monotone_on_adversarial_streams() {
+        banyan_prng::check::check(64, |g| {
+            let stream = adversarial_stream(g);
+            let mut qs = QuantileSet::new();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for (i, &x) in stream.iter().enumerate() {
+                qs.record(x);
+                min = min.min(x);
+                max = max.max(x);
+                let est = qs.estimates();
+                for w in est.windows(2) {
+                    assert!(
+                        w[0].0 < w[1].0 && w[0].1 <= w[1].1,
+                        "step {i}: p{} = {} above p{} = {}",
+                        w[0].0,
+                        w[0].1,
+                        w[1].0,
+                        w[1].1
+                    );
+                }
+                for &(p, e) in &est {
+                    assert!(
+                        e >= min && e <= max,
+                        "step {i}: p{p} = {e} outside [{min}, {max}]"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn quantile_set_json_uses_repaired_estimates() {
+        // A stream that provably crosses the raw p90/p99 estimators
+        // (from the sawtooth family); the JSON must carry the repaired
+        // monotone values.
+        let mut qs = QuantileSet::new();
+        for i in 0..100u64 {
+            qs.record((i % 7) as f64);
+        }
+        let est = qs.estimates();
+        let json = qs.to_json();
+        for (p, e) in est {
+            assert!(
+                json.contains(&format!("\"{}\": {e}", quantile_label(p))),
+                "json {json} missing repaired {p} -> {e}"
+            );
+        }
     }
 
     #[test]

@@ -11,44 +11,47 @@
 use crate::json::JsonObject;
 use crate::sketch::{points_json, DistSketch};
 
-/// Complementary CDF points `(t, P(X >= t))` for `t = 0..=max`,
-/// stopping after the tail reaches zero. Exact.
+/// Complementary CDF points `(t, P(X >= t))` at the sketch's support
+/// values, ascending. Exact: integer tail counts divided once, never
+/// accumulated floats. Sparse — a heavy-traffic sketch with support
+/// `{0, 10_000}` yields two points, not a dense `O(max)` vector; the
+/// ccdf is constant between support points, so nothing is lost.
 pub fn ccdf_points(sketch: &DistSketch) -> Vec<(u64, f64)> {
-    let pmf = sketch.pmf_points();
-    let Some(&(max, _)) = pmf.last() else { return Vec::new() };
-    let mut out = Vec::with_capacity(max as usize + 1);
-    // Walk downward accumulating P(X >= t) exactly once per t.
-    let mut tail = 0.0;
-    let mut rev: Vec<(u64, f64)> = Vec::with_capacity(max as usize + 1);
-    let mut iter = pmf.iter().rev().peekable();
-    for t in (0..=max).rev() {
-        if let Some(&&(v, p)) = iter.peek() {
-            if v == t {
-                tail += p;
-                iter.next();
-            }
-        }
-        rev.push((t, tail));
+    let total = sketch.count();
+    if total == 0 {
+        return Vec::new();
     }
-    out.extend(rev.into_iter().rev());
+    let pts = sketch.count_points();
+    let mut out = Vec::with_capacity(pts.len());
+    // Count of observations >= the current support point; starts at the
+    // full total (every observation is >= the smallest support value).
+    let mut ge = total;
+    for &(v, c) in &pts {
+        out.push((v, ge as f64 / total as f64));
+        ge -= c;
+    }
     out
 }
 
 /// Least-squares fit of `log P(X >= t) = a + t·log r` over the tail
-/// region (the upper half of the support with nonzero mass, at least
-/// two points). Returns the decay rate `r` in `(0, 1)`, or `None` when
-/// the support is too small to fit.
+/// region (the upper half of the *support points*, at least two).
+/// Returns the decay rate `r` in `(0, 1)`, or `None` when the support
+/// is too small to fit.
 ///
 /// For a geometric tail `P(w = j) ~ C·r^j` the ccdf also decays as
 /// `r^t`, so the fitted slope estimates the paper's `1/σ` directly.
+/// Fitting over support points only matters when the support has gaps:
+/// a dense-range fit would weight every zero-mass plateau value as an
+/// extra sample of the same ccdf level, flattening the least-squares
+/// slope and biasing the fitted rate upward, away from `1/σ`.
 pub fn fit_geometric_tail(sketch: &DistSketch) -> Option<f64> {
     let ccdf = ccdf_points(sketch);
-    // Tail region: from the median of the support upward, keeping
-    // only strictly positive tail probabilities.
+    // Tail region: upper half of the support. Every ccdf value at a
+    // support point is strictly positive (P(X >= v) >= P(X = v) > 0),
+    // so no filtering is needed.
     let pts: Vec<(f64, f64)> = ccdf
         .iter()
         .skip(ccdf.len() / 2)
-        .filter(|&&(_, p)| p > 0.0)
         .map(|&(t, p)| (t as f64, p.ln()))
         .collect();
     if pts.len() < 2 {
@@ -70,20 +73,35 @@ pub fn fit_geometric_tail(sketch: &DistSketch) -> Option<f64> {
 
 /// Kolmogorov–Smirnov distance between the sketch's empirical CDF and
 /// a model CDF, evaluated with the half-integer continuity correction
-/// (`model_cdf(v + 0.5)`) used throughout `banyan-stats` so discrete
+/// (`model_cdf(v ± 0.5)`) used throughout `banyan-stats` so discrete
 /// and continuous CDFs compare fairly. `0.0` on an empty sketch.
+///
+/// The empirical CDF is a step function, so the supremum at each jump
+/// has two candidates: the post-jump side `|F_emp(v) − F_model(v+½)|`
+/// and the pre-jump side `|F_emp(v⁻) − F_model(v−½)|`. Both are
+/// checked; dropping the pre-jump side (as an earlier version did)
+/// misses deviations where the model CDF rises across gaps in the
+/// sketch's support and systematically underestimates drift. Support
+/// values between jumps need no candidates of their own: `F_emp` is
+/// constant there and `F_model` monotone, so the deviation on a gap is
+/// bounded by the candidates at its endpoints.
+///
+/// Kept structurally identical to `banyan_stats::distance::ks_distance`
+/// (running integer counts, one division per candidate) so the two
+/// return bit-equal results on matching data.
 pub fn ks_distance(sketch: &DistSketch, model_cdf: impl Fn(f64) -> f64) -> f64 {
-    if sketch.count() == 0 {
+    let total = sketch.count();
+    if total == 0 {
         return 0.0;
     }
+    let mut acc = 0u64;
     let mut worst = 0.0f64;
-    for (v, _) in sketch.pmf_points() {
-        let emp = sketch.cdf_at(v);
-        let model = model_cdf(v as f64 + 0.5);
-        let d = (emp - model).abs();
-        if d > worst {
-            worst = d;
-        }
+    for (v, c) in sketch.count_points() {
+        let before = acc as f64 / total as f64; // F_emp(v⁻)
+        acc += c;
+        let after = acc as f64 / total as f64; // F_emp(v)
+        worst = worst.max((model_cdf(v as f64 - 0.5) - before).abs());
+        worst = worst.max((model_cdf(v as f64 + 0.5) - after).abs());
     }
     worst
 }
@@ -168,18 +186,15 @@ pub fn drift_array_json(reports: &[DriftReport]) -> String {
 
 /// Render one human line for a drift report (used by `banyan report`).
 pub fn drift_line(r: &DriftReport) -> String {
-    let fitted = r.fitted_tail_rate.map_or("    n/a".to_string(), |x| format!("{x:.5}"));
-    let analytic =
-        r.analytic_tail_rate.map_or("    n/a".to_string(), |x| format!("{x:.5}"));
+    let fitted = r
+        .fitted_tail_rate
+        .map_or("    n/a".to_string(), |x| format!("{x:.5}"));
+    let analytic = r
+        .analytic_tail_rate
+        .map_or("    n/a".to_string(), |x| format!("{x:.5}"));
     format!(
         "{:<18} n={:>9}  E(w) obs {:>8.4} vs thy {:>8.4}  KS {:.5}  tail r obs {} vs thy {}",
-        r.name,
-        r.count,
-        r.observed_mean,
-        r.analytic_mean,
-        r.ks,
-        fitted,
-        analytic
+        r.name, r.count, r.observed_mean, r.analytic_mean, r.ks, fitted, analytic
     )
 }
 
@@ -206,13 +221,27 @@ mod tests {
         s.record_n(2, 3);
         s.record_n(3, 1);
         let pts = ccdf_points(&s);
+        // Sparse: one point per support value, not per value in 0..=max.
+        assert_eq!(pts.len(), 3);
         assert_eq!(pts[0], (0, 1.0));
-        assert!((pts[1].1 - 0.4).abs() < 1e-12); // P(X >= 1)
-        assert!((pts[2].1 - 0.4).abs() < 1e-12); // P(X >= 2)
-        assert!((pts[3].1 - 0.1).abs() < 1e-12); // P(X >= 3)
+        assert_eq!(pts[1].0, 2);
+        assert!((pts[1].1 - 0.4).abs() < 1e-12); // P(X >= 2)
+        assert_eq!(pts[2].0, 3);
+        assert!((pts[2].1 - 0.1).abs() < 1e-12); // P(X >= 3)
         for w in pts.windows(2) {
             assert!(w[0].1 >= w[1].1, "ccdf must be non-increasing");
         }
+    }
+
+    #[test]
+    fn ccdf_points_stay_sparse_on_gapped_support() {
+        // A heavy-traffic-style sketch: two support points very far
+        // apart must not allocate a dense O(max) vector.
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 1);
+        s.record_n(10_000_000, 1);
+        let pts = ccdf_points(&s);
+        assert_eq!(pts, vec![(0, 1.0), (10_000_000, 0.5)]);
     }
 
     #[test]
@@ -221,6 +250,29 @@ mod tests {
         let s = geometric_sketch(r, 1_000_000, 12);
         let fitted = fit_geometric_tail(&s).expect("fit");
         assert!((fitted - r).abs() < 0.02, "fitted {fitted} vs true {r}");
+    }
+
+    #[test]
+    fn geometric_fit_unbiased_by_support_gaps() {
+        // Mass only on even values, counts ∝ ρ^j at value 2j: the true
+        // per-unit decay rate is √ρ. The old dense-range fit also fed
+        // every odd value (a zero-mass plateau repeating the even
+        // neighbour's ccdf) into the least squares, flattening the
+        // slope and biasing the rate upward.
+        let rho: f64 = 0.25;
+        let mut s = DistSketch::new_exact();
+        for j in 0..10u64 {
+            let c = (1_000_000.0 * rho.powi(j as i32)).round() as u64;
+            if c > 0 {
+                s.record_n(2 * j, c);
+            }
+        }
+        let fitted = fit_geometric_tail(&s).expect("fit");
+        let want = rho.sqrt(); // 0.5 per unit t
+        assert!(
+            (fitted - want).abs() < 0.02,
+            "fitted {fitted} vs true {want}"
+        );
     }
 
     #[test]
@@ -238,9 +290,36 @@ mod tests {
         s.record_n(1, 3);
         s.record_n(2, 2);
         let clone = s.clone();
-        // Model CDF = the sketch's own empirical CDF (floor of v + 0.5).
-        let ks = ks_distance(&s, move |x| clone.cdf_at(x.floor().max(0.0) as u64));
+        // Model CDF = the sketch's own empirical step CDF: 0 below the
+        // support, then the exact cdf at floor(x).
+        let model = move |x: f64| {
+            if x < 0.0 {
+                0.0
+            } else {
+                clone.cdf_at(x.floor() as u64)
+            }
+        };
+        let ks = ks_distance(&s, model);
         assert!(ks < 1e-12, "ks {ks}");
+    }
+
+    #[test]
+    fn ks_catches_pre_jump_deviation_across_support_gap() {
+        // Support {0, 10} with 10% of the mass at 0; the model CDF
+        // climbs linearly across the gap. Post-jump candidates alone:
+        // |F(0.5) − 0.1| = 0.05 at v=0 and |F(10.5) − 1| = 0 at v=10 —
+        // the old one-sided statistic reported 0.05. The true KS lies
+        // on the pre-jump side of the v=10 jump, where the model has
+        // climbed to 0.95 but the empirical CDF is still 0.1.
+        let mut s = DistSketch::new_exact();
+        s.record_n(0, 1);
+        s.record_n(10, 9);
+        let model = |x: f64| (x / 10.0).clamp(0.0, 1.0);
+        let ks = ks_distance(&s, model);
+        assert!(
+            (ks - 0.85).abs() < 1e-12,
+            "ks {ks}, want pre-jump 0.95 − 0.1"
+        );
     }
 
     #[test]

@@ -1,0 +1,2158 @@
+//! Lane-batched simulation engine: up to 64 independent replications in
+//! lock-step "lanes" with structure-of-arrays state.
+//!
+//! Every lane is a complete, independent replication — its own RNG
+//! stream, slab, queues, and statistics — but all lanes advance through
+//! the same global cycle counter, so the per-cycle control flow
+//! (injection port scan, stage/wire bitset scan) is shared and the
+//! per-lane state lives in contiguous SoA vectors indexed
+//! `queue * lanes + lane`. That layout is what lets the two hot
+//! per-cycle costs amortize across replications:
+//!
+//! * the per-port Bernoulli arrival draw becomes one batched xoshiro
+//!   step over four parallel state vectors (autovectorizable, one
+//!   `u64 → f64 < p` compare per lane) instead of a dependent scalar
+//!   chain per replication, and
+//! * the destination digits of an arrival come from a precomputed
+//!   `dest → packed-digits` table (one `u64` load) instead of `stages`
+//!   runtime divisions per message.
+//!
+//! # Bit-identity contract
+//!
+//! A lane seeded with seed `s` produces **bit-identical** `NetworkStats`
+//! to `NetworkSim` run with seed `s`. The argument is local:
+//!
+//! * RNG: a lane's stream is the same xoshiro256++ stream
+//!   (`SmallRng::seed_from_u64` state, stepped by the same transition),
+//!   and every draw happens at the same point of the replication's
+//!   logical schedule — the batched Bernoulli performs exactly the one
+//!   `next_u64` per port per cycle that `gen_bool` performs, with the
+//!   identical `(w >> 11) as f64 * 2⁻⁵³ < p` compare, and all remaining
+//!   arrival draws go through [`Workload::sample_arrival_tail`], the
+//!   very code the scalar path runs.
+//! * Order: injection scans ports in ascending order and serve scans
+//!   stages ascending / wires ascending (bitset LSB-first) exactly like
+//!   the scalar engine; within one (port | stage, wire) event the lanes
+//!   are processed in lane order, which is invisible to any single lane
+//!   because lanes share no state.
+//! * Packed digits are the same base-`k` digits the scalar engine
+//!   extracts (MSB first), just stored 4 bits apiece (hence the
+//!   `k ≤ 16` support gate; random-digit mode draws digits per hop and
+//!   has no such gate).
+//! * Lock-step: warmup and measure have fixed lengths, so all lanes
+//!   need them; during the drain, a lane whose tracked messages are all
+//!   delivered is *finalized* (its `cycles` / `in_flight_at_end`
+//!   recorded, exactly as the scalar run would at that point) and
+//!   **frozen** — it stops injecting, serving, and drawing, so its RNG
+//!   consumption matches a scalar run that ended there.
+//!
+//! The pinned bit-assertion tests in `runner.rs` plus the seeded
+//! property test in `tests/properties.rs` enforce all of this.
+
+use crate::network::{
+    build_router, validate_and_build_topology, NetworkConfig, NetworkStats, Router, Routing,
+    HEARTBEAT_CHECK_CYCLES, MAX_STAGES, NIL,
+};
+use banyan_obs::registry::POW2_BOUNDS;
+use banyan_obs::{Gauge, Histogram, Telemetry};
+use banyan_prng::rngs::SmallRng;
+use banyan_prng::{Rng, RngCore, SeedableRng};
+use banyan_stats::IntHistogram;
+use std::sync::Arc;
+
+/// Maximum lanes per block: one `u64` of lane masks.
+pub(crate) const MAX_LANES: usize = 64;
+
+/// Beyond this many ports the `dest → packed digits` table (8 bytes per
+/// port) is not worth its memory; fall back to packing digits on the
+/// fly per arrival. Same spirit as `MAX_ROUTE_TABLE_ENTRIES`.
+const MAX_DIGIT_TABLE_PORTS: usize = 1 << 22;
+
+/// The `u64 → f64 ∈ [0, 1)` scale factor of the workspace PRNG's
+/// standard float distribution. The batched Bernoulli must reproduce
+/// `Rng::gen_bool` bit-for-bit: same shift, same constant, same compare.
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Can `cfg` run on the lane engine? Routing digits are packed 4 bits
+/// per stage, so destination-tag modes need `k ≤ 16`; random-digit mode
+/// draws digits per hop and never packs.
+pub(crate) fn lane_supported(cfg: &NetworkConfig) -> bool {
+    matches!(cfg.routing, Routing::RandomDigit { .. }) || cfg.k <= 16
+}
+
+/// Upper bound on the *expected* message count of a lane block before
+/// the stage-sweep path is declined in favor of the lock-step path. The
+/// sweep materializes every message of the run, so this caps the
+/// block-wide generation streams near 270 MB; the lock-step engine's
+/// memory scales with messages *in flight* instead and handles the rest.
+const MAX_SWEEP_BLOCK_MSGS: f64 = (1u64 << 24) as f64;
+
+/// Upper bound on one lane's tiled-sweep scratch (the persistent
+/// per-stage sub-streams, ~16 bytes per message per stage). Lanes are
+/// swept one at a time, so this is the per-lane addition on top of the
+/// block-wide generation streams.
+const MAX_SWEEP_LANE_BYTES: u64 = 1 << 28;
+
+/// Tile width (cycles) of the staircase sweep's frontier steps: large
+/// enough that the per-(tile, stage, queue) merge bookkeeping
+/// amortizes over many records, small enough that one tile's records
+/// and their waits rows stay cache-resident across all `stages`
+/// touches. 128 measured best on the Table I family (256 ports,
+/// ρ = 0.2..0.8); the curve is flat within 64..256.
+const TILE_CYCLES: u64 = 128;
+
+/// Can a block of `lanes` replications of `cfg` run on the message-driven
+/// stage-sweep engine ([`LaneBlock::run_swept`])? Requirements beyond
+/// [`lane_supported`]:
+///
+/// * infinite buffers and destination-tag routing — with no blocking and
+///   no per-hop RNG, the serve phase is a pure function of the arrival
+///   sequence, which is what lets each queue be solved by one Lindley
+///   recursion instead of a cycle loop;
+/// * the precomputed digit table exists (the sweep looks digits up per
+///   stage rather than carrying packed digits in its 20-byte records);
+/// * every cycle index up to the drain bound fits in a `u32` (sweep
+///   records store cycles as `u32`);
+/// * the expected whole-run message count stays under
+///   [`MAX_SWEEP_BLOCK_MSGS`].
+pub(crate) fn sweep_eligible(cfg: &NetworkConfig, lanes: usize) -> bool {
+    if !lane_supported(cfg)
+        || cfg.buffer_capacity.is_some()
+        || matches!(cfg.routing, Routing::RandomDigit { .. })
+    {
+        return false;
+    }
+    let Some(ports) = (cfg.k as u64).checked_pow(cfg.stages) else {
+        return false;
+    };
+    if ports > MAX_DIGIT_TABLE_PORTS as u64 {
+        return false;
+    }
+    let max_drain = 200 * cfg.stages as u64 + cfg.measure_cycles + 100_000;
+    let Some(run) = cfg
+        .warmup_cycles
+        .checked_add(cfg.measure_cycles)
+        .and_then(|t| t.checked_add(max_drain))
+    else {
+        return false;
+    };
+    if run > u32::MAX as u64 - 16 {
+        return false;
+    }
+    let horizon = cfg.warmup_cycles + cfg.measure_cycles + 4 * cfg.stages as u64 + 64;
+    let est = horizon as f64 * ports as f64 * cfg.workload.p * lanes as f64;
+    if est > MAX_SWEEP_BLOCK_MSGS {
+        return false;
+    }
+    // The tiled sweep keeps one lane's whole per-stage sub-stream
+    // scratch resident (~16 bytes per message per stage); decline
+    // configurations whose single-lane footprint would thrash.
+    est / lanes as f64 * cfg.stages as f64 * 16.0 <= MAX_SWEEP_LANE_BYTES as f64
+}
+
+/// Structure-of-arrays xoshiro256++ bank: lane `l`'s generator state is
+/// `(s0[l], s1[l], s2[l], s3[l])`, bit-compatible with a scalar
+/// [`SmallRng`] seeded the same way.
+struct LaneRngs {
+    s0: Vec<u64>,
+    s1: Vec<u64>,
+    s2: Vec<u64>,
+    s3: Vec<u64>,
+}
+
+impl LaneRngs {
+    fn new(seeds: &[u64]) -> Self {
+        let states: Vec<[u64; 4]> = seeds
+            .iter()
+            .map(|&s| SmallRng::seed_from_u64(s).state())
+            .collect();
+        LaneRngs {
+            s0: states.iter().map(|s| s[0]).collect(),
+            s1: states.iter().map(|s| s[1]).collect(),
+            s2: states.iter().map(|s| s[2]).collect(),
+            s3: states.iter().map(|s| s[3]).collect(),
+        }
+    }
+
+    /// Advances lane `l` one step (the xoshiro256++ transition) and
+    /// returns its output word.
+    #[inline]
+    fn next_u64(&mut self, l: usize) -> u64 {
+        let result = self.s0[l]
+            .wrapping_add(self.s3[l])
+            .rotate_left(23)
+            .wrapping_add(self.s0[l]);
+        let t = self.s1[l] << 17;
+        self.s2[l] ^= self.s0[l];
+        self.s3[l] ^= self.s1[l];
+        self.s1[l] ^= self.s2[l];
+        self.s0[l] ^= self.s3[l];
+        self.s2[l] ^= t;
+        self.s3[l] = self.s3[l].rotate_left(45);
+        result
+    }
+
+    /// Advances *every* lane one step, writing the outputs into `out`
+    /// (`out.len()` = lane count). Straight-line over four parallel
+    /// vectors so the compiler can vectorize the whole bank step.
+    #[inline]
+    fn fill_all(&mut self, out: &mut [u64]) {
+        let n = out.len();
+        let s0 = &mut self.s0[..n];
+        let s1 = &mut self.s1[..n];
+        let s2 = &mut self.s2[..n];
+        let s3 = &mut self.s3[..n];
+        for i in 0..n {
+            let r = s0[i]
+                .wrapping_add(s3[i])
+                .rotate_left(23)
+                .wrapping_add(s0[i]);
+            let t = s1[i] << 17;
+            s2[i] ^= s0[i];
+            s3[i] ^= s1[i];
+            s1[i] ^= s2[i];
+            s0[i] ^= s3[i];
+            s2[i] ^= t;
+            s3[i] = s3[i].rotate_left(45);
+            out[i] = r;
+        }
+    }
+}
+
+/// A scalar [`RngCore`] view of one lane's generator, for the arrival
+/// draws that stay scalar (destination, service time, per-hop random
+/// digits). Routing everything non-batched through this view keeps each
+/// lane's draw *sequence* identical to a dedicated `SmallRng`.
+struct LaneRng<'a> {
+    rngs: &'a mut LaneRngs,
+    lane: usize,
+}
+
+/// Register-resident xoshiro256++ for the stage sweep's generation
+/// loop: the identical transition to [`SmallRng`], duplicated here so
+/// the per-draw step inlines into the injection loop (the prng crate's
+/// concrete `next_u64` is an out-of-line call across the crate
+/// boundary, and the sweep draws once per port per cycle).
+struct InlineRng {
+    s: [u64; 4],
+}
+
+impl RngCore for InlineRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for LaneRng<'_> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.rngs.next_u64(self.lane)
+    }
+}
+
+/// One in-flight message of one lane. 24 bytes (vs the scalar `Slot`'s
+/// 152): destination digits are packed 4 bits per stage and the
+/// per-stage waits live in a parallel stride-`stages` array, so the slab
+/// stays cache-dense even with many lanes resident.
+#[derive(Clone, Copy)]
+struct LaneSlot {
+    /// Cycle at which the head packet arrived at the current queue.
+    entered: u64,
+    /// Base-`k` destination digits, 4 bits each: the digit consumed when
+    /// leaving toward stage `j + 1`'s queue sits at bits `4j..4j+4`
+    /// (MSB-first digit order, same digits as the scalar engine).
+    digits: u64,
+    /// Next message id in the same port FIFO (`NIL` at the tail).
+    next: u32,
+    size: u32,
+    tracked: bool,
+}
+
+/// Packs `dest`'s base-`k` digits MSB-first, 4 bits per stage — the
+/// packed twin of `NetworkSim::dest_digits`.
+#[inline]
+fn pack_digits(dest: u64, k: u64, stages: usize) -> u64 {
+    let mut packed = 0u64;
+    let mut rem = dest;
+    for j in (0..stages).rev() {
+        packed |= (rem % k) << (4 * j);
+        rem /= k;
+    }
+    packed
+}
+
+/// Sentinel id for sweep records of untracked (warmup/drain) messages.
+const UNTRACKED: u32 = u32::MAX;
+
+/// One message of one lane in the stage sweep, 16 bytes. The wire is
+/// implicit — records live in per-`(wire, digit)` sub-streams — and `a`
+/// morphs: on a stage-`j` input stream it holds the arrival cycle at
+/// that stage's queue.
+#[derive(Clone, Copy, Default)]
+struct SweptMsg {
+    /// Arrival cycle at the current stage's queue.
+    a: u32,
+    /// Destination port — per-stage digits come from the digit table.
+    dest: u32,
+    /// Service time (cycles per stage).
+    size: u32,
+    /// Tracked-message index into the lane's waits array, or
+    /// [`UNTRACKED`].
+    id: u32,
+}
+
+/// One delivered message in the final delivery-order sort, 8 bytes.
+#[derive(Clone, Copy, Default)]
+struct FinalRec {
+    /// Delivery cycle (final-stage service start).
+    s: u32,
+    /// Tracked-message index or [`UNTRACKED`].
+    id: u32,
+}
+
+/// Reusable buffers for one lane's stage sweep.
+#[derive(Default)]
+struct SweepScratch {
+    /// Persistent per-`(stage, wire, digit)` sub-streams, append-only
+    /// across tiles: a record departing stage `j < stages − 1` wire `q`
+    /// toward digit `d` is appended to `subs[j·ports·k + q·k + d]`,
+    /// which is one of the `k` sorted inputs stage `j + 1`'s wire
+    /// merges. `cons` holds each sub-stream's consumed-prefix length
+    /// (the merge's read cursor), `gen_cons` the same cursor for the
+    /// stage-0 generation streams, and `busy` each `(stage, wire)`
+    /// queue's persistent `busy_until` — together they let the tiled
+    /// sweep suspend and resume every queue's merge mid-stream.
+    subs: Vec<Vec<SweptMsg>>,
+    cons: Vec<u32>,
+    gen_cons: Vec<u32>,
+    busy: Vec<u64>,
+    /// Deliveries per final-stage wire (each delivery-cycle ascending
+    /// because a queue's service starts strictly increase); flattened
+    /// wire-major into `finals` after the tile loop — the exact order a
+    /// single stage-by-stage sweep produces — which is one stable
+    /// counting sort by cycle away from global delivery order.
+    finals_w: Vec<Vec<FinalRec>>,
+    finals: Vec<FinalRec>,
+    fin_tmp: Vec<FinalRec>,
+    counts: Vec<u32>,
+    /// Occupancy-sampling scratch (metrics only): per-`(stage, wire)`
+    /// arrival and service-start cycles accumulated across tiles, and
+    /// the dense `[tick][stage][wire]` occupancy matrix of the current
+    /// attempt.
+    qav: Vec<Vec<u32>>,
+    qsv: Vec<Vec<u32>>,
+    occ: Vec<u32>,
+}
+
+/// Result of one sweep attempt over one lane at a given horizon.
+enum SweepOutcome {
+    /// Statistics folded; the lane ended at cycle `e`.
+    Done { e: u64 },
+    /// Some tracked message's computed service start reached the
+    /// horizon, so downstream values are untrustworthy; regenerate out
+    /// to at least `needed` cycles and re-sweep.
+    Retry { needed: u64 },
+    /// The horizon already sits past the drain bound and `count`
+    /// tracked messages still finish beyond it — the scalar engine's
+    /// drain would have panicked here.
+    Stuck { count: u64 },
+}
+
+/// Stable counting sort of `finals` by delivery cycle (values
+/// `< buckets`), via `tmp`. On return `counts[c]` is the *inclusive*
+/// end offset of cycle `c` — reused as the per-cycle delivery prefix
+/// for the conservation counters and the slab high-water
+/// reconstruction.
+fn delivery_sort(
+    finals: &mut Vec<FinalRec>,
+    tmp: &mut Vec<FinalRec>,
+    counts: &mut Vec<u32>,
+    buckets: usize,
+) {
+    counts.clear();
+    counts.resize(buckets, 0);
+    for r in finals.iter() {
+        counts[r.s as usize] += 1;
+    }
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let v = *c;
+        *c = acc;
+        acc += v;
+    }
+    tmp.clear();
+    tmp.resize(finals.len(), FinalRec::default());
+    for r in finals.iter() {
+        let c = &mut counts[r.s as usize];
+        tmp[*c as usize] = *r;
+        *c += 1;
+    }
+    std::mem::swap(finals, tmp);
+}
+
+/// Inverse wiring of every stage transition: `tables[j][q'·k..][..k]`
+/// (for `j ≥ 1`) lists the sub-stream ids `q·k + d` whose records route
+/// to stage-`j` wire `q'`, source-wire ascending — which is exactly the
+/// scalar serve's insertion tie-break order for same-cycle arrivals.
+/// Returns `None` if any wire's in-degree differs from `k`; the omega
+/// and butterfly wirings are `k`-in-regular (each stage is a
+/// permutation into `k × k` switches), so that is a fallback guard, not
+/// an expected path.
+fn build_parent_tables(
+    router: &Router,
+    ports: usize,
+    k: usize,
+    stages: usize,
+) -> Option<Vec<Vec<u32>>> {
+    let mut tables = vec![Vec::new()]; // stage 0 is fed by generation
+    for j in 1..stages {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); ports];
+        for q in 0..ports {
+            for d in 0..k {
+                lists[router.next(j, ports, k, q, d)].push((q * k + d) as u32);
+            }
+        }
+        if lists.iter().any(|l| l.len() != k) {
+            return None;
+        }
+        tables.push(lists.into_iter().flatten().collect());
+    }
+    Some(tables)
+}
+
+/// Folds one tracked delivery's per-stage waits into `st` — the exact
+/// accounting of `NetworkSim::deliver`, shared by the lock-step and
+/// stage-sweep paths so the (order-sensitive) Welford pushes have one
+/// implementation.
+fn fold_tracked_delivery(st: &mut NetworkStats, waits: &[u32]) {
+    st.delivered += 1;
+    let n = waits.len();
+    let mut total = 0u64;
+    for (i, &w) in waits.iter().enumerate() {
+        st.stage_waits[i].push(w as f64);
+        total += w as u64;
+    }
+    st.total_wait.push(total as f64);
+    st.total_hist.record(total);
+    if let Some(corr) = &mut st.correlations {
+        let mut obs = [0.0f64; MAX_STAGES];
+        for (o, &w) in obs.iter_mut().zip(waits) {
+            *o = w as f64;
+        }
+        corr.push(&obs[..n]);
+    }
+    if let Some(hists) = &mut st.stage_hists {
+        for (h, &w) in hists.iter_mut().zip(waits) {
+            h.record(w as u64);
+        }
+    }
+}
+
+/// Per-record state of one queue's Lindley walk inside [`sweep_lane`]:
+/// `free` is the scalar `busy_until`, everything else is the stage-pass
+/// context the record handler needs. Kept as a named struct with an
+/// `#[inline(always)]` method instead of a closure: the handler is
+/// called from every merge site and LLVM outlines the closure form,
+/// which costs an out-of-line call (plus a stack round-trip for the
+/// record and the captured state) per record — about 3× the whole
+/// sweep.
+struct RecCtx<'a, const OCC: bool> {
+    stages: usize,
+    j: usize,
+    k: usize,
+    q: usize,
+    last: bool,
+    horizon: u64,
+    dummy: usize,
+    digit_table: &'a [u64],
+    waits: &'a mut [u32],
+    avals: &'a mut Vec<u32>,
+    svals: &'a mut Vec<u32>,
+    finals: &'a mut Vec<FinalRec>,
+    next_subs: &'a mut [Vec<SweptMsg>],
+    free: u64,
+    max_tracked_s: u64,
+}
+
+impl<const OCC: bool> RecCtx<'_, OCC> {
+    /// Serves one record at this queue: Lindley update, wait write,
+    /// then either a final-delivery record (last stage) or a push into
+    /// the next stage's sub-stream selected by the routing digit.
+    #[inline(always)]
+    fn do_rec(&mut self, rec: SweptMsg) {
+        let a = rec.a;
+        let s64 = (a as u64).max(self.free);
+        self.free = s64 + rec.size as u64;
+        let s = s64.min(self.horizon) as u32;
+        self.waits[(rec.id as usize).min(self.dummy) * self.stages + self.j] = s - a;
+        if OCC {
+            self.avals.push(a);
+            self.svals.push(s);
+        }
+        if self.last {
+            if rec.id != UNTRACKED {
+                self.max_tracked_s = self.max_tracked_s.max(s64);
+            }
+            self.finals.push(FinalRec { s, id: rec.id });
+        } else {
+            let d = ((self.digit_table[rec.dest as usize] >> (4 * (self.j + 1))) & 0xF) as usize;
+            self.next_subs[self.q * self.k + d].push(SweptMsg {
+                a: (s64 + 1).min(self.horizon) as u32,
+                ..rec
+            });
+        }
+    }
+}
+
+/// One sweep attempt over one lane with injections generated for cycles
+/// `0..horizon`: stage by stage, each wire's FIFO is materialized by
+/// merging its `k` parent sub-streams (sorted by arrival, ties broken
+/// by source wire — the scalar serve's insertion order), walked once
+/// with the per-queue Lindley recursion, and split by next-stage digit
+/// into the `k` sub-streams the next stage merges. Departures leave a
+/// queue at most once per cycle with the service start strictly
+/// increasing, so every sub-stream stays sorted and the merge
+/// reproduces exactly the scalar engine's queue contents — with each
+/// message touched `O(stages)` times and no per-cycle scan at all.
+///
+/// Service starts computed below the horizon are exact — arrivals past
+/// the horizon can only queue *behind* them — so an attempt is accepted
+/// only when every tracked message's final service start is below the
+/// horizon; values at or past it are clamped to the horizon (keeping
+/// them detectably large downstream) and the caller extends the
+/// generation and retries.
+#[allow(clippy::too_many_arguments)]
+fn sweep_lane<const OCC: bool>(
+    stages: usize,
+    ports: usize,
+    k: usize,
+    horizon: u64,
+    hard_bound: u64,
+    at_cap: bool,
+    gen_q: &[Vec<SweptMsg>],
+    inj: &[u32],
+    digit_table: &[u64],
+    parents: &[Vec<u32>],
+    waits: &mut [u32],
+    stats: &mut NetworkStats,
+    n_tracked: u32,
+    measured_end: u64,
+    scratch: &mut SweepScratch,
+    sample_every: u64,
+    slab_hwm: &mut u64,
+) -> SweepOutcome {
+    let SweepScratch {
+        subs,
+        cons,
+        gen_cons,
+        busy,
+        finals_w,
+        finals,
+        fin_tmp,
+        counts,
+        qav,
+        qsv,
+        occ,
+    } = scratch;
+    let pk = ports * k;
+    let nsubs = (stages - 1) * pk;
+    if subs.len() < nsubs {
+        subs.resize_with(nsubs, Vec::new);
+    }
+    for v in subs.iter_mut() {
+        v.clear();
+    }
+    cons.clear();
+    cons.resize(nsubs, 0);
+    gen_cons.clear();
+    gen_cons.resize(ports, 0);
+    busy.clear();
+    busy.resize(stages * ports, 0);
+    if finals_w.len() < ports {
+        finals_w.resize_with(ports, Vec::new);
+    }
+    for v in finals_w.iter_mut() {
+        v.clear();
+    }
+    finals.clear();
+    let nt = if OCC {
+        (horizon / sample_every) as usize
+    } else {
+        0
+    };
+    if OCC {
+        occ.clear();
+        occ.resize(nt * stages * ports, 0);
+        if qav.len() < stages * ports {
+            qav.resize_with(stages * ports, Vec::new);
+            qsv.resize_with(stages * ports, Vec::new);
+        }
+        for v in qav.iter_mut() {
+            v.clear();
+        }
+        for v in qsv.iter_mut() {
+            v.clear();
+        }
+    }
+    // Untracked records write their wait into a spare dummy row past the
+    // tracked block — one `min` instead of a per-record branch.
+    let dummy = n_tracked as usize;
+    let mut max_tracked_s = 0u64;
+    // OCC-off stand-ins for the RecCtx occupancy fields (the const
+    // branch in `do_rec` never touches them).
+    let (mut no_av, mut no_sv) = (Vec::new(), Vec::new());
+    // Time-tiled staircase: advance a frontier `t_end` in `TILE_CYCLES`
+    // steps; within one pass, stage `j` consumes the arrivals up to
+    // `t_end − j`. Stage `j − 1` runs first in the same pass with limit
+    // `t_end − j + 1`, and anything it consumes in a *later* pass
+    // departs at `s + 1 > t_end − j + 2`, so every stage-`j` arrival
+    // `≤ t_end − j` already sits in its sub-stream when stage `j` runs.
+    // Each pass therefore sees exactly the records a full
+    // stage-by-stage sweep would, just in cache-sized slices: a tile's
+    // records and their waits rows stay hot across all `stages`
+    // touches instead of being streamed from memory once per stage.
+    let final_t = horizon + stages as u64;
+    let mut t_end = 0u64;
+    while t_end < final_t {
+        t_end = (t_end + TILE_CYCLES).min(final_t);
+        for j in 0..stages {
+            let last = j + 1 == stages;
+            let limit64 = t_end.saturating_sub(j as u64).min(horizon);
+            if limit64 == 0 {
+                continue;
+            }
+            let limit = limit64 as u32;
+            // Block `j` of `subs` is written by stage `j` and read by
+            // stage `j + 1`; the final stage writes deliveries instead
+            // (its `rest` slice is empty).
+            let take = if last { 0 } else { pk };
+            let (done, rest) = subs.split_at_mut(j * pk);
+            let prev: &[Vec<SweptMsg>] = if j == 0 { &[] } else { &done[(j - 1) * pk..] };
+            let next = &mut rest[..take];
+            let par_j = &parents[j];
+            let busy_j = j * ports;
+            for q in 0..ports {
+                let (av, sv) = if OCC {
+                    (&mut qav[busy_j + q], &mut qsv[busy_j + q])
+                } else {
+                    (&mut no_av, &mut no_sv)
+                };
+                // The per-queue Lindley walk over this wire's FIFO:
+                // `free` is the scalar `busy_until` (persisted across
+                // tiles), `s` the cycle the head's serve starts, and
+                // the record leaves carrying its arrival cycle at the
+                // next stage. `RecCtx::do_rec` is forced inline at
+                // every merge site — as a closure LLVM outlines it,
+                // and an out-of-line call per record roughly triples
+                // the whole sweep's cost.
+                let mut ctx = RecCtx::<OCC> {
+                    stages,
+                    j,
+                    k,
+                    q,
+                    last,
+                    horizon,
+                    dummy,
+                    digit_table,
+                    waits: &mut *waits,
+                    avals: av,
+                    svals: sv,
+                    finals: if last {
+                        &mut finals_w[q]
+                    } else {
+                        &mut *fin_tmp
+                    },
+                    next_subs: &mut next[..],
+                    free: busy[busy_j + q],
+                    max_tracked_s,
+                };
+                if j == 0 {
+                    // Stage 0's FIFO is the generation stream itself
+                    // (cycle-then-port order — the scalar inject
+                    // order).
+                    let sq = &gen_q[q][..];
+                    let mut i = gen_cons[q] as usize;
+                    while i < sq.len() && sq[i].a <= limit {
+                        ctx.do_rec(sq[i]);
+                        i += 1;
+                    }
+                    gen_cons[q] = i as u32;
+                } else if k == 2 {
+                    let cbase = (j - 1) * pk;
+                    let p0 = par_j[q * 2] as usize;
+                    let p1 = par_j[q * 2 + 1] as usize;
+                    let s0 = &prev[p0][..];
+                    let s1 = &prev[p1][..];
+                    let mut i0 = cons[cbase + p0] as usize;
+                    let mut i1 = cons[cbase + p1] as usize;
+                    loop {
+                        // Exhausted streams read as `u32::MAX`, always
+                        // past `limit` (cycles fit `u32::MAX − 16`).
+                        let a0 = if i0 < s0.len() { s0[i0].a } else { u32::MAX };
+                        let a1 = if i1 < s1.len() { s1[i1].a } else { u32::MAX };
+                        // `<=` keeps same-cycle ties on the lower
+                        // source wire, the scalar insertion order.
+                        if a0 <= a1 {
+                            if a0 > limit {
+                                break;
+                            }
+                            ctx.do_rec(s0[i0]);
+                            i0 += 1;
+                        } else {
+                            if a1 > limit {
+                                break;
+                            }
+                            ctx.do_rec(s1[i1]);
+                            i1 += 1;
+                        }
+                    }
+                    cons[cbase + p0] = i0 as u32;
+                    cons[cbase + p1] = i1 as u32;
+                } else {
+                    let cbase = (j - 1) * pk;
+                    let base = q * k;
+                    let mut idx = [0usize; 16];
+                    for (i, &sub) in par_j[base..base + k].iter().enumerate() {
+                        idx[i] = cons[cbase + sub as usize] as usize;
+                    }
+                    loop {
+                        let mut best = usize::MAX;
+                        let mut best_a = u32::MAX;
+                        for (i, &sub) in par_j[base..base + k].iter().enumerate() {
+                            let s = &prev[sub as usize];
+                            // Strict `<` with ascending `i`: ties go to
+                            // the lowest source wire (parents are
+                            // wire-sorted).
+                            if idx[i] < s.len() && s[idx[i]].a < best_a {
+                                best_a = s[idx[i]].a;
+                                best = i;
+                            }
+                        }
+                        if best_a > limit {
+                            break;
+                        }
+                        let rec = prev[par_j[base + best] as usize][idx[best]];
+                        idx[best] += 1;
+                        ctx.do_rec(rec);
+                    }
+                    for (i, &sub) in par_j[base..base + k].iter().enumerate() {
+                        cons[cbase + sub as usize] = idx[i] as u32;
+                    }
+                }
+                busy[busy_j + q] = ctx.free;
+                max_tracked_s = ctx.max_tracked_s;
+            }
+        }
+        // Reclaim consumed prefixes: move each sub-stream's unconsumed
+        // tail (records still past the frontier — the queue backlog) to
+        // the front and reset its cursor. This keeps every sub-stream
+        // tile-sized, so the whole scratch recycles a few dozen MB of
+        // hot pages instead of materializing every stage's full stream.
+        for (v, c) in subs.iter_mut().zip(cons.iter_mut()) {
+            let n = *c as usize;
+            if n > 0 {
+                let len = v.len();
+                v.copy_within(n.., 0);
+                v.truncate(len - n);
+                *c = 0;
+            }
+        }
+    }
+    // Deliveries were collected per final wire; flatten wire-major.
+    // Within a wire the serve order is already delivery-cycle
+    // ascending, so this is exactly the order the non-tiled sweep
+    // produced and what the stable delivery sort expects.
+    for w in finals_w.iter() {
+        finals.extend_from_slice(w);
+    }
+    if OCC && nt > 0 {
+        // Queue-occupancy samples at block ticks T = s_e, 2·s_e, …:
+        // length after the serve of cycle T − 1 is (#pushes ≤ T − 1) −
+        // (#pops ≤ T − 1). A first-stage push happens at the arrival
+        // cycle itself; later stages are pushed during the previous
+        // stage's serve, one cycle before their arrival here.
+        for j in 0..stages {
+            let theta_off = u32::from(j == 0);
+            for q in 0..ports {
+                let avals = &qav[j * ports + q];
+                let svals = &qsv[j * ports + q];
+                let end = avals.len();
+                let (mut pi, mut si) = (0, 0);
+                for ti in 0..nt {
+                    let t = ((ti as u64 + 1) * sample_every) as u32;
+                    while pi < end && avals[pi] <= t - theta_off {
+                        pi += 1;
+                    }
+                    while si < end && svals[si] < t {
+                        si += 1;
+                    }
+                    if pi > si {
+                        occ[(ti * stages + j) * ports + q] = (pi - si) as u32;
+                    } else if si >= end {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if max_tracked_s >= horizon {
+        if !at_cap {
+            return SweepOutcome::Retry {
+                needed: max_tracked_s + 1,
+            };
+        }
+        let count = finals
+            .iter()
+            .filter(|r| r.id != UNTRACKED && r.s as u64 > hard_bound)
+            .count() as u64;
+        return SweepOutcome::Stuck { count };
+    }
+    // Accepted: every tracked service start is exact. The lane ends
+    // exactly where the scalar drain freezes it — one cycle after the
+    // last tracked delivery, but never before the measure window
+    // closes.
+    let e = if n_tracked == 0 {
+        measured_end
+    } else {
+        measured_end.max(max_tracked_s + 1)
+    };
+    stats.cycles = e;
+    stats.injected = n_tracked as u64;
+    stats.injected_total = inj[..e as usize].iter().map(|&c| c as u64).sum();
+    delivery_sort(finals, fin_tmp, counts, horizon as usize + 1);
+    let mut delivered_total = 0u64;
+    for rec in finals.iter() {
+        if rec.s as u64 >= e {
+            break;
+        }
+        delivered_total += 1;
+        if rec.id != UNTRACKED {
+            fold_tracked_delivery(stats, &waits[rec.id as usize * stages..][..stages]);
+        }
+    }
+    debug_assert_eq!(stats.delivered, n_tracked as u64, "tracked delivery gap");
+    stats.delivered_total = delivered_total;
+    stats.in_flight_at_end = stats.injected_total - delivered_total;
+    // Slab high-water reconstruction: the scalar slab grows only when
+    // concurrent live messages exceed every previous peak, and within a
+    // cycle injections precede the serves that free slots, so the peak
+    // is max over cycles of (live after injecting). `counts` still
+    // holds the delivery sort's inclusive per-cycle end offsets.
+    let mut live = 0u64;
+    let mut hwm = 0u64;
+    let mut prev_end = 0u32;
+    for t in 0..e as usize {
+        live += inj[t] as u64;
+        hwm = hwm.max(live);
+        let end = counts[t];
+        live -= (end - prev_end) as u64;
+        prev_end = end;
+    }
+    *slab_hwm = hwm;
+    SweepOutcome::Done { e }
+}
+
+/// A block of up to [`MAX_LANES`] lock-step replications.
+///
+/// Construct with [`LaneBlock::new`] (one seed per lane), run to
+/// completion with [`LaneBlock::run_instrumented`]; the returned
+/// statistics are in lane (= seed) order.
+pub(crate) struct LaneBlock {
+    cfg: NetworkConfig,
+    lanes: usize,
+    ports: usize,
+    k: usize,
+    stages: usize,
+    router: Router,
+    cap: Option<usize>,
+    random_digit: bool,
+    /// Per-port FIFO state, SoA over lanes: index `qidx * lanes + lane`
+    /// where `qidx = (stage − 1) * ports + wire`.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    lens: Vec<u32>,
+    busy_until: Vec<u64>,
+    /// Per-queue bitmask of lanes whose FIFO there is non-empty.
+    lane_active: Vec<u64>,
+    /// Per-stage bitset of wires active in *any* lane — the same
+    /// LSB-first scan order as the scalar engine's `active`, shared by
+    /// all lanes so one pass serves the whole block.
+    any_active: Vec<u64>,
+    active_words: usize,
+    rngs: LaneRngs,
+    /// Per-lane message slab (ids are lane-local).
+    slabs: Vec<Vec<LaneSlot>>,
+    /// Per-lane waits, stride `stages` per slab id.
+    waits: Vec<Vec<u32>>,
+    free: Vec<Vec<u32>>,
+    stats: Vec<NetworkStats>,
+    /// Per-lane slab high-water mark reconstructed by the stage sweep
+    /// (the lock-step path reads `slabs[lane].len()` instead).
+    slab_hwm: Vec<u64>,
+    tracked_in_flight: Vec<u64>,
+    /// Lanes still running (drain freezes finished lanes).
+    alive: u64,
+    full_mask: u64,
+    now: u64,
+    /// Σ over lanes of cycles stepped so far (progress accounting).
+    lane_cycles: u64,
+    /// `dest → packed digits` (empty when unused: random-digit mode or
+    /// a port count past `MAX_DIGIT_TABLE_PORTS`).
+    digit_table: Vec<u64>,
+    /// Scratch for the batched per-port Bernoulli (one word per lane).
+    draws: Vec<u64>,
+}
+
+impl LaneBlock {
+    /// Builds a block with one lane per seed.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations (same rules as
+    /// [`crate::network::NetworkSim::new`]), an unsupported `k` (see
+    /// [`lane_supported`]), or a lane count outside `1..=MAX_LANES`.
+    pub(crate) fn new(cfg: &NetworkConfig, seeds: &[u64]) -> Self {
+        let lanes = seeds.len();
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count must be in 1..={MAX_LANES}, got {lanes}"
+        );
+        assert!(
+            lane_supported(cfg),
+            "lane engine packs digits 4 bits/stage: k ≤ 16 required (got k={})",
+            cfg.k
+        );
+        let topo = validate_and_build_topology(cfg);
+        let router = build_router(cfg);
+        let ports = topo.ports() as usize;
+        let stages = cfg.stages as usize;
+        let total_queues = ports * stages;
+        let random_digit = matches!(cfg.routing, Routing::RandomDigit { .. });
+        let digit_table = if !random_digit && ports <= MAX_DIGIT_TABLE_PORTS {
+            (0..ports)
+                .map(|d| pack_digits(d as u64, cfg.k as u64, stages))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let full_mask = if lanes == MAX_LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        LaneBlock {
+            lanes,
+            ports,
+            k: cfg.k as usize,
+            stages,
+            router,
+            cap: cfg.buffer_capacity,
+            random_digit,
+            heads: vec![NIL; total_queues * lanes],
+            tails: vec![NIL; total_queues * lanes],
+            lens: vec![0; total_queues * lanes],
+            busy_until: vec![0; total_queues * lanes],
+            lane_active: vec![0; total_queues],
+            any_active: vec![0; ports.div_ceil(64) * stages],
+            active_words: ports.div_ceil(64),
+            rngs: LaneRngs::new(seeds),
+            slabs: vec![Vec::new(); lanes],
+            waits: vec![Vec::new(); lanes],
+            free: vec![Vec::new(); lanes],
+            stats: (0..lanes)
+                .map(|_| {
+                    NetworkStats::new(
+                        cfg.stages,
+                        cfg.collect_correlations,
+                        cfg.collect_stage_histograms,
+                    )
+                })
+                .collect(),
+            slab_hwm: vec![0; lanes],
+            tracked_in_flight: vec![0; lanes],
+            alive: full_mask,
+            full_mask,
+            now: 0,
+            lane_cycles: 0,
+            digit_table,
+            draws: vec![0; lanes],
+            cfg: cfg.clone(),
+        }
+    }
+
+    #[inline]
+    fn alloc_slot(
+        &mut self,
+        lane: usize,
+        entered: u64,
+        size: u32,
+        tracked: bool,
+        digits: u64,
+    ) -> u32 {
+        let slot = LaneSlot {
+            entered,
+            digits,
+            next: NIL,
+            size,
+            tracked,
+        };
+        match self.free[lane].pop() {
+            Some(id) => {
+                self.slabs[lane][id as usize] = slot;
+                self.waits[lane][id as usize * self.stages..][..self.stages].fill(0);
+                id
+            }
+            None => {
+                debug_assert!(self.slabs[lane].len() < NIL as usize, "slab id overflow");
+                self.slabs[lane].push(slot);
+                self.waits[lane].resize(self.slabs[lane].len() * self.stages, 0);
+                (self.slabs[lane].len() - 1) as u32
+            }
+        }
+    }
+
+    /// Appends `id` to lane `lane`'s FIFO at `(stage0, wire)` and marks
+    /// the queue active (both the lane mask and the shared wire bitset).
+    #[inline]
+    fn push_back(&mut self, stage0: usize, wire: usize, lane: usize, id: u32) {
+        let qidx = stage0 * self.ports + wire;
+        let qi = qidx * self.lanes + lane;
+        self.slabs[lane][id as usize].next = NIL;
+        if self.tails[qi] == NIL {
+            self.heads[qi] = id;
+        } else {
+            let tail = self.tails[qi] as usize;
+            self.slabs[lane][tail].next = id;
+        }
+        self.tails[qi] = id;
+        self.lens[qi] += 1;
+        self.lane_active[qidx] |= 1u64 << lane;
+        self.any_active[stage0 * self.active_words + wire / 64] |= 1u64 << (wire % 64);
+    }
+
+    /// Unlinks and returns lane `lane`'s head at `qidx` (caller
+    /// guarantees non-empty).
+    #[inline]
+    fn pop_front(&mut self, qidx: usize, lane: usize) -> u32 {
+        let qi = qidx * self.lanes + lane;
+        let id = self.heads[qi];
+        debug_assert_ne!(id, NIL, "pop from empty lane queue");
+        self.heads[qi] = self.slabs[lane][id as usize].next;
+        if self.heads[qi] == NIL {
+            self.tails[qi] = NIL;
+        }
+        self.lens[qi] -= 1;
+        id
+    }
+
+    /// Completes one lane's arrival after its Bernoulli draw came up
+    /// positive: destination/size/digit draws (scalar, through the
+    /// lane's RNG view — the same code path as the scalar engine),
+    /// routing, capacity check, slab allocation, enqueue.
+    fn finish_arrival(&mut self, input: usize, lane: usize, tracked_window: bool) {
+        let (dest, size) = {
+            let mut rng = LaneRng {
+                rngs: &mut self.rngs,
+                lane,
+            };
+            self.cfg
+                .workload
+                .sample_arrival_tail(&mut rng, input as u64, self.ports as u64)
+        };
+        let (digits, digit0) = if self.random_digit {
+            let mut rng = LaneRng {
+                rngs: &mut self.rngs,
+                lane,
+            };
+            (0u64, rng.gen_range(0..self.cfg.k as u64) as usize)
+        } else if self.digit_table.is_empty() {
+            let d = pack_digits(dest, self.cfg.k as u64, self.stages);
+            (d, (d & 0xF) as usize)
+        } else {
+            let d = self.digit_table[dest as usize];
+            (d, (d & 0xF) as usize)
+        };
+        let wire = self.router.next(0, self.ports, self.k, input, digit0);
+        if let Some(cap) = self.cap {
+            if self.lens[wire * self.lanes + lane] as usize >= cap {
+                self.stats[lane].rejected_total += 1;
+                return;
+            }
+        }
+        self.stats[lane].injected_total += 1;
+        if tracked_window {
+            self.stats[lane].injected += 1;
+            self.tracked_in_flight[lane] += 1;
+        }
+        let id = self.alloc_slot(lane, self.now, size, tracked_window, digits);
+        self.push_back(0, wire, lane, id);
+    }
+
+    /// Injects this cycle's arrivals for every lane in `step_mask`,
+    /// scanning ports in ascending order. When the whole block steps
+    /// (`step_mask == full_mask`, i.e. warmup/measure and the early
+    /// drain) the per-port Bernoulli is one batched RNG bank step;
+    /// a partial mask (late drain) draws lane-by-lane so frozen lanes
+    /// never advance their RNG.
+    fn inject(&mut self, tracked_window: bool, step_mask: u64) {
+        let p = self.cfg.workload.p;
+        for input in 0..self.ports {
+            let mut arrivals = 0u64;
+            if step_mask == self.full_mask {
+                let mut draws = std::mem::take(&mut self.draws);
+                self.rngs.fill_all(&mut draws);
+                for (l, &w) in draws.iter().enumerate() {
+                    // Bit-exact `gen_bool`: same shift, scale, compare.
+                    if ((w >> 11) as f64 * F64_SCALE) < p {
+                        arrivals |= 1u64 << l;
+                    }
+                }
+                self.draws = draws;
+            } else {
+                let mut m = step_mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let w = self.rngs.next_u64(l);
+                    if ((w >> 11) as f64 * F64_SCALE) < p {
+                        arrivals |= 1u64 << l;
+                    }
+                }
+            }
+            while arrivals != 0 {
+                let lane = arrivals.trailing_zeros() as usize;
+                arrivals &= arrivals - 1;
+                self.finish_arrival(input, lane, tracked_window);
+            }
+        }
+    }
+
+    /// Starts at most one service at every eligible output port of every
+    /// lane in `step_mask`. Stage/wire order is the scalar engine's
+    /// (ascending stages, LSB-first wire bitset); within a wire, lanes
+    /// are visited in lane order — invisible to any single lane.
+    fn serve(&mut self, step_mask: u64) {
+        let stages = self.stages;
+        let ports = self.ports;
+        let k = self.k;
+        let lanes = self.lanes;
+        let now = self.now;
+        let cap = self.cap;
+        let random_digit = self.random_digit;
+        let words = self.active_words;
+        for stage in 1..=stages {
+            let base = (stage - 1) * words;
+            for wi in 0..words {
+                let mut word = self.any_active[base + wi];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let wire = wi * 64 + bit;
+                    let qidx = (stage - 1) * ports + wire;
+                    let mut lmask = self.lane_active[qidx] & step_mask;
+                    while lmask != 0 {
+                        let lane = lmask.trailing_zeros() as usize;
+                        lmask &= lmask - 1;
+                        let qi = qidx * lanes + lane;
+                        let head = self.heads[qi];
+                        if head == NIL {
+                            // Defensive prune, mirroring the scalar scan.
+                            self.lane_active[qidx] &= !(1u64 << lane);
+                            continue;
+                        }
+                        let hid = head as usize;
+                        if self.busy_until[qi] > now || self.slabs[lane][hid].entered > now {
+                            continue;
+                        }
+                        if stage < stages {
+                            let digit = if random_digit {
+                                let mut rng = LaneRng {
+                                    rngs: &mut self.rngs,
+                                    lane,
+                                };
+                                rng.gen_range(0..self.cfg.k as u64) as usize
+                            } else {
+                                ((self.slabs[lane][hid].digits >> (4 * stage)) & 0xF) as usize
+                            };
+                            let next = self.router.next(stage, ports, k, wire, digit);
+                            let nidx = stage * ports + next;
+                            if let Some(cap) = cap {
+                                // Store-and-forward blocking: the head
+                                // stays queued until downstream has room.
+                                if self.lens[nidx * lanes + lane] as usize >= cap {
+                                    continue;
+                                }
+                            }
+                            self.pop_front(qidx, lane);
+                            self.busy_until[qi] = now + self.slabs[lane][hid].size as u64;
+                            self.waits[lane][hid * stages + stage - 1] =
+                                (now - self.slabs[lane][hid].entered) as u32;
+                            self.slabs[lane][hid].entered = now + 1;
+                            self.push_back(stage, next, lane, head);
+                        } else {
+                            self.pop_front(qidx, lane);
+                            self.busy_until[qi] = now + self.slabs[lane][hid].size as u64;
+                            self.waits[lane][hid * stages + stage - 1] =
+                                (now - self.slabs[lane][hid].entered) as u32;
+                            self.deliver(lane, head);
+                        }
+                        if self.heads[qi] == NIL {
+                            self.lane_active[qidx] &= !(1u64 << lane);
+                        }
+                    }
+                    if self.lane_active[qidx] == 0 {
+                        self.any_active[base + wi] &= !(1u64 << bit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a delivery into the lane's statistics — the exact
+    /// accounting of `NetworkSim::deliver`, against the lane's own slab
+    /// and stride-`stages` wait array.
+    fn deliver(&mut self, lane: usize, id: u32) {
+        self.stats[lane].delivered_total += 1;
+        self.free[lane].push(id);
+        let msg = self.slabs[lane][id as usize];
+        if !msg.tracked {
+            return;
+        }
+        self.tracked_in_flight[lane] -= 1;
+        let n = self.stages;
+        let waits = &self.waits[lane][id as usize * n..][..n];
+        fold_tracked_delivery(&mut self.stats[lane], waits);
+    }
+
+    /// Advances the lanes in `step_mask` one cycle.
+    fn step(&mut self, tracked_window: bool, step_mask: u64) {
+        self.inject(tracked_window, step_mask);
+        self.serve(step_mask);
+        self.now += 1;
+        self.lane_cycles += u64::from(step_mask.count_ones());
+    }
+
+    /// Freezes every alive lane whose tracked messages have all been
+    /// delivered: records its end-of-run `cycles` and
+    /// `in_flight_at_end` exactly as the scalar run would at this point
+    /// (lock-step makes "this point" the same cycle count) and removes
+    /// it from the alive mask.
+    fn finalize_done_lanes(&mut self) {
+        let mut m = self.alive;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.tracked_in_flight[lane] == 0 {
+                self.alive &= !(1u64 << lane);
+                self.stats[lane].cycles = self.now;
+                let total_queues = self.ports * self.stages;
+                self.stats[lane].in_flight_at_end = (0..total_queues)
+                    .map(|q| u64::from(self.lens[q * self.lanes + lane]))
+                    .sum();
+            }
+        }
+    }
+
+    /// Runs warmup → measure → drain for the whole block and returns
+    /// per-lane statistics in lane order. Telemetry is a pure observer,
+    /// exactly as on the scalar path.
+    ///
+    /// Dispatches to the message-driven stage sweep when the
+    /// configuration qualifies (see [`sweep_eligible`]) and to the
+    /// cycle-driven lock-step engine otherwise; both are bit-identical
+    /// to the scalar simulator.
+    pub(crate) fn run_instrumented(self, tel: &Telemetry) -> Vec<NetworkStats> {
+        match (sweep_eligible(&self.cfg, self.lanes), tel.active()) {
+            (true, true) => self.run_swept::<true>(tel),
+            (true, false) => self.run_swept::<false>(tel),
+            (false, true) => self.drive::<true>(tel),
+            (false, false) => self.drive::<false>(tel),
+        }
+    }
+
+    /// Generates lane `lane`'s injections for cycles `from..to`,
+    /// appending each hit to its stage-0 wire's stream `gen_q[wire]` —
+    /// within a wire that is exactly the queue's FIFO arrival order,
+    /// because the scalar inject scans ports ascending within a cycle.
+    /// The lane's generator state lives in registers for the whole
+    /// range (the bank is read and written back once), and the draw
+    /// sequence — one Bernoulli word per port per cycle, plus the
+    /// arrival tail on hits — is the scalar engine's, verbatim.
+    ///
+    /// Generating past the lane's eventual end cycle is harmless: a
+    /// replication's statistics never depend on its RNG state after its
+    /// final cycle, and injections at cycle `t` are a pure prefix
+    /// function of the stream, so every record with `a < e` is the one
+    /// the scalar run makes.
+    fn generate_lane(
+        &mut self,
+        lane: usize,
+        from: u64,
+        to: u64,
+        gen_q: &mut [Vec<SweptMsg>],
+        inj: &mut Vec<u32>,
+        tracked_count: &mut u32,
+    ) {
+        let p = self.cfg.workload.p;
+        let tracked_from = self.cfg.warmup_cycles;
+        let tracked_to = self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        let ports = self.ports;
+        let k = self.k;
+        let workload = &self.cfg.workload;
+        let digit_table = &self.digit_table[..];
+        let router = &self.router;
+        let mut rng = InlineRng {
+            s: [
+                self.rngs.s0[lane],
+                self.rngs.s1[lane],
+                self.rngs.s2[lane],
+                self.rngs.s3[lane],
+            ],
+        };
+        for t in from..to {
+            let tracked = t >= tracked_from && t < tracked_to;
+            let mut injected = 0u32;
+            for input in 0..ports {
+                let w = rng.next_u64();
+                // Bit-exact `gen_bool`: same shift, scale, compare.
+                if ((w >> 11) as f64 * F64_SCALE) < p {
+                    let (dest, size) =
+                        workload.sample_arrival_tail(&mut rng, input as u64, ports as u64);
+                    let digit = (digit_table[dest as usize] & 0xF) as usize;
+                    let q = router.next(0, ports, k, input, digit);
+                    let id = if tracked {
+                        let i = *tracked_count;
+                        *tracked_count += 1;
+                        i
+                    } else {
+                        UNTRACKED
+                    };
+                    gen_q[q].push(SweptMsg {
+                        a: t as u32,
+                        dest: dest as u32,
+                        size,
+                        id,
+                    });
+                    injected += 1;
+                }
+            }
+            inj.push(injected);
+        }
+        self.rngs.s0[lane] = rng.s[0];
+        self.rngs.s1[lane] = rng.s[1];
+        self.rngs.s2[lane] = rng.s[2];
+        self.rngs.s3[lane] = rng.s[3];
+    }
+
+    /// Message-driven fast path: generates each lane's whole injection
+    /// stream up front, then solves the lane stage by stage with
+    /// per-queue merge + Lindley passes ([`sweep_lane`]) instead of a
+    /// cycle loop. Bit-identical to [`Self::drive`] and the scalar
+    /// engine — same RNG schedule, same FIFO orders, same fold order,
+    /// same drain-failure condition.
+    fn run_swept<const OBS: bool>(mut self, tel: &Telemetry) -> Vec<NetworkStats> {
+        let Some(parents) = build_parent_tables(&self.router, self.ports, self.k, self.stages)
+        else {
+            // Not a k-in-regular wiring (cannot happen for the shipped
+            // topologies) — run the lock-step engine instead.
+            return self.drive::<OBS>(tel);
+        };
+        // Same auto-enable as the other drives: with metrics on, capture
+        // per-stage pmfs for the distribution sketches.
+        if OBS && tel.metrics_enabled() {
+            for st in &mut self.stats {
+                if st.stage_hists.is_none() {
+                    st.stage_hists = Some(vec![IntHistogram::new(); self.stages]);
+                }
+            }
+        }
+        let mut obs = if OBS {
+            Some(LaneObsState::new(tel, self.stages))
+        } else {
+            None
+        };
+        let collect_occ = obs.as_ref().is_some_and(|o| o.metrics);
+        let sample_every = obs.as_ref().map_or(u64::MAX, |o| o.sample_every);
+        let lanes = self.lanes;
+        let stages = self.stages;
+        let ports = self.ports;
+        let k = self.k;
+        let w_cycles = self.cfg.warmup_cycles;
+        let m_cycles = self.cfg.measure_cycles;
+        let measured_end = w_cycles + m_cycles;
+        let max_drain = 200 * self.cfg.stages as u64 + m_cycles + 100_000;
+        // The cycle at which the scalar drain's `drained <= max_drain`
+        // assertion allows the last delivery; anything later panics.
+        let hard_bound = measured_end + max_drain;
+        let h_cap = hard_bound + 2;
+        let slack = 4 * stages as u64 + 64;
+        // Pre-size each wire's stream for its expected arrival count
+        // (cycles × p, one Bernoulli per input port spread over `ports`
+        // wires) so the generation loop almost never reallocates.
+        let est_per_wire =
+            ((measured_end + slack) as f64 * self.cfg.workload.p * 1.15) as usize + 16;
+        let mut gen_q: Vec<Vec<Vec<SweptMsg>>> = (0..lanes)
+            .map(|_| {
+                (0..ports)
+                    .map(|_| Vec::with_capacity(est_per_wire))
+                    .collect()
+            })
+            .collect();
+        let mut inj_per_cycle: Vec<Vec<u32>> = vec![Vec::new(); lanes];
+        let mut tracked_counts: Vec<u32> = vec![0u32; lanes];
+        let mut generated: Vec<u64> = vec![0u64; lanes];
+        macro_rules! gen_to {
+            ($lane:expr, $target:expr) => {{
+                let lane = $lane;
+                let target = $target;
+                while generated[lane] < target {
+                    let next = (generated[lane] + HEARTBEAT_CHECK_CYCLES).min(target);
+                    self.generate_lane(
+                        lane,
+                        generated[lane],
+                        next,
+                        &mut gen_q[lane],
+                        &mut inj_per_cycle[lane],
+                        &mut tracked_counts[lane],
+                    );
+                    generated[lane] = next;
+                    if OBS {
+                        tel.heartbeat_tick();
+                    }
+                }
+            }};
+        }
+        {
+            let _span = tel.span("net/warmup");
+            for lane in 0..lanes {
+                gen_to!(lane, w_cycles);
+            }
+        }
+        {
+            let _span = tel.span("net/measure");
+            for lane in 0..lanes {
+                gen_to!(lane, measured_end);
+            }
+        }
+        let mut stuck = 0u64;
+        let mut e_max = 0u64;
+        // Block-level per-(tick, stage) occupancy totals across lanes,
+        // for the gauge emission at the end.
+        let mut occ_totals: Vec<u64> = Vec::new();
+        {
+            let _span = tel.span("net/drain");
+            let mut horizon = (measured_end + slack).min(h_cap);
+            let mut scratch = SweepScratch::default();
+            for lane in 0..lanes {
+                loop {
+                    gen_to!(lane, horizon);
+                    let n_tracked = tracked_counts[lane];
+                    // One spare row past the tracked block absorbs the
+                    // branchless untracked wait writes.
+                    self.waits[lane].resize((n_tracked as usize + 1) * stages, 0);
+                    macro_rules! sweep {
+                        ($occ:expr) => {
+                            sweep_lane::<$occ>(
+                                stages,
+                                ports,
+                                k,
+                                horizon,
+                                hard_bound,
+                                horizon >= h_cap,
+                                &gen_q[lane],
+                                &inj_per_cycle[lane],
+                                &self.digit_table,
+                                &parents,
+                                &mut self.waits[lane],
+                                &mut self.stats[lane],
+                                n_tracked,
+                                measured_end,
+                                &mut scratch,
+                                sample_every,
+                                &mut self.slab_hwm[lane],
+                            )
+                        };
+                    }
+                    let outcome = if collect_occ {
+                        sweep!(true)
+                    } else {
+                        sweep!(false)
+                    };
+                    match outcome {
+                        SweepOutcome::Done { e } => {
+                            self.lane_cycles += e;
+                            e_max = e_max.max(e);
+                            if collect_occ {
+                                let o = obs.as_ref().expect("telemetry state");
+                                let hist = o.occupancy_hist.as_ref().expect("metrics enabled");
+                                let ticks = (e / sample_every) as usize;
+                                if occ_totals.len() < ticks * stages {
+                                    occ_totals.resize(ticks * stages, 0);
+                                }
+                                for ti in 0..ticks {
+                                    for st in 0..stages {
+                                        let row =
+                                            &scratch.occ[(ti * stages + st) * ports..][..ports];
+                                        let mut sum = 0u64;
+                                        for &len in row {
+                                            hist.record(len as u64);
+                                            sum += len as u64;
+                                        }
+                                        occ_totals[ti * stages + st] += sum;
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        SweepOutcome::Retry { needed } => {
+                            horizon = (horizon + horizon / 2).max(needed + slack).min(h_cap);
+                        }
+                        SweepOutcome::Stuck { count } => {
+                            stuck += count;
+                            break;
+                        }
+                    }
+                }
+                if OBS {
+                    let o = obs.as_mut().expect("telemetry state");
+                    o.push_progress(&self);
+                    tel.heartbeat_tick();
+                }
+            }
+            assert!(
+                stuck == 0,
+                "drain did not complete: {stuck} tracked messages stuck (load too close to 1?)"
+            );
+            if collect_occ {
+                // Emit the per-sample gauge sequence the lock-step block
+                // produces: one set per stage per tick, ticks ascending,
+                // so both the final value and the high-water mark match.
+                let o = obs.as_ref().expect("telemetry state");
+                let ticks = ((e_max / sample_every) as usize).min(occ_totals.len() / stages.max(1));
+                for ti in 0..ticks {
+                    for (st, gauge) in o.stage_occupancy.iter().enumerate() {
+                        gauge.set(occ_totals[ti * stages + st]);
+                    }
+                }
+            }
+        }
+        if OBS {
+            obs.as_mut().expect("telemetry state").flush_final(&self);
+        }
+        self.stats
+    }
+
+    fn drive<const OBS: bool>(mut self, tel: &Telemetry) -> Vec<NetworkStats> {
+        // Same auto-enable as the scalar drive: with metrics on, capture
+        // per-stage pmfs for the distribution sketches. Observational
+        // only — dynamics and RNG untouched.
+        if OBS && tel.metrics_enabled() {
+            for st in &mut self.stats {
+                if st.stage_hists.is_none() {
+                    st.stage_hists = Some(vec![IntHistogram::new(); self.stages]);
+                }
+            }
+        }
+        let mut obs = if OBS {
+            Some(LaneObsState::new(tel, self.stages))
+        } else {
+            None
+        };
+        let full = self.full_mask;
+        {
+            let _span = tel.span("net/warmup");
+            for _ in 0..self.cfg.warmup_cycles {
+                self.step(false, full);
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self, full);
+                }
+            }
+        }
+        {
+            let _span = tel.span("net/measure");
+            for _ in 0..self.cfg.measure_cycles {
+                self.step(true, full);
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self, full);
+                }
+            }
+        }
+        // Per-lane drain bound: identical to the scalar engine's, and a
+        // lane that exceeds it would have exceeded it scalar too (lock
+        // step ⇒ same per-lane drain cycle count).
+        let max_drain = 200 * self.cfg.stages as u64 + self.cfg.measure_cycles + 100_000;
+        let mut drained = 0u64;
+        {
+            let _span = tel.span("net/drain");
+            self.finalize_done_lanes();
+            while self.alive != 0 {
+                let mask = self.alive;
+                self.step(false, mask);
+                drained += 1;
+                assert!(
+                    drained <= max_drain,
+                    "drain did not complete: {} tracked messages stuck (load too close to 1?)",
+                    self.tracked_in_flight.iter().sum::<u64>()
+                );
+                if OBS {
+                    obs.as_mut().expect("telemetry state").tick(&self, mask);
+                }
+                self.finalize_done_lanes();
+            }
+        }
+        if OBS {
+            obs.as_mut().expect("telemetry state").flush_final(&self);
+        }
+        self.stats
+    }
+}
+
+/// Block-level telemetry state: the lane twin of the scalar `ObsState`.
+/// One instance observes the whole block; per-lane end-of-run values
+/// (counters, sketches, `net.runs`) are flushed per lane in lane order,
+/// so a lane block reports exactly what its replications would have
+/// reported scalar — plus a `net.lane_runs` counter marking how many of
+/// those replications ran lane-batched.
+struct LaneObsState<'t> {
+    tel: &'t Telemetry,
+    metrics: bool,
+    sample_every: u64,
+    until_sample: u64,
+    until_heartbeat: u64,
+    last_cycles: u64,
+    last_injected: u64,
+    last_delivered: u64,
+    last_rejected: u64,
+    stage_occupancy: Vec<Arc<Gauge>>,
+    /// Worker-local per-queue occupancy samples across all lanes, folded
+    /// into the shared registry once at flush (same contention-free
+    /// scheme as the scalar path).
+    occupancy_hist: Option<Histogram>,
+}
+
+impl<'t> LaneObsState<'t> {
+    fn new(tel: &'t Telemetry, stages: usize) -> Self {
+        let metrics = tel.metrics_enabled();
+        let stage_occupancy = if metrics {
+            (0..stages)
+                .map(|s| {
+                    tel.registry()
+                        .gauge(&format!("net.occupancy.stage{:02}", s + 1))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let occupancy_hist = metrics.then(|| Histogram::new(POW2_BOUNDS));
+        let sample_every = tel.config().sample_every.max(1);
+        LaneObsState {
+            tel,
+            metrics,
+            sample_every,
+            until_sample: sample_every,
+            until_heartbeat: HEARTBEAT_CHECK_CYCLES,
+            last_cycles: 0,
+            last_injected: 0,
+            last_delivered: 0,
+            last_rejected: 0,
+            stage_occupancy,
+            occupancy_hist,
+        }
+    }
+
+    /// Per-block-cycle bookkeeping. Lock-step alignment means a block
+    /// cycle is the same cycle index in every stepped lane, so sampling
+    /// on block-cycle countdowns samples each lane at exactly the
+    /// cycles its scalar run would have been sampled at.
+    #[inline]
+    fn tick(&mut self, block: &LaneBlock, stepped: u64) {
+        if self.metrics {
+            self.until_sample -= 1;
+            if self.until_sample == 0 {
+                self.until_sample = self.sample_every;
+                self.sample_occupancy(block, stepped);
+            }
+        }
+        self.until_heartbeat -= 1;
+        if self.until_heartbeat == 0 {
+            self.until_heartbeat = HEARTBEAT_CHECK_CYCLES;
+            self.push_progress(block);
+            self.tel.heartbeat_tick();
+        }
+    }
+
+    /// Samples every stepped lane's queue occupancies: per-queue values
+    /// into the histogram (one sample per queue per lane — the same
+    /// multiset the scalar runs would record) and per-stage totals,
+    /// summed across stepped lanes, into the gauges.
+    #[cold]
+    fn sample_occupancy(&self, block: &LaneBlock, stepped: u64) {
+        let hist = self.occupancy_hist.as_ref().expect("metrics enabled");
+        for (s, gauge) in self.stage_occupancy.iter().enumerate() {
+            let mut total = 0u64;
+            for wire in 0..block.ports {
+                let qbase = (s * block.ports + wire) * block.lanes;
+                let mut m = stepped;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let len = u64::from(block.lens[qbase + lane]);
+                    total += len;
+                    hist.record(len);
+                }
+            }
+            gauge.set(total);
+        }
+    }
+
+    /// Pushes deltas since the last push: lane-cycles (each stepped lane
+    /// counts its own cycle, so totals match scalar replication sums)
+    /// and message counters summed across lanes.
+    fn push_progress(&mut self, block: &LaneBlock) {
+        let injected: u64 = block.stats.iter().map(|s| s.injected_total).sum();
+        let delivered: u64 = block.stats.iter().map(|s| s.delivered_total).sum();
+        let rejected: u64 = block.stats.iter().map(|s| s.rejected_total).sum();
+        self.tel
+            .progress()
+            .add_cycles(block.lane_cycles - self.last_cycles);
+        self.tel.progress().add_messages(
+            injected - self.last_injected,
+            delivered - self.last_delivered,
+            rejected - self.last_rejected,
+        );
+        self.last_cycles = block.lane_cycles;
+        self.last_injected = injected;
+        self.last_delivered = delivered;
+        self.last_rejected = rejected;
+    }
+
+    /// End-of-block flush: final progress delta, then per lane (in lane
+    /// order) the same counters, slab high-water gauge, `net.runs`
+    /// increment, and waiting-time sketches a scalar run flushes — plus
+    /// `net.lane_runs`, so manifests record how many replications ran
+    /// on the lane engine.
+    fn flush_final(&mut self, block: &LaneBlock) {
+        self.push_progress(block);
+        if !self.metrics {
+            return;
+        }
+        let reg = self.tel.registry();
+        let sketches = self.tel.sketches();
+        for lane in 0..block.lanes {
+            let st = &block.stats[lane];
+            reg.counter("net.injected_total").add(st.injected_total);
+            reg.counter("net.delivered_total").add(st.delivered_total);
+            reg.counter("net.rejected_total").add(st.rejected_total);
+            reg.counter("net.in_flight_at_end").add(st.in_flight_at_end);
+            reg.counter("net.cycles").add(st.cycles);
+            reg.counter("net.tracked_injected").add(st.injected);
+            reg.counter("net.tracked_delivered").add(st.delivered);
+            reg.gauge("net.slab_high_water")
+                .set(block.slab_hwm[lane].max(block.slabs[lane].len() as u64));
+            reg.counter("net.runs").inc();
+            reg.counter("net.lane_runs").inc();
+            if let Some(hists) = &st.stage_hists {
+                for (i, h) in hists.iter().enumerate() {
+                    sketches.merge_sketch(
+                        &format!("net.wait.stage{:02}", i + 1),
+                        &banyan_obs::DistSketch::from_dense_counts(h.counts()),
+                    );
+                }
+            }
+            sketches.merge_sketch(
+                "net.wait.total",
+                &banyan_obs::DistSketch::from_dense_counts(st.total_hist.counts()),
+            );
+        }
+        if let Some(local) = &self.occupancy_hist {
+            reg.histogram("net.queue_occupancy", POW2_BOUNDS)
+                .merge(local);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkSim;
+    use crate::traffic::{ServiceDist, Workload};
+
+    fn quick_cfg(k: u32, stages: u32, p: f64, m: u32) -> NetworkConfig {
+        NetworkConfig {
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            ..NetworkConfig::new(k, stages, Workload::uniform(p, m))
+        }
+    }
+
+    fn scalar_run(cfg: &NetworkConfig, seed: u64) -> NetworkStats {
+        let mut c = cfg.clone();
+        c.seed = seed;
+        NetworkSim::new(c).run()
+    }
+
+    fn assert_stats_bit_identical(a: &NetworkStats, b: &NetworkStats, ctx: &str) {
+        assert_eq!(a.injected, b.injected, "{ctx}: injected");
+        assert_eq!(a.delivered, b.delivered, "{ctx}: delivered");
+        assert_eq!(a.injected_total, b.injected_total, "{ctx}: injected_total");
+        assert_eq!(
+            a.delivered_total, b.delivered_total,
+            "{ctx}: delivered_total"
+        );
+        assert_eq!(a.rejected_total, b.rejected_total, "{ctx}: rejected_total");
+        assert_eq!(a.in_flight_at_end, b.in_flight_at_end, "{ctx}: in_flight");
+        assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
+        for (i, (x, y)) in a.stage_waits.iter().zip(&b.stage_waits).enumerate() {
+            assert_eq!(x.count(), y.count(), "{ctx}: stage {i} count");
+            assert_eq!(
+                x.mean().to_bits(),
+                y.mean().to_bits(),
+                "{ctx}: stage {i} mean"
+            );
+            assert_eq!(
+                x.variance().to_bits(),
+                y.variance().to_bits(),
+                "{ctx}: stage {i} variance"
+            );
+        }
+        assert_eq!(
+            a.total_wait.mean().to_bits(),
+            b.total_wait.mean().to_bits(),
+            "{ctx}: total mean"
+        );
+        assert_eq!(
+            a.total_wait.variance().to_bits(),
+            b.total_wait.variance().to_bits(),
+            "{ctx}: total variance"
+        );
+        assert_eq!(a.total_hist, b.total_hist, "{ctx}: total hist");
+    }
+
+    #[test]
+    fn packed_digits_match_scalar_extraction() {
+        for (k, stages) in [(2u64, 6usize), (3, 4), (16, 5), (10, 3)] {
+            let ports = k.pow(stages as u32);
+            for dest in [0, 1, ports / 2, ports - 1] {
+                let packed = pack_digits(dest, k, stages);
+                let mut rem = dest;
+                let mut expect = vec![0u64; stages];
+                for d in expect.iter_mut().rev() {
+                    *d = rem % k;
+                    rem /= k;
+                }
+                for (j, &d) in expect.iter().enumerate() {
+                    assert_eq!(
+                        (packed >> (4 * j)) & 0xF,
+                        d,
+                        "k={k} stages={stages} dest={dest} digit {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_rng_bank_matches_scalar_streams() {
+        let seeds = [7u64, 0, u64::MAX, 0xDEAD];
+        let mut bank = LaneRngs::new(&seeds);
+        let mut scalars: Vec<SmallRng> =
+            seeds.iter().map(|&s| SmallRng::seed_from_u64(s)).collect();
+        let mut out = vec![0u64; seeds.len()];
+        for round in 0..64 {
+            if round % 2 == 0 {
+                bank.fill_all(&mut out);
+            } else {
+                for (l, o) in out.iter_mut().enumerate() {
+                    *o = bank.next_u64(l);
+                }
+            }
+            for (l, s) in scalars.iter_mut().enumerate() {
+                assert_eq!(out[l], s.next_u64(), "round {round} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_matches_scalar() {
+        let cfg = quick_cfg(2, 4, 0.6, 2);
+        let lane = LaneBlock::new(&cfg, &[cfg.seed])
+            .run_instrumented(&Telemetry::off())
+            .remove(0);
+        let scalar = scalar_run(&cfg, cfg.seed);
+        assert_stats_bit_identical(&lane, &scalar, "single lane");
+    }
+
+    #[test]
+    fn every_lane_matches_its_scalar_replication() {
+        let cfg = quick_cfg(2, 3, 0.5, 1);
+        let seeds: Vec<u64> = (0..7).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("lane {i}"));
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_with_finite_buffers_and_blocking() {
+        let mut cfg = quick_cfg(2, 4, 0.8, 2);
+        cfg.buffer_capacity = Some(2);
+        let seeds: Vec<u64> = (0..5).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert!(lane.rejected_total > 0 || scalar.rejected_total == 0);
+            assert_stats_bit_identical(lane, &scalar, &format!("finite-buffer lane {i}"));
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_in_random_digit_mode() {
+        let mut cfg = quick_cfg(3, 4, 0.5, 1).with_random_digit_width(2);
+        cfg.measure_cycles = 1_500;
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("random-digit lane {i}"));
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_for_hotspot_and_geometric_service() {
+        let mut cfg = NetworkConfig::new(
+            2,
+            3,
+            Workload {
+                p: 0.3,
+                q: 0.2,
+                service: ServiceDist::Geometric(0.5),
+            },
+        );
+        cfg.warmup_cycles = 200;
+        cfg.measure_cycles = 1_500;
+        let seeds: Vec<u64> = (0..6).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("hotspot lane {i}"));
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_with_correlations_and_stage_hists() {
+        let mut cfg = quick_cfg(2, 5, 0.5, 1);
+        cfg.collect_correlations = true;
+        cfg.collect_stage_histograms = true;
+        let seeds: Vec<u64> = (0..3).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("corr lane {i}"));
+            let lc = lane.correlations.as_ref().unwrap();
+            let sc = scalar.correlations.as_ref().unwrap();
+            assert_eq!(
+                lc.correlation(1, 2).to_bits(),
+                sc.correlation(1, 2).to_bits(),
+                "lane {i} correlation"
+            );
+            assert_eq!(lane.stage_hists, scalar.stage_hists, "lane {i} stage hists");
+        }
+    }
+
+    #[test]
+    fn butterfly_routing_matches_scalar() {
+        let mut cfg = quick_cfg(2, 5, 0.5, 1);
+        cfg.routing = Routing::Butterfly;
+        let seeds: Vec<u64> = (0..3).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("butterfly lane {i}"));
+        }
+    }
+
+    #[test]
+    fn instrumented_block_is_bit_identical_and_reports_lane_runs() {
+        use banyan_obs::TelemetryConfig;
+        let cfg = quick_cfg(2, 3, 0.5, 1);
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let plain = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let inst = LaneBlock::new(&cfg, &seeds).run_instrumented(&tel);
+        for (i, (a, b)) in plain.iter().zip(&inst).enumerate() {
+            assert_eq!(a.delivered, b.delivered, "lane {i}");
+            assert_eq!(
+                a.total_wait.mean().to_bits(),
+                b.total_wait.mean().to_bits(),
+                "lane {i}"
+            );
+        }
+        let reg = tel.registry();
+        assert_eq!(reg.counter_value("net.runs"), Some(4));
+        assert_eq!(reg.counter_value("net.lane_runs"), Some(4));
+        let delivered: u64 = inst.iter().map(|s| s.delivered_total).sum();
+        assert_eq!(reg.counter_value("net.delivered_total"), Some(delivered));
+        // Conservation ledger closes across the whole block.
+        assert_eq!(
+            reg.counter_value("net.injected_total").unwrap(),
+            reg.counter_value("net.delivered_total").unwrap()
+                + reg.counter_value("net.in_flight_at_end").unwrap()
+        );
+        // Progress saw every lane's cycles.
+        let cycles: u64 = inst.iter().map(|s| s.cycles).sum();
+        assert_eq!(tel.progress().snapshot().cycles, cycles);
+        // One span set per block (not per lane).
+        for phase in ["net/warmup", "net/measure", "net/drain"] {
+            assert_eq!(tel.spans().stat(phase).unwrap().calls, 1, "{phase}");
+        }
+    }
+
+    #[test]
+    fn wait_sketches_fold_identically_to_scalar_runs() {
+        use banyan_obs::TelemetryConfig;
+        let cfg = quick_cfg(2, 3, 0.5, 1);
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let tel_lanes = Telemetry::new(TelemetryConfig::on());
+        LaneBlock::new(&cfg, &seeds).run_instrumented(&tel_lanes);
+        let tel_scalar = Telemetry::new(TelemetryConfig::on());
+        for &seed in &seeds {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            NetworkSim::new(c).run_instrumented(&tel_scalar);
+        }
+        for name in ["net.wait.stage01", "net.wait.stage03", "net.wait.total"] {
+            let a = tel_lanes.sketches().get(name).expect(name);
+            let b = tel_scalar.sketches().get(name).expect(name);
+            assert_eq!(a.count(), b.count(), "{name}");
+            assert_eq!(a.pmf_points(), b.pmf_points(), "{name}");
+        }
+    }
+
+    #[test]
+    fn max_width_block_runs_and_matches_spot_checked_lanes() {
+        let mut cfg = quick_cfg(2, 3, 0.5, 1);
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 400;
+        let seeds: Vec<u64> = (0..MAX_LANES as u64)
+            .map(|i| cfg.seed.wrapping_add(i))
+            .collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        assert_eq!(lanes.len(), MAX_LANES);
+        for &i in &[0usize, 31, 63] {
+            let scalar = scalar_run(&cfg, seeds[i]);
+            assert_stats_bit_identical(&lanes[i], &scalar, &format!("lane {i}/64"));
+        }
+    }
+
+    #[test]
+    fn lockstep_engine_stays_bit_identical_on_sweep_eligible_configs() {
+        // `run_instrumented` routes eligible configs to the sweep, so the
+        // lock-step engine would silently lose scalar parity without a
+        // direct exercise. Run both engines on the same eligible config.
+        let cfg = quick_cfg(2, 4, 0.6, 2);
+        assert!(sweep_eligible(&cfg, 3), "config must exercise the sweep");
+        let seeds: Vec<u64> = (0..3).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let swept = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        let lockstep = LaneBlock::new(&cfg, &seeds).drive::<false>(&Telemetry::off());
+        for (i, ((sw, ls), &seed)) in swept.iter().zip(&lockstep).zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(sw, &scalar, &format!("swept lane {i}"));
+            assert_stats_bit_identical(ls, &scalar, &format!("lock-step lane {i}"));
+        }
+    }
+
+    #[test]
+    fn heavy_load_drain_extension_matches_scalar() {
+        // ρ close to 1 makes the first sweep horizon too short, forcing
+        // the Retry path (horizon growth + full scratch reset). The
+        // retried sweep must still be bit-identical to the scalar run.
+        let mut cfg = quick_cfg(2, 3, 0.97, 1);
+        cfg.measure_cycles = 1_500;
+        let seeds: Vec<u64> = (0..2).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let lanes = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
+        let measured_end = cfg.warmup_cycles + cfg.measure_cycles;
+        for (i, (lane, &seed)) in lanes.iter().zip(&seeds).enumerate() {
+            let scalar = scalar_run(&cfg, seed);
+            assert_stats_bit_identical(lane, &scalar, &format!("heavy lane {i}"));
+            assert!(
+                lane.cycles > measured_end,
+                "lane {i}: expected a drain extension past {measured_end}, got {}",
+                lane.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn swept_and_lockstep_telemetry_agree() {
+        use banyan_obs::TelemetryConfig;
+        let cfg = quick_cfg(2, 3, 0.5, 1);
+        assert!(sweep_eligible(&cfg, 4));
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let mk = || Telemetry::new(TelemetryConfig::on().with_sample_every(64));
+        let tel_sw = mk();
+        LaneBlock::new(&cfg, &seeds).run_swept::<true>(&tel_sw);
+        let tel_ls = mk();
+        LaneBlock::new(&cfg, &seeds).drive::<true>(&tel_ls);
+        let (a, b) = (tel_sw.registry(), tel_ls.registry());
+        for name in [
+            "net.injected_total",
+            "net.delivered_total",
+            "net.rejected_total",
+            "net.in_flight_at_end",
+            "net.cycles",
+            "net.tracked_injected",
+            "net.tracked_delivered",
+            "net.runs",
+            "net.lane_runs",
+        ] {
+            assert_eq!(a.counter_value(name), b.counter_value(name), "{name}");
+        }
+        assert_eq!(
+            a.gauge("net.slab_high_water").get(),
+            b.gauge("net.slab_high_water").get(),
+            "slab high-water"
+        );
+        for s in 1..=3 {
+            let name = format!("net.occupancy.stage{s:02}");
+            assert_eq!(a.gauge(&name).get(), b.gauge(&name).get(), "{name}");
+        }
+        let ha = a.histogram("net.queue_occupancy", POW2_BOUNDS);
+        let hb = b.histogram("net.queue_occupancy", POW2_BOUNDS);
+        assert_eq!(ha.bucket_counts(), hb.bucket_counts(), "occupancy hist");
+        for name in ["net.wait.stage01", "net.wait.stage03", "net.wait.total"] {
+            let sa = tel_sw.sketches().get(name).expect(name);
+            let sb = tel_ls.sketches().get(name).expect(name);
+            assert_eq!(sa.count(), sb.count(), "{name} count");
+            assert_eq!(sa.pmf_points(), sb.pmf_points(), "{name} pmf");
+        }
+        assert_eq!(
+            tel_sw.progress().snapshot().cycles,
+            tel_ls.progress().snapshot().cycles,
+            "progress cycles"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≤ 16")]
+    fn wide_switches_rejected_in_tag_mode() {
+        let cfg = NetworkConfig::new(17, 2, Workload::uniform(0.1, 1));
+        LaneBlock::new(&cfg, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn zero_lanes_rejected() {
+        let cfg = quick_cfg(2, 3, 0.5, 1);
+        LaneBlock::new(&cfg, &[]);
+    }
+}

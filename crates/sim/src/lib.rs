@@ -18,7 +18,9 @@
 //! Workloads ([`traffic`]) cover uniform Bernoulli arrivals, hot-spot
 //! ("favorite output") traffic, and constant / mixed / geometric message
 //! sizes. [`runner`] shards replications across threads and merges the
-//! streaming statistics exactly.
+//! streaming statistics exactly; replications sharing a worker run
+//! lock-step on a lane-batched structure-of-arrays engine
+//! (bit-identical to the scalar simulator — see [`ReplicationEngine`]).
 //!
 //! Simulations are deterministic given their seed.
 //!
@@ -40,16 +42,20 @@
 
 pub mod butterfly;
 pub mod input_queued;
+mod lanes;
 pub mod network;
 pub mod queue;
 pub mod runner;
 pub mod topology;
 pub mod traffic;
 
+pub use butterfly::ButterflyTopology;
 pub use input_queued::{run_input_queued, InputQueuedConfig, InputQueuedSim};
 pub use network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
 pub use queue::{run_queue, ArrivalDist, QueueConfig, QueueStats};
-pub use runner::{run_network_replicated, run_queue_replicated};
-pub use butterfly::ButterflyTopology;
+pub use runner::{
+    run_network_replicated, run_network_replicated_with_engine, run_queue_replicated,
+    ReplicationEngine,
+};
 pub use topology::OmegaTopology;
 pub use traffic::{ServiceDist, Workload};

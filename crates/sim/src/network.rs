@@ -53,7 +53,7 @@ use std::sync::Arc;
 pub const MAX_STAGES: usize = 16;
 
 /// Sentinel id: empty queue head/tail, end of a FIFO chain.
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// Largest butterfly routing table we materialize (entries). Beyond this
 /// the simulator falls back to per-hop digit arithmetic — same wires,
@@ -308,7 +308,7 @@ fn fifo_pop_front(queues: &mut [PortQueue], slab: &[Slot], qidx: usize) -> u32 {
 
 /// Precomputed next-wire routing. All variants produce bit-identical
 /// wires to the direct topology arithmetic they replace.
-enum Router {
+pub(crate) enum Router {
     /// Omega wiring (banyan and random-digit modes): the shuffle is
     /// stage-independent, so the whole table collapses to a per-wire
     /// switch base — `next = base[wire] + digit`.
@@ -323,12 +323,66 @@ impl Router {
     /// Output wire for a message on `wire` entering stage `s0 + 1`
     /// (0-indexed stage), heading for destination digit `digit`.
     #[inline]
-    fn next(&self, s0: usize, ports: usize, k: usize, wire: usize, digit: usize) -> usize {
+    pub(crate) fn next(
+        &self,
+        s0: usize,
+        ports: usize,
+        k: usize,
+        wire: usize,
+        digit: usize,
+    ) -> usize {
         match self {
             Router::OmegaBase(base) => base[wire] as usize + digit,
             Router::ButterflyTable(table) => table[(s0 * ports + wire) * k + digit] as usize,
             Router::ButterflyArith(b) => {
                 b.next_wire_for_digit(s0 as u32 + 1, wire as u64, digit as u32) as usize
+            }
+        }
+    }
+}
+
+/// Validates `cfg` and builds its topology. Shared between the scalar
+/// simulator and the lane-batched engine (`crate::lanes`) so both reject
+/// exactly the same configurations and agree on the port count.
+///
+/// # Panics
+/// Panics on invalid workload parameters, `stages > MAX_STAGES`, a zero
+/// buffer capacity, or hot-spot traffic in random-digit mode.
+pub(crate) fn validate_and_build_topology(cfg: &NetworkConfig) -> OmegaTopology {
+    cfg.workload.validate();
+    assert!(
+        (cfg.stages as usize) <= MAX_STAGES,
+        "at most {MAX_STAGES} stages supported"
+    );
+    if let Some(cap) = cfg.buffer_capacity {
+        assert!(cap >= 1, "buffer capacity must be at least 1 message");
+    }
+    match cfg.routing {
+        Routing::Banyan | Routing::Butterfly => OmegaTopology::new(cfg.k, cfg.stages),
+        Routing::RandomDigit { width_log_k } => {
+            assert!(
+                cfg.workload.q == 0.0,
+                "random-digit routing is only equivalent for uniform traffic"
+            );
+            OmegaTopology::new(cfg.k, width_log_k)
+        }
+    }
+}
+
+/// Builds the precomputed router for `cfg` (caller has already validated
+/// the configuration via [`validate_and_build_topology`]).
+pub(crate) fn build_router(cfg: &NetworkConfig) -> Router {
+    match cfg.routing {
+        Routing::Banyan | Routing::RandomDigit { .. } => {
+            Router::OmegaBase(validate_and_build_topology(cfg).switch_bases())
+        }
+        Routing::Butterfly => {
+            let b = ButterflyTopology::new(cfg.k, cfg.stages);
+            let entries = cfg.stages as u64 * b.ports() * cfg.k as u64;
+            if entries <= MAX_ROUTE_TABLE_ENTRIES {
+                Router::ButterflyTable(b.routing_table())
+            } else {
+                Router::ButterflyArith(b)
             }
         }
     }
@@ -368,36 +422,8 @@ impl NetworkSim {
     /// # Panics
     /// Panics on invalid workload parameters or `stages > MAX_STAGES`.
     pub fn new(cfg: NetworkConfig) -> Self {
-        cfg.workload.validate();
-        assert!(
-            (cfg.stages as usize) <= MAX_STAGES,
-            "at most {MAX_STAGES} stages supported"
-        );
-        if let Some(cap) = cfg.buffer_capacity {
-            assert!(cap >= 1, "buffer capacity must be at least 1 message");
-        }
-        let topo = match cfg.routing {
-            Routing::Banyan | Routing::Butterfly => OmegaTopology::new(cfg.k, cfg.stages),
-            Routing::RandomDigit { width_log_k } => {
-                assert!(
-                    cfg.workload.q == 0.0,
-                    "random-digit routing is only equivalent for uniform traffic"
-                );
-                OmegaTopology::new(cfg.k, width_log_k)
-            }
-        };
-        let router = match cfg.routing {
-            Routing::Banyan | Routing::RandomDigit { .. } => Router::OmegaBase(topo.switch_bases()),
-            Routing::Butterfly => {
-                let b = ButterflyTopology::new(cfg.k, cfg.stages);
-                let entries = cfg.stages as u64 * b.ports() * cfg.k as u64;
-                if entries <= MAX_ROUTE_TABLE_ENTRIES {
-                    Router::ButterflyTable(b.routing_table())
-                } else {
-                    Router::ButterflyArith(b)
-                }
-            }
-        };
+        let topo = validate_and_build_topology(&cfg);
+        let router = build_router(&cfg);
         let ports = topo.ports() as usize;
         let total_queues = ports * cfg.stages as usize;
         NetworkSim {
@@ -429,7 +455,13 @@ impl NetworkSim {
 
     /// Allocates a slab slot (reusing the freelist) and returns its id.
     #[inline]
-    fn alloc_slot(&mut self, entered: u64, size: u32, tracked: bool, digits: [u32; MAX_STAGES]) -> u32 {
+    fn alloc_slot(
+        &mut self,
+        entered: u64,
+        size: u32,
+        tracked: bool,
+        digits: [u32; MAX_STAGES],
+    ) -> u32 {
         let slot = Slot {
             entered,
             next: NIL,
@@ -548,8 +580,7 @@ impl NetworkSim {
                         self.active[base + wi] &= !(1u64 << bit);
                         continue;
                     }
-                    if self.queues[qidx].busy_until > now
-                        || self.slab[head as usize].entered > now
+                    if self.queues[qidx].busy_until > now || self.slab[head as usize].entered > now
                     {
                         continue;
                     }
@@ -679,8 +710,7 @@ impl NetworkSim {
         // it always had, and the dynamics (RNG, queues) are untouched,
         // so statistics stay bit-identical.
         if OBS && tel.metrics_enabled() && self.stats.stage_hists.is_none() {
-            self.stats.stage_hists =
-                Some(vec![IntHistogram::new(); self.cfg.stages as usize]);
+            self.stats.stage_hists = Some(vec![IntHistogram::new(); self.cfg.stages as usize]);
         }
         let mut obs = if OBS {
             Some(ObsState::new(tel, self.cfg.stages as usize))
@@ -707,9 +737,7 @@ impl NetworkSim {
         }
         // Drain: generous bound — waiting times at ρ < 1 are short
         // compared to this.
-        let max_drain = 200 * self.cfg.stages as u64
-            + self.cfg.measure_cycles
-            + 100_000;
+        let max_drain = 200 * self.cfg.stages as u64 + self.cfg.measure_cycles + 100_000;
         let mut drained = 0u64;
         {
             let _span = tel.span("net/drain");
@@ -738,7 +766,7 @@ impl NetworkSim {
 /// How often (in cycles) an instrumented run pushes progress deltas and
 /// lets the heartbeat check its wall-clock interval. Coarse on purpose:
 /// the per-cycle cost of *enabled* telemetry is two counter decrements.
-const HEARTBEAT_CHECK_CYCLES: u64 = 2_048;
+pub(crate) const HEARTBEAT_CHECK_CYCLES: u64 = 2_048;
 
 /// Per-run telemetry state for the instrumented drive loop: metric
 /// handles resolved once at run start plus countdowns for the two
@@ -769,7 +797,10 @@ impl<'t> ObsState<'t> {
         let metrics = tel.metrics_enabled();
         let stage_occupancy = if metrics {
             (0..stages)
-                .map(|s| tel.registry().gauge(&format!("net.occupancy.stage{:02}", s + 1)))
+                .map(|s| {
+                    tel.registry()
+                        .gauge(&format!("net.occupancy.stage{:02}", s + 1))
+                })
                 .collect()
         } else {
             Vec::new()
@@ -863,7 +894,8 @@ impl<'t> ObsState<'t> {
         reg.gauge("net.slab_high_water").set(sim.slab.len() as u64);
         reg.counter("net.runs").inc();
         if let Some(local) = &self.occupancy_hist {
-            reg.histogram("net.queue_occupancy", POW2_BOUNDS).merge(local);
+            reg.histogram("net.queue_occupancy", POW2_BOUNDS)
+                .merge(local);
         }
         // Fold the exact waiting-time pmfs into the shared sketch set.
         // Sketch merging is commutative integer addition, so concurrent
@@ -955,13 +987,25 @@ mod tests {
         let tel = Telemetry::new(TelemetryConfig::on().with_sample_every(32));
         let stats = run_network_instrumented(quick_cfg(2, 3, 0.5, 1), &tel);
         for phase in ["net/warmup", "net/measure", "net/drain"] {
-            let st = tel.spans().stat(phase).unwrap_or_else(|| panic!("missing span {phase}"));
+            let st = tel
+                .spans()
+                .stat(phase)
+                .unwrap_or_else(|| panic!("missing span {phase}"));
             assert_eq!(st.calls, 1, "{phase}");
         }
         let reg = tel.registry();
-        assert_eq!(reg.counter_value("net.injected_total"), Some(stats.injected_total));
-        assert_eq!(reg.counter_value("net.delivered_total"), Some(stats.delivered_total));
-        assert_eq!(reg.counter_value("net.in_flight_at_end"), Some(stats.in_flight_at_end));
+        assert_eq!(
+            reg.counter_value("net.injected_total"),
+            Some(stats.injected_total)
+        );
+        assert_eq!(
+            reg.counter_value("net.delivered_total"),
+            Some(stats.delivered_total)
+        );
+        assert_eq!(
+            reg.counter_value("net.in_flight_at_end"),
+            Some(stats.in_flight_at_end)
+        );
         assert_eq!(reg.counter_value("net.cycles"), Some(stats.cycles));
         assert_eq!(reg.counter_value("net.runs"), Some(1));
         // The conservation ledger closes inside the registry too.
@@ -971,8 +1015,14 @@ mod tests {
                 + reg.counter_value("net.in_flight_at_end").unwrap()
         );
         let snap = reg.snapshot_json();
-        assert!(snap.contains("net.occupancy.stage01"), "occupancy gauges present");
-        assert!(snap.contains("net.queue_occupancy"), "occupancy histogram present");
+        assert!(
+            snap.contains("net.occupancy.stage01"),
+            "occupancy gauges present"
+        );
+        assert!(
+            snap.contains("net.queue_occupancy"),
+            "occupancy histogram present"
+        );
         assert!(snap.contains("net.slab_high_water"), "slab HWM present");
         // Progress ledger saw the whole run (warmup + measure + drain).
         let p = tel.progress().snapshot();
@@ -992,8 +1042,14 @@ mod tests {
         // the config did not request stage histograms explicitly.
         for i in 1..=4 {
             let name = format!("net.wait.stage{i:02}");
-            let sk = sketches.get(&name).unwrap_or_else(|| panic!("missing {name}"));
-            assert_eq!(sk.count(), stats.delivered, "{name} pmf must sum to delivered");
+            let sk = sketches
+                .get(&name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(
+                sk.count(),
+                stats.delivered,
+                "{name} pmf must sum to delivered"
+            );
             let i0 = i - 1;
             assert!(
                 (sk.mean() - stats.stage_waits[i0].mean()).abs() < 1e-9,
@@ -1023,7 +1079,10 @@ mod tests {
         let tel = Telemetry::off();
         let stats = NetworkSim::new(quick_cfg(2, 3, 0.5, 1)).run_instrumented(&tel);
         assert!(tel.sketches().is_empty());
-        assert!(stats.stage_hists.is_none(), "off path must not allocate stage hists");
+        assert!(
+            stats.stage_hists.is_none(),
+            "off path must not allocate stage hists"
+        );
     }
 
     #[test]
@@ -1038,7 +1097,11 @@ mod tests {
     #[test]
     fn light_load_waits_are_tiny() {
         let stats = run_network(quick_cfg(2, 3, 0.01, 1));
-        assert!(stats.total_wait.mean() < 0.05, "{}", stats.total_wait.mean());
+        assert!(
+            stats.total_wait.mean() < 0.05,
+            "{}",
+            stats.total_wait.mean()
+        );
     }
 
     #[test]
@@ -1124,7 +1187,10 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged.delivered, a.delivered + b.delivered);
-        assert_eq!(merged.total_hist.total(), a.total_hist.total() + b.total_hist.total());
+        assert_eq!(
+            merged.total_hist.total(),
+            a.total_hist.total() + b.total_hist.total()
+        );
         assert_eq!(
             merged.delivered_total,
             a.delivered_total + b.delivered_total
@@ -1211,7 +1277,10 @@ mod tests {
         fin.measure_cycles = 20_000;
         fin.buffer_capacity = Some(16);
         let b = run_network(fin);
-        assert_eq!(b.rejected_total, 0, "capacity 16 should never fill at p=0.5");
+        assert_eq!(
+            b.rejected_total, 0,
+            "capacity 16 should never fill at p=0.5"
+        );
         assert!(
             (a.total_wait.mean() - b.total_wait.mean()).abs() < 0.03,
             "{} vs {}",
@@ -1227,15 +1296,22 @@ mod tests {
         cfg.buffer_capacity = Some(1);
         let stats = run_network(cfg);
         assert!(stats.rejected_total > 0, "capacity 1 at p=0.9 must reject");
-        assert_eq!(stats.injected, stats.delivered, "accepted messages still conserved");
+        assert_eq!(
+            stats.injected, stats.delivered,
+            "accepted messages still conserved"
+        );
         // Offered load far exceeds what one buffer slot per port can
         // carry: most injections bounce, and accepted messages see
         // moderate (blocking-limited) waits rather than the enormous
         // queues an infinite buffer would build at p = 0.9.
-        let accept = stats.injected_total as f64
-            / (stats.injected_total + stats.rejected_total) as f64;
+        let accept =
+            stats.injected_total as f64 / (stats.injected_total + stats.rejected_total) as f64;
         assert!(accept < 0.6, "accept rate {accept}");
-        assert!(stats.total_wait.mean() < 10.0, "{}", stats.total_wait.mean());
+        assert!(
+            stats.total_wait.mean() < 10.0,
+            "{}",
+            stats.total_wait.mean()
+        );
     }
 
     #[test]
@@ -1367,7 +1443,10 @@ mod tests {
         for i in 0..6 {
             let wa = a.stage_waits[i].mean();
             let wb = b.stage_waits[i].mean();
-            assert!((wa - wb).abs() < 0.02, "stage {i}: omega {wa} vs butterfly {wb}");
+            assert!(
+                (wa - wb).abs() < 0.02,
+                "stage {i}: omega {wa} vs butterfly {wb}"
+            );
         }
         assert!((a.total_wait.mean() - b.total_wait.mean()).abs() < 0.05);
         assert_eq!(b.injected, b.delivered);
@@ -1407,7 +1486,10 @@ mod tests {
         for i in 0..6 {
             let wb = b.stage_waits[i].mean();
             let wc = c.stage_waits[i].mean();
-            assert!((wb - wc).abs() < 0.02, "stage {i}: banyan {wb} vs cylinder {wc}");
+            assert!(
+                (wb - wc).abs() < 0.02,
+                "stage {i}: banyan {wb} vs cylinder {wc}"
+            );
         }
         assert!((b.total_wait.variance() - c.total_wait.variance()).abs() < 0.2);
     }
@@ -1430,8 +1512,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "uniform traffic")]
     fn random_digit_rejects_hotspot() {
-        let cfg =
-            NetworkConfig::new(2, 4, Workload::hotspot(0.5, 0.3)).with_random_digit_width(4);
+        let cfg = NetworkConfig::new(2, 4, Workload::hotspot(0.5, 0.3)).with_random_digit_width(4);
         NetworkSim::new(cfg);
     }
 }

@@ -10,15 +10,68 @@
 //! thread count — the merge always proceeds in replication order — and
 //! any published table row is reproducible from its base seed alone.
 
+use crate::lanes::{lane_supported, sweep_eligible, LaneBlock, MAX_LANES};
 use crate::network::{NetworkConfig, NetworkSim, NetworkStats};
 use crate::queue::{run_queue_instrumented, QueueConfig, QueueStats};
 use banyan_obs::Telemetry;
+
+/// Default lane-block width when [`ReplicationEngine::Auto`] picks the
+/// lane engine: wide enough to amortize the batched RNG bank and digit
+/// table, small enough that a block's SoA working set stays cache-
+/// friendly for the table-family configurations.
+const DEFAULT_LANE_WIDTH: usize = 32;
+
+/// How [`run_network_replicated`] executes the replications assigned to
+/// one worker. Every variant produces **bit-identical** merged
+/// statistics — the engine only changes how the work is scheduled, never
+/// a replication's RNG stream or the merge order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationEngine {
+    /// Lane blocks when the configuration qualifies for the
+    /// message-driven stage sweep (which outruns the scalar engine even
+    /// with a single replication per block); one scalar simulation per
+    /// replication otherwise. The cycle-driven lock-step lane engine is
+    /// never picked automatically — on sweep-ineligible configurations
+    /// it trails the scalar engine on wide networks, so it remains an
+    /// explicit [`ReplicationEngine::Lanes`] opt-in.
+    Auto,
+    /// One scalar [`NetworkSim`] per replication (the pre-lane behavior).
+    Scalar,
+    /// Lock-step lane blocks of at most this width (clamped to
+    /// `1..=64`). Panics if the configuration cannot run on the lane
+    /// engine.
+    Lanes(usize),
+}
+
+impl ReplicationEngine {
+    /// Lane-block width to use for one worker's chunk of `chunk_len`
+    /// replications, or `None` for the scalar path.
+    fn lane_width(self, cfg: &NetworkConfig, chunk_len: usize) -> Option<usize> {
+        match self {
+            ReplicationEngine::Scalar => None,
+            ReplicationEngine::Auto => {
+                let width = DEFAULT_LANE_WIDTH.min(chunk_len.max(1));
+                sweep_eligible(cfg, width).then_some(width)
+            }
+            ReplicationEngine::Lanes(w) => {
+                assert!(
+                    lane_supported(cfg),
+                    "configuration not supported by the lane engine (k ≤ 16 required)"
+                );
+                Some(w.clamp(1, MAX_LANES))
+            }
+        }
+    }
+}
 
 /// Runs `reps` independent replications of a network simulation on up to
 /// `threads` worker threads (seeds `cfg.seed + 0 … cfg.seed + reps − 1`)
 /// and merges the statistics. The result is independent of `threads`
 /// (including `threads > reps` and uneven replication counts per
-/// worker); `threads == 0` is treated as 1.
+/// worker); `threads == 0` is treated as 1. Uses
+/// [`ReplicationEngine::Auto`], which batches each worker's replications
+/// into lock-step lane blocks when profitable — bit-identical to the
+/// scalar engine either way.
 ///
 /// # Panics
 /// Panics if `reps == 0`, or if a worker's simulation panics.
@@ -42,25 +95,50 @@ pub fn run_network_replicated_instrumented(
     threads: usize,
     tel: &Telemetry,
 ) -> NetworkStats {
+    run_network_replicated_with_engine(cfg, reps, threads, tel, ReplicationEngine::Auto)
+}
+
+/// [`run_network_replicated_instrumented`] with an explicit
+/// [`ReplicationEngine`]. The engine choice is recorded in the run log
+/// (`engine=lanesW` / `engine=scalar`) for provenance; the merged
+/// statistics are bit-identical across engines, which the
+/// `lane_engine_bit_identity` property test and the `overhead_guard`
+/// bench both enforce.
+///
+/// # Panics
+/// Panics if `reps == 0`, if a worker's simulation panics, or if
+/// [`ReplicationEngine::Lanes`] is forced on an unsupported
+/// configuration.
+pub fn run_network_replicated_with_engine(
+    cfg: &NetworkConfig,
+    reps: u32,
+    threads: usize,
+    tel: &Telemetry,
+    engine: ReplicationEngine,
+) -> NetworkStats {
     assert!(reps > 0, "need at least one replication");
     let reps = reps as usize;
     let threads = threads.clamp(1, reps);
-    if tel.active() {
-        tel.progress().add_expected_cycles(
-            (cfg.warmup_cycles + cfg.measure_cycles) * reps as u64,
-        );
-    }
-    if tel.metrics_enabled() {
-        tel.log_run(format!(
-            "network reps={reps} threads={threads} base_seed={:#x} cfg={:?}",
-            cfg.seed, cfg
-        ));
-    }
     // ceil-split so no worker is idle while another holds 2+ extra reps;
     // the last chunk may be short (or some trailing workers may get
     // nothing when threads does not divide reps — chunks() simply
     // yields fewer chunks, which is fine).
     let chunk_len = reps.div_ceil(threads);
+    let lane_width = engine.lane_width(cfg, chunk_len);
+    if tel.active() {
+        tel.progress()
+            .add_expected_cycles((cfg.warmup_cycles + cfg.measure_cycles) * reps as u64);
+    }
+    if tel.metrics_enabled() {
+        let engine_tag = match lane_width {
+            Some(w) => format!("lanes{w}"),
+            None => "scalar".to_string(),
+        };
+        tel.log_run(format!(
+            "network reps={reps} threads={threads} engine={engine_tag} base_seed={:#x} cfg={:?}",
+            cfg.seed, cfg
+        ));
+    }
     let mut partials: Vec<Option<NetworkStats>> = vec![None; reps];
     std::thread::scope(|scope| {
         for (chunk_idx, chunk) in partials.chunks_mut(chunk_len).enumerate() {
@@ -69,10 +147,32 @@ pub fn run_network_replicated_instrumented(
                 let _span = tel
                     .metrics_enabled()
                     .then(|| tel.span(&format!("runner/worker{chunk_idx:02}")));
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let mut c = cfg.clone();
-                    c.seed = cfg.seed.wrapping_add((base + off) as u64);
-                    *slot = Some(NetworkSim::new(c).run_instrumented(tel));
+                match lane_width {
+                    Some(w) => {
+                        // Lane blocks of up to `w` lanes; replication
+                        // `base + off + j` rides lane `j` of its block
+                        // with the same `seed + index` it would get
+                        // scalar, and lands in the same ordered slot.
+                        let mut off = 0;
+                        while off < chunk.len() {
+                            let width = w.min(chunk.len() - off);
+                            let seeds: Vec<u64> = (0..width)
+                                .map(|j| cfg.seed.wrapping_add((base + off + j) as u64))
+                                .collect();
+                            let stats = LaneBlock::new(cfg, &seeds).run_instrumented(tel);
+                            for (j, s) in stats.into_iter().enumerate() {
+                                chunk[off + j] = Some(s);
+                            }
+                            off += width;
+                        }
+                    }
+                    None => {
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            let mut c = cfg.clone();
+                            c.seed = cfg.seed.wrapping_add((base + off) as u64);
+                            *slot = Some(NetworkSim::new(c).run_instrumented(tel));
+                        }
+                    }
                 }
             });
         }
@@ -121,9 +221,8 @@ pub fn run_queue_replicated_instrumented(
     let reps = reps as usize;
     let threads = threads.clamp(1, reps);
     if tel.active() {
-        tel.progress().add_expected_cycles(
-            (cfg.warmup_cycles + cfg.measure_cycles) * reps as u64,
-        );
+        tel.progress()
+            .add_expected_cycles((cfg.warmup_cycles + cfg.measure_cycles) * reps as u64);
     }
     if tel.metrics_enabled() {
         tel.log_run(format!(
@@ -264,6 +363,118 @@ mod tests {
     }
 
     #[test]
+    fn engines_are_bit_identical_for_any_width_and_thread_count() {
+        // The tentpole contract: scalar and lane engines agree on every
+        // merged statistic bit-for-bit, for any lane width and sharding.
+        let mut cfg = quick_net();
+        cfg.measure_cycles = 2_000;
+        let tel = Telemetry::off();
+        let scalar =
+            run_network_replicated_with_engine(&cfg, 6, 1, &tel, ReplicationEngine::Scalar);
+        for (width, threads) in [(1usize, 1usize), (2, 1), (3, 2), (6, 1), (64, 4), (5, 8)] {
+            let lanes = run_network_replicated_with_engine(
+                &cfg,
+                6,
+                threads,
+                &tel,
+                ReplicationEngine::Lanes(width),
+            );
+            let ctx = format!("width={width} threads={threads}");
+            assert_eq!(lanes.delivered, scalar.delivered, "{ctx}");
+            assert_eq!(lanes.injected_total, scalar.injected_total, "{ctx}");
+            assert_eq!(
+                lanes.total_wait.mean().to_bits(),
+                scalar.total_wait.mean().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                lanes.total_wait.variance().to_bits(),
+                scalar.total_wait.variance().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(lanes.total_hist, scalar.total_hist, "{ctx}");
+            for (i, (a, b)) in lanes
+                .stage_waits
+                .iter()
+                .zip(&scalar.stage_waits)
+                .enumerate()
+            {
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{ctx} stage {i}");
+                assert_eq!(
+                    a.variance().to_bits(),
+                    b.variance().to_bits(),
+                    "{ctx} stage {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_engine_falls_back_to_scalar_for_wide_switches() {
+        // k = 17 cannot pack digits 4 bits/stage; Auto must run scalar
+        // rather than panic (random-digit mode would still lane-batch).
+        let mut cfg = NetworkConfig::new(17, 2, Workload::uniform(0.2, 1));
+        cfg.warmup_cycles = 50;
+        cfg.measure_cycles = 200;
+        let auto = run_network_replicated(&cfg, 3, 1);
+        let scalar = run_network_replicated_with_engine(
+            &cfg,
+            3,
+            1,
+            &Telemetry::off(),
+            ReplicationEngine::Scalar,
+        );
+        assert_eq!(auto.delivered, scalar.delivered);
+        assert_eq!(
+            auto.total_wait.mean().to_bits(),
+            scalar.total_wait.mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn run_log_records_engine_choice() {
+        use banyan_obs::{Telemetry, TelemetryConfig};
+        let cfg = quick_net();
+        let tel = Telemetry::new(TelemetryConfig::on());
+        run_network_replicated_with_engine(&cfg, 4, 2, &tel, ReplicationEngine::Lanes(8));
+        assert!(tel.run_log_json().contains("engine=lanes8"));
+        let tel2 = Telemetry::new(TelemetryConfig::on());
+        run_network_replicated_with_engine(&cfg, 4, 2, &tel2, ReplicationEngine::Scalar);
+        assert!(tel2.run_log_json().contains("engine=scalar"));
+    }
+
+    #[test]
+    fn auto_picks_sweep_only_when_eligible() {
+        use banyan_obs::{Telemetry, TelemetryConfig};
+        // Sweep-eligible config → Auto lanes at the chunk width (4 reps
+        // on 2 threads gives chunks of 2).
+        let cfg = quick_net();
+        let tel = Telemetry::new(TelemetryConfig::on());
+        run_network_replicated_instrumented(&cfg, 4, 2, &tel);
+        assert!(tel.run_log_json().contains("engine=lanes2"));
+        // Finite buffers disqualify the sweep, and the lock-step engine
+        // is never auto-picked — Auto must fall back to scalar (and
+        // still merge identically to the forced scalar engine).
+        let mut blocked = quick_net();
+        blocked.buffer_capacity = Some(4);
+        let tel2 = Telemetry::new(TelemetryConfig::on());
+        let auto = run_network_replicated_instrumented(&blocked, 3, 1, &tel2);
+        assert!(tel2.run_log_json().contains("engine=scalar"));
+        let scalar = run_network_replicated_with_engine(
+            &blocked,
+            3,
+            1,
+            &Telemetry::off(),
+            ReplicationEngine::Scalar,
+        );
+        assert_eq!(auto.delivered, scalar.delivered);
+        assert_eq!(
+            auto.total_wait.mean().to_bits(),
+            scalar.total_wait.mean().to_bits()
+        );
+    }
+
+    #[test]
     fn queue_replication_bit_identical_across_thread_counts() {
         // Same contract as the network path: QueueStats::merge is
         // order-dependent (pairwise averaging), so the sharded version
@@ -311,7 +522,10 @@ mod tests {
         let tel = Telemetry::new(TelemetryConfig::on());
         let inst = run_network_replicated_instrumented(&cfg, 4, 2, &tel);
         assert_eq!(inst.delivered, base.delivered);
-        assert_eq!(inst.total_wait.mean().to_bits(), base.total_wait.mean().to_bits());
+        assert_eq!(
+            inst.total_wait.mean().to_bits(),
+            base.total_wait.mean().to_bits()
+        );
         assert_eq!(
             inst.total_wait.variance().to_bits(),
             base.total_wait.variance().to_bits()
@@ -365,10 +579,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one replication")]
     fn zero_reps_panics() {
-        let cfg = QueueConfig::new(
-            ArrivalDist::Tabulated(vec![1.0]),
-            ServiceDist::Constant(1),
-        );
+        let cfg = QueueConfig::new(ArrivalDist::Tabulated(vec![1.0]), ServiceDist::Constant(1));
         run_queue_replicated(&cfg, 0, 1);
     }
 

@@ -55,6 +55,7 @@ impl ServiceDist {
     }
 
     /// Draws one service time.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         match self {
             ServiceDist::Constant(m) => *m,
@@ -139,12 +140,29 @@ impl Workload {
         if !rng.gen_bool(self.p) {
             return None;
         }
+        Some(self.sample_arrival_tail(rng, input, ports))
+    }
+
+    /// The destination/size draws of [`Workload::sample_arrival`], after
+    /// the Bernoulli arrival draw has already come up positive. Split out
+    /// so the lane-batched engine — which performs the Bernoulli draw for
+    /// all lanes at once — consumes the *same* code (and thus the same
+    /// RNG draw sequence) for the remainder of the arrival. Keeping one
+    /// implementation is what makes lane-vs-scalar bit-identity a local
+    /// argument instead of a cross-file invariant.
+    #[inline]
+    pub(crate) fn sample_arrival_tail<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        input: u64,
+        ports: u64,
+    ) -> (u64, u32) {
         let dest = if self.q > 0.0 && rng.gen_bool(self.q) {
             input
         } else {
             rng.gen_range(0..ports)
         };
-        Some((dest, self.service.sample(rng)))
+        (dest, self.service.sample(rng))
     }
 }
 

@@ -136,7 +136,10 @@ fn finite_buffer_accounting_invariant() {
             stats.delivered_total + stats.in_flight_at_end,
             "p={p} n={n} m={m} cap={cap}"
         );
-        assert_eq!(stats.injected, stats.delivered, "tracked messages all drain");
+        assert_eq!(
+            stats.injected, stats.delivered,
+            "tracked messages all drain"
+        );
         assert!(stats.delivered_total >= stats.delivered);
         // Capacity 1 at heavy offered load must actually reject.
         if cap == 1 && p * m as f64 > 0.5 {
@@ -245,7 +248,11 @@ fn telemetry_never_perturbs_replicated_results() {
         // The registry agrees with the merged stats: telemetry is a
         // faithful observer, not a second bookkeeper.
         let reg = tel.registry();
-        assert_eq!(reg.counter_value("net.runs"), Some(u64::from(reps)), "{label}");
+        assert_eq!(
+            reg.counter_value("net.runs"),
+            Some(u64::from(reps)),
+            "{label}"
+        );
         assert_eq!(
             reg.counter_value("net.injected_total"),
             Some(on.injected_total),
@@ -256,6 +263,88 @@ fn telemetry_never_perturbs_replicated_results() {
             Some(on.delivered_total),
             "{label}"
         );
+    });
+}
+
+#[test]
+fn lane_engine_bit_identity() {
+    // The lane-engine contract (PR 6 tentpole): for random
+    // (p, k, n, m), buffer capacities, lane widths, and thread counts,
+    // the lock-step lane engine produces NetworkStats bit-identical to
+    // one scalar simulation per replication — means, variances,
+    // histograms, and the conservation ledger.
+    use banyan_obs::Telemetry;
+    use banyan_sim::runner::run_network_replicated_with_engine;
+    use banyan_sim::ReplicationEngine;
+    check(CASES, |g| {
+        let (k, n) = g.pick(&[(2u32, 2u32), (2, 4), (2, 6), (3, 3), (4, 3), (8, 2)]);
+        let m = g.pick(&[1u32, 2, 4]);
+        let mut p = g.f64(0.05..0.9);
+        if p * m as f64 >= 0.85 {
+            p = 0.8 / m as f64; // keep the drain bounded
+        }
+        let cap = g.pick(&[None, None, Some(2usize), Some(8)]);
+        let reps = g.pick(&[2u32, 3, 5, 8]);
+        let width = g.pick(&[1usize, 2, 4, 32, 64]);
+        let threads = g.pick(&[1usize, 2, 4]);
+        let seed = g.any_u64();
+        let cfg = NetworkConfig {
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            seed,
+            buffer_capacity: cap,
+            ..NetworkConfig::new(k, n, Workload::uniform(p, m))
+        };
+        let label = format!(
+            "k={k} n={n} m={m} p={p} cap={cap:?} reps={reps} width={width} threads={threads} seed={seed:#x}"
+        );
+        let tel = Telemetry::off();
+        let scalar = run_network_replicated_with_engine(
+            &cfg,
+            reps,
+            threads,
+            &tel,
+            ReplicationEngine::Scalar,
+        );
+        let lanes = run_network_replicated_with_engine(
+            &cfg,
+            reps,
+            threads,
+            &tel,
+            ReplicationEngine::Lanes(width),
+        );
+        assert_eq!(lanes.injected, scalar.injected, "{label}");
+        assert_eq!(lanes.delivered, scalar.delivered, "{label}");
+        assert_eq!(lanes.injected_total, scalar.injected_total, "{label}");
+        assert_eq!(lanes.delivered_total, scalar.delivered_total, "{label}");
+        assert_eq!(lanes.rejected_total, scalar.rejected_total, "{label}");
+        assert_eq!(lanes.in_flight_at_end, scalar.in_flight_at_end, "{label}");
+        assert_eq!(lanes.cycles, scalar.cycles, "{label}");
+        assert_eq!(lanes.total_hist, scalar.total_hist, "{label}");
+        assert_eq!(
+            lanes.total_wait.mean().to_bits(),
+            scalar.total_wait.mean().to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            lanes.total_wait.variance().to_bits(),
+            scalar.total_wait.variance().to_bits(),
+            "{label}"
+        );
+        for (i, (a, b)) in lanes
+            .stage_waits
+            .iter()
+            .zip(&scalar.stage_waits)
+            .enumerate()
+        {
+            assert_eq!(a.count(), b.count(), "{label} stage {i}");
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{label} stage {i}");
+            assert_eq!(
+                a.variance().to_bits(),
+                b.variance().to_bits(),
+                "{label} stage {i}"
+            );
+        }
     });
 }
 

@@ -10,13 +10,26 @@
 use crate::histogram::IntHistogram;
 
 /// Continuity-corrected Kolmogorov–Smirnov statistic between integer data
-/// and a continuous model: `max_v |F_emp(v) − F(v + ½)|`.
+/// and a continuous model:
+/// `max_v max(|F_emp(v) − F(v + ½)|, |F_emp(v⁻) − F(v − ½)|)`
+/// over the values `v` with observed mass.
 ///
 /// A message that waited `v` whole cycles corresponds, in the continuous
 /// approximation, to mass spread over `[v, v+1)`; evaluating the model at
 /// the bin midpoint removes the half-cycle discretization offset that
-/// would otherwise dominate the statistic. This is the quantity we report
+/// would otherwise dominate the statistic. Because the empirical CDF is a
+/// step function, the supremum at each jump has two candidates — just
+/// after the jump and just before it. The pre-jump side is what catches a
+/// model CDF that climbs across a gap in the data's support; an earlier
+/// one-sided version missed those deviations entirely. Zero-mass values
+/// need no candidates of their own: `F_emp` is constant across a gap and
+/// the model CDF monotone, so any gap-interior deviation is bounded by
+/// the candidates at the gap's endpoints. This is the quantity we report
 /// when grading the gamma approximation of Figs. 3–8.
+///
+/// Kept structurally identical to `banyan_obs::tail::ks_distance`
+/// (running integer counts, one division per candidate) so the two
+/// return bit-equal results on matching data.
 pub fn ks_distance<F: Fn(f64) -> f64>(hist: &IntHistogram, model_cdf: F) -> f64 {
     let total = hist.total();
     if total == 0 {
@@ -24,12 +37,15 @@ pub fn ks_distance<F: Fn(f64) -> f64>(hist: &IntHistogram, model_cdf: F) -> f64 
     }
     let mut acc = 0u64;
     let mut worst = 0.0f64;
-    let last = hist.max_value().unwrap();
-    for v in 0..=last {
-        acc += hist.count(v);
-        let at = acc as f64 / total as f64; // F_emp over [v, v+1)
-        let f_mid = model_cdf(v as f64 + 0.5);
-        worst = worst.max((f_mid - at).abs());
+    for (v, &c) in hist.counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = acc as f64 / total as f64; // F_emp(v⁻)
+        acc += c;
+        let after = acc as f64 / total as f64; // F_emp(v)
+        worst = worst.max((model_cdf(v as f64 - 0.5) - before).abs());
+        worst = worst.max((model_cdf(v as f64 + 0.5) - after).abs());
     }
     worst
 }
@@ -125,6 +141,21 @@ mod tests {
         // Model mass entirely above 5 → KS = 1.
         let model = |x: f64| if x < 5.0 { 0.0 } else { 1.0 };
         assert!((ks_distance(&h, model) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_catches_pre_jump_deviation_across_support_gap() {
+        // 10% of the mass at 0, the rest at 10, model CDF climbing
+        // linearly across the gap: the post-jump candidates are 0.05
+        // and 0 (what the old one-sided statistic reported), but just
+        // before the v=10 jump the model has climbed to 0.95 while the
+        // empirical CDF is still 0.1.
+        let mut h = IntHistogram::new();
+        h.record_n(0, 1);
+        h.record_n(10, 9);
+        let model = |x: f64| (x / 10.0).clamp(0.0, 1.0);
+        let ks = ks_distance(&h, model);
+        assert!((ks - 0.85).abs() < 1e-12, "ks = {ks}");
     }
 
     #[test]

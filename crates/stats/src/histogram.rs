@@ -8,7 +8,12 @@
 use banyan_numerics::series::{kahan_sum, pmf_mean_var};
 
 /// A dynamically growing histogram over nonnegative integer values.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is exact bin-by-bin equality — two histograms built from the
+/// same multiset of observations compare equal regardless of recording
+/// order, which is what the engine-equivalence tests (lane vs scalar
+/// simulator) assert on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IntHistogram {
     counts: Vec<u64>,
     total: u64,

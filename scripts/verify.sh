@@ -96,6 +96,10 @@ if [ "$QUICK" -eq 1 ]; then
     # banyan-bench's lib tests exercise real timed benchmark runs
     # (calibration loops), far over the quick budget — full runs cover it.
     timed "unit tests" cargo test --workspace --exclude banyan-bench -q --offline --lib --bins
+    # The lane-vs-scalar engine equivalence property test is cheap and
+    # guards the simulator's core bit-identity contract, so it runs even
+    # in the quick tier (integration suites are otherwise skipped).
+    timed "lane bit-identity" cargo test -q --offline -p banyan-sim --test properties lane_engine_bit_identity
     echo "verify: OK (quick tier — bench + integration suites not run)"
     exit 0
 fi
