@@ -1,7 +1,8 @@
 //! Structural validator for the JSON artifacts a run leaves behind:
 //! run manifests (`*.manifest.json`, schema v1 or v2), distribution
-//! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), and trace-event
-//! files (`--trace-out`, chrome://tracing format).
+//! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), `bench_serve`
+//! results (schema `banyan-bench/serve/v1`), and trace-event files
+//! (`--trace-out`, chrome://tracing format).
 //!
 //! Usage: `manifest_check FILE...` — each file is sniffed by its
 //! `schema` key (or by a top-level `traceEvents` array) and checked for
@@ -147,6 +148,31 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
                 ));
             }
         }
+        // Serve ledgers: every request is answered exactly once
+        // (responses = parsed requests + parse errors), and every
+        // validated query either hit or missed the cache. Absent
+        // counters read as 0 — the registry only materializes counters
+        // that were incremented.
+        if let Some(responses) = counter("serve.http.responses_total") {
+            let requests = counter("serve.http.requests_total").unwrap_or(0);
+            let parse_errors = counter("serve.http.parse_errors_total").unwrap_or(0);
+            if responses != requests + parse_errors {
+                return Err(format!(
+                    "serve response ledger broken: responses {responses} != \
+                     requests {requests} + parse errors {parse_errors}"
+                ));
+            }
+        }
+        if let Some(validated) = counter("serve.query.validated_total") {
+            let hits = counter("serve.cache.hits").unwrap_or(0);
+            let misses = counter("serve.cache.misses").unwrap_or(0);
+            if validated != hits + misses {
+                return Err(format!(
+                    "serve cache ledger broken: validated {validated} != \
+                     hits {hits} + misses {misses}"
+                ));
+            }
+        }
         // Lane-engine provenance: `net.lane_runs` counts replications
         // that went through the lane-batched engine, so it can never
         // exceed the total replication count.
@@ -204,6 +230,72 @@ fn check_dist(doc: &JsonValue) -> Result<String, String> {
     ))
 }
 
+/// A `bench_serve` result file: per-phase rows with measured
+/// throughput, latency quantiles, and cache hit rates.
+fn check_serve_bench(doc: &JsonValue) -> Result<String, String> {
+    require(doc, "server")?
+        .as_object()
+        .ok_or("server is not an object")?;
+    let rows = require(doc, "rows")?
+        .as_array()
+        .ok_or("rows is not an array")?;
+    if rows.is_empty() {
+        return Err("rows is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let name = require(row, "name")?
+            .as_str()
+            .ok_or_else(|| format!("rows[{i}].name is not a string"))?
+            .to_string();
+        let ctx = |msg: String| format!("row \"{name}\": {msg}");
+        let num = |key: &str| -> Result<f64, String> {
+            require(row, key)
+                .map_err(&ctx)?
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ctx(format!("{key} is not a finite number")))
+        };
+        let requests = require(row, "requests")
+            .map_err(&ctx)?
+            .as_u64()
+            .ok_or_else(|| ctx("requests is not an integer".into()))?;
+        if requests == 0 {
+            return Err(ctx("requests is zero".into()));
+        }
+        if require(row, "errors").map_err(&ctx)?.as_u64() != Some(0) {
+            return Err(ctx("errors is nonzero (or not an integer)".into()));
+        }
+        if num("qps")? <= 0.0 {
+            return Err(ctx("qps is not positive".into()));
+        }
+        let (p50, p90, p99) = (num("p50_us")?, num("p90_us")?, num("p99_us")?);
+        if !(0.0 < p50 && p50 <= p90 && p90 <= p99) {
+            return Err(ctx(format!(
+                "latency quantiles not monotone: p50 {p50} p90 {p90} p99 {p99}"
+            )));
+        }
+        let hit_rate = num("hit_rate")?;
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(ctx(format!("hit_rate {hit_rate} outside [0, 1]")));
+        }
+        let hits = require(row, "cache_hits")
+            .map_err(&ctx)?
+            .as_u64()
+            .ok_or_else(|| ctx("cache_hits is not an integer".into()))?;
+        let misses = require(row, "cache_misses")
+            .map_err(&ctx)?
+            .as_u64()
+            .ok_or_else(|| ctx("cache_misses is not an integer".into()))?;
+        if hits + misses > requests {
+            return Err(ctx(format!(
+                "cache traffic {} exceeds requests {requests}",
+                hits + misses
+            )));
+        }
+    }
+    Ok(format!("serve bench v1 ({} rows)", rows.len()))
+}
+
 /// A chrome://tracing file: `traceEvents`, each with `ph`/`name`/
 /// `pid`/`tid`, and `ts`/`dur` on complete (`X`) events.
 fn check_trace(doc: &JsonValue) -> Result<String, String> {
@@ -254,6 +346,7 @@ fn check_file(path: &str) -> Result<String, String> {
     match doc.get("schema").and_then(JsonValue::as_str) {
         Some(s) if s.starts_with("banyan-obs/manifest/") => check_manifest(&doc, s),
         Some("banyan-obs/dist/v1") => check_dist(&doc),
+        Some("banyan-bench/serve/v1") => check_serve_bench(&doc),
         Some(other) => Err(format!("unknown schema \"{other}\"")),
         None if doc.get("traceEvents").is_some() => check_trace(&doc),
         None => Err("no schema key and no traceEvents array".into()),

@@ -91,6 +91,57 @@ PY
 }
 timed "telemetry smoke" telemetry_smoke
 
+echo "== serve smoke =="
+serve_smoke() {
+    local workdir pid addr expected
+    workdir=$(mktemp -d)
+    ./target/release/banyan serve --addr 127.0.0.1:0 \
+        --telemetry "$workdir/serve.manifest.json" > "$workdir/serve.out" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^banyan serve listening on //p' "$workdir/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "serve smoke: daemon never reported its address" >&2
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    # The daemon's analytic answer must agree with the CLI's evaluation
+    # of the same closed form.
+    expected=$(./target/release/banyan total --stages 6 --p 0.5 \
+        | sed -n 's/^E(total waiting)[[:space:]]*= //p')
+    python3 - "$addr" "$expected" <<'PY'
+import http.client, json, sys
+host, port = sys.argv[1].rsplit(":", 1)
+expected = float(sys.argv[2])
+conn = http.client.HTTPConnection(host, int(port), timeout=10)
+body = json.dumps({"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"})
+conn.request("POST", "/query", body=body)
+r = conn.getresponse()
+assert r.status == 200, (r.status, r.read())
+assert r.getheader("X-Banyan-Cache") == "miss", r.getheaders()
+first = json.loads(r.read())
+assert first["source"] == "analytic", first
+assert abs(first["wait"]["mean"] - expected) < 5e-7, (first["wait"]["mean"], expected)
+assert first["wait"]["p50"] <= first["wait"]["p99"] <= first["wait"]["p999"], first["wait"]
+# Same query on the same keep-alive connection: a byte-identical cache hit.
+conn.request("POST", "/query", body=body)
+r = conn.getresponse()
+assert r.getheader("X-Banyan-Cache") == "hit", r.getheaders()
+assert json.loads(r.read()) == first
+conn.request("POST", "/shutdown")
+assert conn.getresponse().status == 200
+print("ok: serve answered the closed form, cache hit, shutdown accepted")
+PY
+    wait "$pid"
+    ./target/release/manifest_check "$workdir/serve.manifest.json"
+    rm -rf "$workdir"
+}
+timed "serve smoke" serve_smoke
+
 if [ "$QUICK" -eq 1 ]; then
     echo "== offline unit tests (--quick: libs + bins, minus the bench suites) =="
     # banyan-bench's lib tests exercise real timed benchmark runs
@@ -127,7 +178,8 @@ echo "== manifest check over recorded artifacts =="
 # Every committed run manifest (plus any freshly regenerated ones) must
 # stay structurally valid: schema v1 or v2, finite numbers, pmf mass
 # equal to sketch counts, conservation ledger closed.
-timed "manifest check" ./target/release/manifest_check results/*.manifest.json
+timed "manifest check" ./target/release/manifest_check \
+    results/*.manifest.json results/BENCH_serve.json
 
 
 if cargo clippy --version >/dev/null 2>&1; then

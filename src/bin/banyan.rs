@@ -11,6 +11,8 @@
 //!                 [--dist-out FILE] [--trace-out FILE] [--progress]
 //! banyan report --k 2 --stages 6 --p 0.5 --m 1 [--cycles N] [--reps R]
 //! banyan pmf --k 2 --p 0.5 --m 1 --len 32
+//! banyan serve --addr 127.0.0.1:7070 [--threads N] [--cache-cap N]
+//!              [--drift-threshold KS] [--telemetry FILE]
 //! ```
 //!
 //! Flags are `--name value`; anything unknown is an error with a
@@ -37,6 +39,18 @@ const SIMULATE_FLAGS: &[&str] = &[
 const REPORT_FLAGS: &[&str] =
     &["k", "stages", "p", "m", "cycles", "seed", "reps", "threads", "progress"];
 const PMF_FLAGS: &[&str] = &["k", "p", "m", "len"];
+const SERVE_FLAGS: &[&str] = &[
+    "addr",
+    "threads",
+    "cache-cap",
+    "drift-threshold",
+    "probe-cycles",
+    "probe-reps",
+    "sim-cycles",
+    "sim-reps",
+    "seed",
+    "telemetry",
+];
 
 /// Schema identifier of the `--dist-out` distribution dump.
 const DIST_SCHEMA: &str = "banyan-obs/dist/v1";
@@ -447,10 +461,74 @@ fn cmd_pmf(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `banyan serve` — run the capacity-planning daemon until a client
+/// POSTs `/shutdown`, then write the run manifest (when `--telemetry`
+/// names a file). The listening line goes to stdout (flushed) so
+/// wrappers binding port 0 can discover the ephemeral address.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use banyan_repro::serve::{ServeConfig, Server};
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    cfg.workers = get(flags, "threads", cfg.workers)?;
+    cfg.cache_cap = get(flags, "cache-cap", cfg.cache_cap)?;
+    // A KS distance is a probability, so --drift-threshold rides the
+    // same hardened [0,1] gate as --p and --q.
+    cfg.drift_threshold = get_prob(flags, "drift-threshold", cfg.drift_threshold)?;
+    cfg.probe_cycles = get(flags, "probe-cycles", cfg.probe_cycles)?;
+    cfg.probe_reps = get(flags, "probe-reps", cfg.probe_reps)?;
+    cfg.sim_cycles = get(flags, "sim-cycles", cfg.sim_cycles)?;
+    cfg.sim_reps = get(flags, "sim-reps", cfg.sim_reps)?;
+    cfg.seed = get(flags, "seed", cfg.seed)?;
+    if cfg.probe_reps == 0 || cfg.sim_reps == 0 {
+        return Err("--probe-reps and --sim-reps must be at least 1".into());
+    }
+    let telemetry_path = flags.get("telemetry").cloned();
+    let tel = Telemetry::new(TelemetryConfig::on());
+    let server =
+        Server::bind(cfg.clone(), tel).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let addr = server.local_addr();
+    let state = server.state();
+    println!("banyan serve listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let started = std::time::Instant::now();
+    server.run().map_err(|e| format!("serve failed: {e}"))?;
+    let run_secs = started.elapsed().as_secs_f64();
+    let reg = state.telemetry().registry();
+    let served = reg.counter_value("serve.http.responses_total").unwrap_or(0);
+    let hits = reg.counter_value("serve.cache.hits").unwrap_or(0);
+    let misses = reg.counter_value("serve.cache.misses").unwrap_or(0);
+    println!(
+        "banyan serve stopped after {run_secs:.2}s: {served} responses, \
+         cache {hits} hits / {misses} misses"
+    );
+    if let Some(path) = telemetry_path {
+        let mut m = Manifest::new("banyan-serve");
+        m.config("addr", addr)
+            .config("threads", cfg.workers)
+            .config("cache_cap", cfg.cache_cap)
+            .config("drift_threshold", cfg.drift_threshold)
+            .config("probe_cycles", cfg.probe_cycles)
+            .config("probe_reps", cfg.probe_reps)
+            .config("sim_cycles", cfg.sim_cycles)
+            .config("sim_reps", cfg.sim_reps)
+            .seed("base", cfg.seed)
+            .phase("serve", run_secs);
+        let written = m
+            .write(&path, Some(state.telemetry()))
+            .map_err(|e| format!("cannot write --telemetry {path}: {e}"))?;
+        eprintln!("telemetry manifest written to {}", written.display());
+    }
+    Ok(())
+}
+
 const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
-commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n\
+commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n  serve        capacity-planning HTTP daemon (POST /query, GET /metrics)\n\
 common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
-simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)";
+simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)\n\
+serve-only:    --addr HOST:PORT (port 0 = ephemeral) --threads N --cache-cap N\n               --drift-threshold KS --probe-cycles N --probe-reps R\n               --sim-cycles N --sim-reps R --telemetry FILE";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -473,6 +551,7 @@ fn main() -> ExitCode {
         "simulate" => validate_flags(&flags, SIMULATE_FLAGS).and_then(|()| cmd_simulate(&flags)),
         "report" => validate_flags(&flags, REPORT_FLAGS).and_then(|()| cmd_report(&flags)),
         "pmf" => validate_flags(&flags, PMF_FLAGS).and_then(|()| cmd_pmf(&flags)),
+        "serve" => validate_flags(&flags, SERVE_FLAGS).and_then(|()| cmd_serve(&flags)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,8 +1,11 @@
 //! Argument parsing for the `banyan` CLI (no external parser crates).
 //!
-//! Flags are `--name value`; a trailing flag with no value is boolean
-//! (`"true"`). [`service_from_flags`] builds a [`ServiceDist`] from
-//! `--m`, `--geometric-mu`, or `--mix SIZE:PROB,SIZE:PROB,…`.
+//! Flags are `--name value` or `--name=value`; a trailing flag with no
+//! value is boolean (`"true"`). Repeating a flag is an error.
+//! [`service_from_flags`] builds a validated [`ServiceDist`] from
+//! `--m`, `--geometric-mu`, or `--mix SIZE:PROB,SIZE:PROB,…`; it is the
+//! single hardened decode path shared by the CLI and the `serve`
+//! request decoder.
 
 use banyan_sim::traffic::ServiceDist;
 use std::collections::HashMap;
@@ -10,8 +13,9 @@ use std::collections::HashMap;
 /// Parsed `--flag value` pairs.
 pub type Flags = HashMap<String, String>;
 
-/// Parses `--name value` pairs; a flag without a following value becomes
-/// the boolean `"true"`.
+/// Parses `--name value` / `--name=value` pairs; a flag without a value
+/// becomes the boolean `"true"`. A repeated flag is an error — silently
+/// keeping the last occurrence hides typos in long command lines.
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut map = Flags::new();
     let mut it = args.iter().peekable();
@@ -19,15 +23,27 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{a}'"));
         };
-        // A token starting with "--" is the next flag, not this flag's
-        // value — so `--quantiles --p 0.5` parses as boolean + pair.
-        match it.peek() {
-            Some(v) if !v.starts_with("--") => {
-                map.insert(name.to_string(), it.next().expect("peeked").clone());
-            }
-            _ => {
-                map.insert(name.to_string(), "true".to_string());
-            }
+        // `--name=value` carries its value inline; only the first `=`
+        // splits, so values like `--mix=4:0.5,8:0.5` survive intact.
+        let (name, inline) = match name.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (name, None),
+        };
+        if name.is_empty() {
+            return Err(format!("expected --flag, got '{a}'"));
+        }
+        let value = match inline {
+            Some(v) => v,
+            // A token starting with "--" is the next flag, not this
+            // flag's value — so `--quantiles --p 0.5` parses as
+            // boolean + pair.
+            None => match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
+            },
+        };
+        if map.insert(name.to_string(), value).is_some() {
+            return Err(format!("duplicate flag --{name}"));
         }
     }
     Ok(map)
@@ -96,40 +112,70 @@ pub fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Resul
     }
 }
 
-/// Fetches a probability flag, rejecting values outside `[0, 1]` with a
-/// clean error (instead of letting the model constructors panic).
-pub fn get_prob(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
-    let v: f64 = get(flags, name, default)?;
+/// Validates that `v` is a probability; `what` labels the error. This is
+/// the one range check behind [`get_prob`] and the `--mix` entries, so
+/// every probability the CLI or the serve decoder accepts went through
+/// the same gate.
+pub fn check_prob(what: &str, v: f64) -> Result<f64, String> {
     if (0.0..=1.0).contains(&v) {
         Ok(v)
     } else {
-        Err(format!("--{name} must be a probability in [0, 1], got {v}"))
+        Err(format!("{what} must be a probability in [0, 1], got {v}"))
     }
+}
+
+/// Fetches a probability flag, rejecting values outside `[0, 1]` with a
+/// clean error (instead of letting the model constructors panic).
+pub fn get_prob(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    check_prob(&format!("--{name}"), get(flags, name, default)?)
 }
 
 /// Builds the service distribution from `--geometric-mu`, `--mix`, or
 /// `--m` (in that priority order; default constant 1).
+///
+/// All domains are validated here with clean errors — `--geometric-mu`
+/// must lie in (0, 1], `--mix` probabilities in [0, 1] and summing to 1,
+/// sizes at least 1 — so invalid input never reaches the panicking
+/// `ServiceDist::validate` in the simulator.
 pub fn service_from_flags(flags: &Flags) -> Result<ServiceDist, String> {
     if let Some(mu) = flags.get("geometric-mu") {
         let mu: f64 = mu
             .parse()
-            .map_err(|_| "invalid --geometric-mu".to_string())?;
+            .map_err(|_| format!("invalid value '{mu}' for --geometric-mu"))?;
+        if !(mu > 0.0 && mu <= 1.0) {
+            return Err(format!("--geometric-mu must be in (0, 1], got {mu}"));
+        }
         return Ok(ServiceDist::Geometric(mu));
     }
     if let Some(mix) = flags.get("mix") {
-        let mut sizes = Vec::new();
+        let mut sizes: Vec<(u32, f64)> = Vec::new();
         for part in mix.split(',') {
             let (m, g) = part
                 .split_once(':')
                 .ok_or_else(|| format!("bad --mix entry '{part}' (want SIZE:PROB)"))?;
-            sizes.push((
-                m.parse().map_err(|_| "bad size in --mix".to_string())?,
-                g.parse().map_err(|_| "bad prob in --mix".to_string())?,
-            ));
+            let m: u32 = m
+                .parse()
+                .map_err(|_| format!("bad size in --mix entry '{part}'"))?;
+            if m == 0 {
+                return Err(format!("--mix sizes must be at least 1, got 0 in '{part}'"));
+            }
+            let g: f64 = g
+                .parse()
+                .map_err(|_| format!("bad prob in --mix entry '{part}'"))?;
+            let g = check_prob(&format!("--mix entry '{part}'"), g)?;
+            sizes.push((m, g));
+        }
+        let total: f64 = sizes.iter().map(|&(_, g)| g).sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("--mix probabilities must sum to 1, got {total}"));
         }
         return Ok(ServiceDist::Mixed(sizes));
     }
-    Ok(ServiceDist::Constant(get(flags, "m", 1u32)?))
+    let m: u32 = get(flags, "m", 1)?;
+    if m == 0 {
+        return Err("--m must be at least 1".to_string());
+    }
+    Ok(ServiceDist::Constant(m))
 }
 
 #[cfg(test)]
@@ -159,6 +205,52 @@ mod tests {
     fn rejects_positional_arguments() {
         let err = parse_flags(&args(&["bogus"])).unwrap_err();
         assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        // Regression: `--k=4` used to be stored as a flag named `k=4`,
+        // so validate_flags emitted the baffling "unknown flag --k=4".
+        let f = parse_flags(&args(&["--k=4", "--p=0.5", "--quantiles"])).unwrap();
+        assert_eq!(f.get("k").unwrap(), "4");
+        assert_eq!(f.get("p").unwrap(), "0.5");
+        assert_eq!(f.get("quantiles").unwrap(), "true");
+        assert!(validate_flags(&f, &["k", "p", "quantiles"]).is_ok());
+    }
+
+    #[test]
+    fn equals_form_splits_only_on_first_equals() {
+        let f = parse_flags(&args(&["--label=a=b"])).unwrap();
+        assert_eq!(f.get("label").unwrap(), "a=b");
+        // An explicit empty value stays empty rather than swallowing the
+        // next token.
+        let f = parse_flags(&args(&["--label=", "--p", "0.5"])).unwrap();
+        assert_eq!(f.get("label").unwrap(), "");
+        assert_eq!(f.get("p").unwrap(), "0.5");
+    }
+
+    #[test]
+    fn equals_and_space_forms_mix() {
+        let f = parse_flags(&args(&["--k=4", "--p", "0.5", "--mix=4:0.5,8:0.5"])).unwrap();
+        assert_eq!(f.get("k").unwrap(), "4");
+        assert_eq!(f.get("p").unwrap(), "0.5");
+        assert_eq!(f.get("mix").unwrap(), "4:0.5,8:0.5");
+    }
+
+    #[test]
+    fn rejects_bare_double_dash_with_equals() {
+        assert!(parse_flags(&args(&["--=4"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_an_error() {
+        // Regression: duplicates silently last-won, so
+        // `--k 2 ... --k 4` ran with k=4 and no warning.
+        let err = parse_flags(&args(&["--k", "2", "--k", "4"])).unwrap_err();
+        assert!(err.contains("duplicate flag --k"), "{err}");
+        // Mixed forms collide too.
+        let err = parse_flags(&args(&["--k=2", "--k", "4"])).unwrap_err();
+        assert!(err.contains("duplicate flag --k"), "{err}");
     }
 
     #[test]
@@ -251,5 +343,64 @@ mod tests {
         assert!(service_from_flags(&f).is_err());
         let f = parse_flags(&args(&["--mix", "x:0.5"])).unwrap();
         assert!(service_from_flags(&f).is_err());
+    }
+
+    #[test]
+    fn service_mix_rejects_out_of_range_probabilities() {
+        // Regression: probabilities outside [0,1] passed straight
+        // through to ServiceDist::validate, which panics.
+        let f = parse_flags(&args(&["--mix", "4:1.5,8:-0.5"])).unwrap();
+        let err = service_from_flags(&f).unwrap_err();
+        assert!(err.contains("probability in [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn service_mix_rejects_bad_total() {
+        let f = parse_flags(&args(&["--mix", "4:0.5,8:0.6"])).unwrap();
+        let err = service_from_flags(&f).unwrap_err();
+        assert!(err.contains("sum to 1"), "{err}");
+        // A sum within 1e-9 of 1 is accepted (float-friendly thirds).
+        let f = parse_flags(&args(&[
+            "--mix",
+            "1:0.3333333333,2:0.3333333333,3:0.3333333334",
+        ]))
+        .unwrap();
+        assert!(service_from_flags(&f).is_ok());
+    }
+
+    #[test]
+    fn service_mix_rejects_zero_size() {
+        let f = parse_flags(&args(&["--mix", "0:1.0"])).unwrap();
+        let err = service_from_flags(&f).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn service_geometric_rejects_out_of_domain_mu() {
+        // Regression: --geometric-mu outside (0,1] reached the model
+        // constructors unchecked.
+        for bad in ["0", "-0.25", "1.5", "nan"] {
+            let f = parse_flags(&args(&["--geometric-mu", bad])).unwrap();
+            let err = service_from_flags(&f).unwrap_err();
+            assert!(err.contains("geometric-mu"), "{bad}: {err}");
+        }
+        let f = parse_flags(&args(&["--geometric-mu", "1.0"])).unwrap();
+        assert_eq!(service_from_flags(&f).unwrap(), ServiceDist::Geometric(1.0));
+    }
+
+    #[test]
+    fn service_constant_rejects_zero_m() {
+        let f = parse_flags(&args(&["--m", "0"])).unwrap();
+        let err = service_from_flags(&f).unwrap_err();
+        assert!(err.contains("--m must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn check_prob_bounds() {
+        assert!(check_prob("--p", 0.0).is_ok());
+        assert!(check_prob("--p", 1.0).is_ok());
+        assert!(check_prob("--p", -0.1).is_err());
+        assert!(check_prob("--p", 1.1).is_err());
+        assert!(check_prob("--p", f64::NAN).is_err());
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve;
 
 pub use banyan_core as core;
 pub use banyan_numerics as numerics;

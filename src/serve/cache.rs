@@ -1,0 +1,131 @@
+//! Memoized config→answer cache.
+//!
+//! Keys are the canonical query renderings from
+//! [`crate::serve::query::Query::cache_key`]; values are fully rendered
+//! response bodies, so a hit costs one map lookup and one `write`.
+//! Eviction is FIFO at a fixed capacity — the workload this daemon
+//! exists for (capacity planning dashboards re-asking a stable set of
+//! configurations) is cache-friendly enough that recency tracking is
+//! not worth the extra bookkeeping on the hot path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A cached, fully rendered answer.
+#[derive(Clone, Debug)]
+pub struct CachedAnswer {
+    /// Response body (bit-stable JSON).
+    pub body: String,
+    /// `"analytic"` or `"simulation"` — surfaced in `X-Banyan-Source`.
+    pub source: &'static str,
+}
+
+struct Inner {
+    map: HashMap<String, CachedAnswer>,
+    order: VecDeque<String>,
+}
+
+/// Thread-safe FIFO-bounded answer cache.
+pub struct AnswerCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl AnswerCache {
+    /// Creates a cache holding at most `cap` answers (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        AnswerCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Looks up a canonical key.
+    pub fn get(&self, key: &str) -> Option<CachedAnswer> {
+        self.inner.lock().unwrap().map.get(key).cloned()
+    }
+
+    /// Inserts an answer, evicting the oldest entry at capacity. When
+    /// two workers computed the same miss concurrently the second
+    /// insert replaces the first without double-counting the key.
+    pub fn insert(&self, key: String, answer: CachedAnswer) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key.clone(), answer).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ans(body: &str) -> CachedAnswer {
+        CachedAnswer {
+            body: body.to_string(),
+            source: "analytic",
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = AnswerCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".to_string(), ans("1"));
+        assert_eq!(c.get("a").unwrap().body, "1");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = AnswerCache::new(2);
+        c.insert("a".to_string(), ans("1"));
+        c.insert("b".to_string(), ans("2"));
+        c.insert("c".to_string(), ans("3"));
+        assert!(c.get("a").is_none(), "oldest entry evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_without_growing() {
+        let c = AnswerCache::new(2);
+        c.insert("a".to_string(), ans("1"));
+        c.insert("a".to_string(), ans("2"));
+        assert_eq!(c.get("a").unwrap().body, "2");
+        assert_eq!(c.len(), 1);
+        // The replaced key still evicts in its original position.
+        c.insert("b".to_string(), ans("3"));
+        c.insert("c".to_string(), ans("4"));
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let c = AnswerCache::new(0);
+        c.insert("a".to_string(), ans("1"));
+        assert_eq!(c.len(), 1);
+        c.insert("b".to_string(), ans("2"));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("b").is_some());
+    }
+}

@@ -1,0 +1,497 @@
+//! `banyan serve` — the capacity-planning daemon.
+//!
+//! A zero-dependency HTTP/1.1 server on `std::net::TcpListener` that
+//! answers "given this traffic matrix / switch degree / message-size
+//! mix, what are E(w), Var(w), p99/p999 end to end?" using the paper's
+//! closed forms, with three moving parts:
+//!
+//! * **One hardened decode path** — requests (JSON bodies or query
+//!   strings) validate through the same `cli` flag machinery as the
+//!   command line ([`query`]).
+//! * **A memoized answer cache** — the canonical rendering of a
+//!   validated query keys a FIFO-bounded map of fully rendered
+//!   responses ([`cache`]); hits are a map lookup plus a write.
+//! * **A drift-gated slow path** — in `auto` mode a small probe
+//!   simulation measures the KS distance between observed waiting
+//!   times and the closed form (the PR 4 drift gauge); within
+//!   threshold the analytic answer is served, otherwise a full
+//!   replicated simulation answers ([`answer`]).
+//!
+//! The daemon emits `serve.*` counters/gauges, per-request spans, and
+//! a `banyan-obs` run manifest on shutdown. See DESIGN.md §9.
+
+pub mod answer;
+pub mod cache;
+pub mod http;
+pub mod query;
+
+use answer::{analytic_body, probe_drift, run_sim, sim_body, AnalyticModel, SimSettings};
+use banyan_obs::{Telemetry, TelemetryConfig};
+use cache::{AnswerCache, CachedAnswer};
+use http::{HttpError, Request, Response};
+use query::{Mode, Query};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration (all knobs have serviceable defaults).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = `available_parallelism` clamped to 4..=8).
+    /// Workers spend most of their time blocked on connection reads,
+    /// so the floor of 4 holds even on single-core hosts: with one
+    /// worker, an idle keep-alive connection would pin the whole
+    /// daemon until its read timeout fires, starving new connections.
+    pub workers: usize,
+    /// Answer-cache capacity (entries).
+    pub cache_cap: usize,
+    /// KS threshold for the drift gate in `auto` mode.
+    pub drift_threshold: f64,
+    /// Measured cycles per probe replication.
+    pub probe_cycles: u64,
+    /// Probe replications.
+    pub probe_reps: u32,
+    /// Measured cycles per full-simulation replication.
+    pub sim_cycles: u64,
+    /// Full-simulation replications.
+    pub sim_reps: u32,
+    /// Base RNG seed for embedded simulations.
+    pub seed: u64,
+    /// Request-body cap; larger bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout in milliseconds (bounds how long an
+    /// idle keep-alive connection pins a worker).
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 0,
+            cache_cap: 1024,
+            drift_threshold: 0.05,
+            probe_cycles: 2_000,
+            probe_reps: 2,
+            sim_cycles: 20_000,
+            sim_reps: 4,
+            seed: 0x0BAD_5EED,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(4, 8)
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+pub struct ServerState {
+    cfg: ServeConfig,
+    tel: Telemetry,
+    cache: AnswerCache,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// The daemon's telemetry (metrics, spans, run log) — the manifest
+    /// writer reads this after `run` returns.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cached-answer count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Requests shutdown: sets the flag and wakes the accept loop with
+    /// a throwaway connection. Idempotent.
+    pub fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound (not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the configured address and prepares shared state around
+    /// the given telemetry sink.
+    pub fn bind(cfg: ServeConfig, tel: Telemetry) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = AnswerCache::new(cfg.cache_cap);
+        let state = Arc::new(ServerState {
+            cfg,
+            tel,
+            cache,
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Clone of the shared state handle.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until [`ServerState::request_shutdown`] fires: a fixed
+    /// worker pool drains accepted connections from an mpsc channel,
+    /// each worker handling batched keep-alive requests per
+    /// connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, state } = self;
+        let workers = state.cfg.worker_count();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                scope.spawn(move || loop {
+                    // Hold the lock only for the dequeue, never while
+                    // serving.
+                    let next = rx.lock().expect("receiver poisoned").recv();
+                    match next {
+                        Ok(stream) => handle_connection(&state, stream),
+                        Err(_) => break,
+                    }
+                });
+            }
+            loop {
+                let (stream, _) = listener.accept()?;
+                if state.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or any racing late
+                    // arrival) is dropped unanswered.
+                    break;
+                }
+                let _ = tx.send(stream);
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+}
+
+/// A daemon running on a background thread (tests and the load
+/// client).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Binds and serves `cfg` on a fresh thread with its own active
+    /// telemetry.
+    pub fn spawn(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let server = Server::bind(cfg, tel)?;
+        let addr = server.local_addr();
+        let state = server.state();
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (telemetry, cache introspection).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests shutdown and joins the server thread.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.state.request_shutdown();
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Serves one connection: batched keep-alive request handling until
+/// the peer closes, errors, or asks to stop.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms)))
+        .ok();
+    stream.set_nodelay(true).ok();
+    let reg = state.tel.registry();
+    reg.counter("serve.http.connections_total").inc();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader, state.cfg.max_body_bytes) {
+            Ok(req) => req,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+            Err(err) => {
+                let resp = match err {
+                    HttpError::Bad(m) => Response::error(400, &m),
+                    HttpError::TooLarge(limit) => {
+                        Response::error(413, &format!("request body exceeds {limit} bytes"))
+                    }
+                    HttpError::Unsupported(m) => Response::error(501, &m),
+                    HttpError::Closed | HttpError::Io(_) => unreachable!("handled above"),
+                };
+                reg.counter("serve.http.parse_errors_total").inc();
+                write_counted(state, &mut reader, &resp, false);
+                break;
+            }
+        };
+        reg.counter("serve.http.requests_total").inc();
+        let keep = {
+            let _span = state.tel.span("serve/request");
+            let resp = route(state, &req);
+            let keep = req.keep_alive() && resp.status != 413;
+            write_counted(state, &mut reader, &resp, keep);
+            keep
+        };
+        if !keep {
+            break;
+        }
+    }
+}
+
+/// Writes a response, counting it even when the peer is gone — the
+/// ledger `responses == requests + parse_errors` stays exact.
+fn write_counted(
+    state: &ServerState,
+    reader: &mut BufReader<TcpStream>,
+    resp: &Response,
+    keep_alive: bool,
+) {
+    state
+        .tel
+        .registry()
+        .counter("serve.http.responses_total")
+        .inc();
+    let mut stream = reader.get_ref();
+    let _ = http::write_response(&mut stream, resp, keep_alive);
+}
+
+/// Routes one parsed request.
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
+        ("GET", "/metrics") => {
+            let mut body = state.tel.registry().snapshot_json();
+            body.push('\n');
+            Response::json(200, body)
+        }
+        ("POST", "/shutdown") => {
+            state.request_shutdown();
+            Response::json(200, "{\"status\": \"shutting-down\"}\n".to_string())
+        }
+        ("GET" | "POST", "/query") => answer_query(state, req),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/query") => Response::error(
+            405,
+            &format!("method {} not allowed for {}", req.method, req.path()),
+        ),
+        (_, path) => Response::error(404, &format!("unknown path '{path}'")),
+    }
+}
+
+/// Decodes, caches, and answers a capacity query.
+fn answer_query(state: &ServerState, req: &Request) -> Response {
+    let reg = state.tel.registry();
+    reg.counter("serve.query.requests_total").inc();
+    let parsed = if req.method == "POST" {
+        std::str::from_utf8(&req.body)
+            .map_err(|_| "request body is not valid UTF-8".to_string())
+            .and_then(Query::from_json)
+    } else {
+        Query::from_query_string(req.query_string().unwrap_or(""))
+    };
+    let query = match parsed {
+        Ok(q) => q,
+        Err(msg) => {
+            reg.counter("serve.query.errors_total").inc();
+            return Response::error(400, &msg);
+        }
+    };
+    let key = query.cache_key();
+    reg.counter("serve.query.validated_total").inc();
+    if let Some(hit) = state.cache.get(&key) {
+        reg.counter("serve.cache.hits").inc();
+        let source = hit.source;
+        return Response::json(200, hit.body)
+            .with_header("X-Banyan-Cache", "hit")
+            .with_header("X-Banyan-Source", source);
+    }
+    reg.counter("serve.cache.misses").inc();
+    match compute_answer(state, &query) {
+        Ok(answer) => {
+            state.cache.insert(key, answer.clone());
+            reg.gauge("serve.cache.entries").set(state.cache.len() as u64);
+            Response::json(200, answer.body)
+                .with_header("X-Banyan-Cache", "miss")
+                .with_header("X-Banyan-Source", answer.source)
+        }
+        Err(msg) => {
+            reg.counter("serve.query.errors_total").inc();
+            Response::error(422, &msg)
+        }
+    }
+}
+
+/// The drift-gated answer policy.
+fn compute_answer(state: &ServerState, query: &Query) -> Result<CachedAnswer, String> {
+    let cfg = &state.cfg;
+    let sim_settings = SimSettings {
+        cycles: cfg.sim_cycles,
+        reps: cfg.sim_reps,
+        seed: cfg.seed,
+    };
+    match query.mode {
+        Mode::Analytic => {
+            let model = AnalyticModel::for_query(query).ok_or_else(|| {
+                "no closed form covers this configuration; use mode=auto or mode=simulate"
+                    .to_string()
+            })?;
+            let _span = state.tel.span("serve/query/analytic");
+            state.tel.registry().counter("serve.answer.analytic_total").inc();
+            Ok(CachedAnswer {
+                body: analytic_body(query, &model, None),
+                source: "analytic",
+            })
+        }
+        Mode::Simulate => simulate(state, query, sim_settings, None),
+        Mode::Auto => {
+            let Some(model) = AnalyticModel::for_query(query) else {
+                // Outside analytic reach: straight to the simulator.
+                return simulate(state, query, sim_settings, None);
+            };
+            let probe_settings = SimSettings {
+                cycles: cfg.probe_cycles,
+                reps: cfg.probe_reps,
+                seed: cfg.seed,
+            };
+            let report = {
+                let _span = state.tel.span("serve/query/probe");
+                state.tel.registry().counter("serve.answer.probes_total").inc();
+                probe_drift(query, &model, probe_settings)?
+            };
+            state
+                .tel
+                .registry()
+                .gauge("serve.drift.last_ks_ppm")
+                .set(report.ks_ppm());
+            if report.ks <= cfg.drift_threshold {
+                let _span = state.tel.span("serve/query/analytic");
+                state.tel.registry().counter("serve.answer.analytic_total").inc();
+                Ok(CachedAnswer {
+                    body: analytic_body(query, &model, Some(report.ks)),
+                    source: "analytic",
+                })
+            } else {
+                state
+                    .tel
+                    .registry()
+                    .counter("serve.answer.sim_fallback_total")
+                    .inc();
+                simulate(state, query, sim_settings, Some(report.ks))
+            }
+        }
+    }
+}
+
+/// The simulation slow path (also the `auto` fallback).
+fn simulate(
+    state: &ServerState,
+    query: &Query,
+    settings: SimSettings,
+    drift_ks: Option<f64>,
+) -> Result<CachedAnswer, String> {
+    let _span = state.tel.span("serve/query/sim");
+    state.tel.registry().counter("serve.answer.sim_total").inc();
+    let outcome = run_sim(query, settings)?;
+    state.tel.log_run(format!(
+        "sim answer {} cycles={} reps={} delivered={}",
+        query.cache_key(),
+        settings.cycles,
+        settings.reps,
+        outcome.delivered
+    ));
+    Ok(CachedAnswer {
+        body: sim_body(query, &outcome, drift_ks),
+        source: "simulation",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_healthz_shutdown() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let handle = ServerHandle::spawn(cfg).unwrap();
+        let addr = handle.addr().to_string();
+        let mut client = http::Client::connect(&addr).unwrap();
+        let resp = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("ok"), "{}", resp.body);
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn worker_count_defaults_are_bounded() {
+        let cfg = ServeConfig::default();
+        let n = cfg.worker_count();
+        assert!((4..=8).contains(&n), "{n}");
+        let cfg = ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.worker_count(), 3);
+    }
+}

@@ -274,6 +274,54 @@ fn simulate_reps_merge_more_messages() {
 }
 
 #[test]
+fn equals_form_flags_match_space_form() {
+    // Regression: `--k=4` used to be stored as a flag literally named
+    // "k=4", so the run silently fell back to the default k.
+    let (ok, spaced, _) = banyan(&["first-stage", "--k", "4", "--p", "0.5"]);
+    assert!(ok);
+    let (ok, equals, stderr) = banyan(&["first-stage", "--k=4", "--p=0.5"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(equals, spaced, "--k=4 must behave exactly like --k 4");
+    let (_, default_k, _) = banyan(&["first-stage", "--p", "0.5"]);
+    assert_ne!(equals, default_k, "--k=4 silently ignored");
+}
+
+#[test]
+fn duplicate_flags_are_rejected() {
+    // Regression: a repeated flag used to silently take the last value.
+    let (ok, _, stderr) = banyan(&["first-stage", "--p", "0.2", "--p", "0.7"]);
+    assert!(!ok);
+    assert!(stderr.contains("duplicate flag --p"), "{stderr}");
+    // Mixed forms count as duplicates too.
+    let (ok, _, stderr) = banyan(&["total", "--stages=4", "--stages", "8"]);
+    assert!(!ok);
+    assert!(stderr.contains("duplicate flag --stages"), "{stderr}");
+}
+
+#[test]
+fn invalid_service_mixes_are_rejected() {
+    // Regression: mixes with probabilities outside [0, 1] or totals far
+    // from 1 used to be accepted and fed garbage into the model.
+    let (ok, _, stderr) = banyan(&["first-stage", "--p", "0.1", "--mix", "4:1.5,8:-0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be a probability in [0, 1]"), "{stderr}");
+    let (ok, _, stderr) = banyan(&["first-stage", "--p", "0.1", "--mix", "4:0.3,8:0.3"]);
+    assert!(!ok);
+    assert!(stderr.contains("must sum to 1"), "{stderr}");
+}
+
+#[test]
+fn geometric_mu_outside_unit_interval_is_rejected() {
+    // Regression: --geometric-mu 1.5 used to produce a negative mean
+    // service time instead of an error.
+    for bad in ["0", "1.5", "-0.25"] {
+        let (ok, _, stderr) = banyan(&["first-stage", "--p", "0.3", "--geometric-mu", bad]);
+        assert!(!ok, "mu={bad} accepted");
+        assert!(stderr.contains("--geometric-mu must be in (0, 1]"), "{stderr}");
+    }
+}
+
+#[test]
 fn unstable_load_is_an_error() {
     let (ok, _, stderr) = banyan(&["total", "--p", "0.5", "--m", "4"]);
     assert!(!ok);

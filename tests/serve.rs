@@ -1,0 +1,358 @@
+//! Integration tests for the `banyan serve` capacity daemon: wire
+//! protocol, cache behaviour, bit-identity of served analytic answers,
+//! and the drift-gated simulation fallback.
+
+use banyan_repro::core::total_delay::TotalWaiting;
+use banyan_repro::obs::json::JsonValue;
+use banyan_repro::serve::http::Client;
+use banyan_repro::serve::{ServeConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A daemon on an ephemeral port with small simulation budgets.
+fn spawn(mutate: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        probe_cycles: 800,
+        probe_reps: 2,
+        sim_cycles: 1_500,
+        sim_reps: 2,
+        // Keep idle keep-alive connections from pinning workers during
+        // shutdown joins.
+        read_timeout_ms: 500,
+        ..ServeConfig::default()
+    };
+    mutate(&mut cfg);
+    ServerHandle::spawn(cfg).expect("spawn daemon")
+}
+
+/// Sends raw bytes on a fresh connection and returns everything the
+/// daemon writes back before closing.
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+fn get_f64(doc: &JsonValue, section: &str, field: &str) -> f64 {
+    doc.get(section)
+        .and_then(|s| s.get(field))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("missing {section}.{field}"))
+}
+
+#[test]
+fn malformed_request_lines_get_400_and_close() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    for raw in [
+        "GET\r\n\r\n",                           // one token
+        "GET /healthz\r\n\r\n",                  // missing version
+        "GET /healthz HTTP/2.0\r\n\r\n",         // unsupported version
+        "GET /healthz HTTP/1.1 extra\r\n\r\n",   // four tokens
+        "POST /query HTTP/1.1\r\ncontent-length: nope\r\n\r\n", // bad length
+    ] {
+        let out = raw_exchange(&addr, raw.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 400 "), "{raw:?} -> {out}");
+        assert!(out.contains("connection: close"), "{out}");
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_are_rejected() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    // Known path, wrong method: 405, and the connection stays usable.
+    let resp = client.request("POST", "/healthz", Some("{}")).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.body);
+    let resp = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_bodies_get_413_before_read() {
+    let handle = spawn(|cfg| cfg.max_body_bytes = 256);
+    let addr = handle.addr().to_string();
+    // Declare a huge body but never send it: the daemon must answer
+    // 413 from the header alone.
+    let raw = "POST /query HTTP/1.1\r\ncontent-length: 1048576\r\n\r\n";
+    let out = raw_exchange(&addr, raw.as_bytes());
+    assert!(out.starts_with("HTTP/1.1 413 "), "{out}");
+    assert!(out.contains("256"), "limit should be named: {out}");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn keep_alive_connection_serves_miss_then_hits() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let body = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    let first = client.request("POST", "/query", Some(body)).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-banyan-cache"), Some("miss"));
+    assert_eq!(first.header("x-banyan-source"), Some("analytic"));
+    // Same connection, same canonical query in a different spelling:
+    // query-string form, reordered fields, underscore alias.
+    let second = client
+        .request("GET", "/query?p=0.5&stages=6&k=2&mode=analytic", None)
+        .unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-banyan-cache"), Some("hit"));
+    assert_eq!(second.body, first.body, "cache must return the identical body");
+    let third = client.request("POST", "/query", Some(body)).unwrap();
+    assert_eq!(third.header("x-banyan-cache"), Some("hit"));
+    // All three rode one TCP connection.
+    let conns = handle
+        .state()
+        .telemetry()
+        .registry()
+        .counter_value("serve.http.connections_total")
+        .unwrap_or(0);
+    assert_eq!(conns, 1, "keep-alive must reuse the connection");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_queries_get_clean_errors() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    // The CLI's hardened validation speaks through the daemon.
+    for (body, needle) in [
+        (r#"{"k": 2, "p": 1.5}"#, "must be a probability"),
+        (r#"{"p": 0.3, "geometric_mu": 1.5}"#, "--geometric-mu must be in (0, 1]"),
+        (r#"{"p": 0.1, "mix": "4:0.3,8:0.3"}"#, "must sum to 1"),
+        (r#"{"p": 0.5, "m": 4}"#, "not < 1"),
+        (r#"{"stage": 3}"#, "did you mean --stages?"),
+        (r#"{"p": 0.5, "p": 0.6}"#, "duplicate"),
+        ("not json", "JSON body"),
+    ] {
+        let resp = client.request("POST", "/query", Some(body)).unwrap();
+        assert_eq!(resp.status, 400, "{body} -> {}", resp.body);
+        assert!(resp.body.contains(needle), "{body} -> {}", resp.body);
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_clients_all_get_consistent_answers() {
+    let handle = spawn(|cfg| cfg.workers = 4);
+    let addr = handle.addr().to_string();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let mut last = String::new();
+                    for _ in 0..20 {
+                        let resp = client
+                            .request(
+                                "POST",
+                                "/query",
+                                Some(r#"{"k": 4, "stages": 3, "p": 0.25, "mode": "analytic"}"#),
+                            )
+                            .unwrap();
+                        assert_eq!(resp.status, 200, "{}", resp.body);
+                        last = resp.body;
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "all clients must see one canonical answer");
+    }
+    let reg = handle.state().telemetry().registry();
+    let requests = reg.counter_value("serve.http.requests_total").unwrap();
+    let responses = reg.counter_value("serve.http.responses_total").unwrap();
+    let parse_errors = reg.counter_value("serve.http.parse_errors_total").unwrap_or(0);
+    assert_eq!(responses, requests + parse_errors, "response ledger");
+    let validated = reg.counter_value("serve.query.validated_total").unwrap();
+    let hits = reg.counter_value("serve.cache.hits").unwrap();
+    let misses = reg.counter_value("serve.cache.misses").unwrap();
+    assert_eq!(validated, hits + misses, "cache ledger");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn served_analytic_answer_is_bit_identical_to_the_library() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .request(
+            "POST",
+            "/query",
+            Some(r#"{"k": 2, "stages": 6, "p": 0.5, "m": 1, "mode": "analytic"}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = JsonValue::parse(&resp.body).expect("answer is valid JSON");
+    // fmt_f64 renders shortest-round-trip and JsonValue reparses with
+    // the correctly rounded f64 parser, so the served values must match
+    // a direct library evaluation bit for bit.
+    let t = TotalWaiting::new(2, 6, 0.5, 1);
+    let checks = [
+        ("wait", "mean", t.mean_total()),
+        ("wait", "var", t.var_total()),
+        ("wait", "p99", t.gamma().map(|g| g.quantile(0.99)).unwrap()),
+        ("wait", "p999", t.gamma().map(|g| g.quantile(0.999)).unwrap()),
+        ("delay", "mean", t.mean_total_delay()),
+        ("delay", "p99", t.delay_quantile(0.99)),
+    ];
+    for (section, field, expect) in checks {
+        let got = get_f64(&doc, section, field);
+        assert_eq!(
+            got.to_bits(),
+            expect.to_bits(),
+            "{section}.{field}: served {got} != library {expect}"
+        );
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn auto_mode_serves_analytic_when_drift_is_within_threshold() {
+    // A generous KS threshold: the probe passes and the analytic answer
+    // is served, stamped with the measured drift.
+    let handle = spawn(|cfg| cfg.drift_threshold = 0.9);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .request("POST", "/query", Some(r#"{"k": 2, "stages": 3, "p": 0.5, "mode": "auto"}"#))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-banyan-source"), Some("analytic"));
+    let doc = JsonValue::parse(&resp.body).unwrap();
+    let ks = doc.get("drift_ks").and_then(JsonValue::as_f64).expect("drift_ks stamped");
+    assert!(ks > 0.0 && ks <= 0.9, "ks = {ks}");
+    assert_eq!(doc.get("source").and_then(JsonValue::as_str), Some("analytic"));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn auto_mode_falls_back_to_simulation_when_drift_exceeds_threshold() {
+    // An impossible KS threshold: any nonzero drift trips the gate and
+    // the replicated simulator answers instead.
+    let handle = spawn(|cfg| cfg.drift_threshold = 0.0);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .request("POST", "/query", Some(r#"{"k": 2, "stages": 3, "p": 0.5, "mode": "auto"}"#))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-banyan-source"), Some("simulation"));
+    let doc = JsonValue::parse(&resp.body).unwrap();
+    assert_eq!(doc.get("source").and_then(JsonValue::as_str), Some("simulation"));
+    let ks = doc.get("drift_ks").and_then(JsonValue::as_f64).expect("drift_ks stamped");
+    assert!(ks > 0.0, "fallback must record the measured drift, got {ks}");
+    // The sim section records its provenance.
+    let delivered = doc
+        .get("sim")
+        .and_then(|s| s.get("delivered"))
+        .and_then(JsonValue::as_u64)
+        .expect("sim.delivered");
+    assert!(delivered > 0);
+    let fallbacks = handle
+        .state()
+        .telemetry()
+        .registry()
+        .counter_value("serve.answer.sim_fallback_total")
+        .unwrap_or(0);
+    assert_eq!(fallbacks, 1, "gate must have tripped exactly once");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn idle_keep_alive_connections_do_not_starve_new_ones() {
+    // Regression: with `workers: 0` the pool used to size itself to
+    // `available_parallelism`, i.e. a single worker on one-CPU hosts —
+    // an idle keep-alive connection then pinned the daemon and every
+    // new connection hung until the read timeout fired. The default
+    // now floors the pool at 4 workers.
+    let handle = spawn(|cfg| {
+        cfg.workers = 0; // default sizing
+        cfg.read_timeout_ms = 5_000; // starvation would cost seconds
+    });
+    let addr = handle.addr().to_string();
+    // Three connections left idle mid-keep-alive, each pinning a worker.
+    let mut idle = Vec::new();
+    for _ in 0..3 {
+        let mut c = Client::connect(&addr).unwrap();
+        assert_eq!(c.request("GET", "/healthz", None).unwrap().status, 200);
+        idle.push(c);
+    }
+    // A fresh connection must still be served promptly.
+    let started = std::time::Instant::now();
+    let mut fresh = Client::connect(&addr).unwrap();
+    let resp = fresh.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "new connection starved for {:?}",
+        started.elapsed()
+    );
+    drop(idle);
+    drop(fresh);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_exposes_serve_counters() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .request("GET", "/query?k=2&stages=3&p=0.4&mode=analytic", None)
+        .unwrap();
+    let resp = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = JsonValue::parse(&resp.body).expect("metrics JSON");
+    let counters = doc.get("counters").expect("counters section");
+    for name in [
+        "serve.http.requests_total",
+        "serve.query.validated_total",
+        "serve.cache.misses",
+        "serve.answer.analytic_total",
+    ] {
+        assert!(
+            counters.get(name).and_then(JsonValue::as_u64).unwrap_or(0) >= 1,
+            "missing counter {name} in {}",
+            resp.body
+        );
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_daemon() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client.request("POST", "/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("shutting-down"), "{}", resp.body);
+    drop(client);
+    handle.shutdown().unwrap();
+    // The port is free again: a fresh connect must fail or be refused
+    // service rather than hang. (Connect may transiently succeed while
+    // the OS drains the backlog; reading must then yield EOF.)
+    if let Ok(mut s) = TcpStream::connect(&addr) {
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").ok();
+        let mut buf = String::new();
+        let n = s.read_to_string(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "daemon answered after shutdown: {buf}");
+    }
+}
