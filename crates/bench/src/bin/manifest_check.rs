@@ -1,7 +1,8 @@
 //! Structural validator for the JSON artifacts a run leaves behind:
 //! run manifests (`*.manifest.json`, schema v1 or v2), distribution
 //! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), `bench_serve`
-//! results (schema `banyan-bench/serve/v1`), and trace-event files
+//! results (schema `banyan-bench/serve/v1`), `bench_flow` results
+//! (schema `banyan-bench/flow/v1`), and trace-event files
 //! (`--trace-out`, chrome://tracing format).
 //!
 //! Usage: `manifest_check FILE...` — each file is sniffed by its
@@ -163,7 +164,13 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
                 ));
             }
         }
-        if let Some(validated) = counter("serve.query.validated_total") {
+        let query_validated = counter("serve.query.validated_total");
+        let flow_validated = counter("serve.flow.validated_total");
+        if query_validated.is_some() || flow_validated.is_some() {
+            // The answer cache is shared between /query and /v1/flow,
+            // so hit + miss traffic balances against the *sum* of the
+            // two validated counters.
+            let validated = query_validated.unwrap_or(0) + flow_validated.unwrap_or(0);
             let hits = counter("serve.cache.hits").unwrap_or(0);
             let misses = counter("serve.cache.misses").unwrap_or(0);
             if validated != hits + misses {
@@ -296,6 +303,67 @@ fn check_serve_bench(doc: &JsonValue) -> Result<String, String> {
     Ok(format!("serve bench v1 ({} rows)", rows.len()))
 }
 
+/// A `bench_flow` result file: per-topology analysis timings plus a
+/// flow-vs-simulation validation block with a bounded KS statistic.
+fn check_flow_bench(doc: &JsonValue) -> Result<String, String> {
+    let rows = require(doc, "rows")?
+        .as_array()
+        .ok_or("rows is not an array")?;
+    if rows.is_empty() {
+        return Err("rows is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let name = require(row, "name")?
+            .as_str()
+            .ok_or_else(|| format!("rows[{i}].name is not a string"))?
+            .to_string();
+        let ctx = |msg: String| format!("row \"{name}\": {msg}");
+        let num = |key: &str| -> Result<f64, String> {
+            require(row, key)
+                .map_err(&ctx)?
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ctx(format!("{key} is not a finite number")))
+        };
+        for key in ["nodes", "links", "flows"] {
+            let v = require(row, key)
+                .map_err(&ctx)?
+                .as_u64()
+                .ok_or_else(|| ctx(format!("{key} is not an integer")))?;
+            if v == 0 {
+                return Err(ctx(format!("{key} is zero")));
+            }
+        }
+        if num("wall_secs")? < 0.0 {
+            return Err(ctx("wall_secs is negative".into()));
+        }
+        if num("flows_per_sec")? <= 0.0 {
+            return Err(ctx("flows_per_sec is not positive".into()));
+        }
+        if num("max_mean_wait")? < 0.0 {
+            return Err(ctx("max_mean_wait is negative".into()));
+        }
+    }
+    let validation = require(doc, "validation")?;
+    let max_ks = require(validation, "max_ks")?
+        .as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or("validation.max_ks is not a finite number")?;
+    if !(0.0..=1.0).contains(&max_ks) {
+        return Err(format!("validation.max_ks {max_ks} outside [0, 1]"));
+    }
+    let messages = require(validation, "sim_messages")?
+        .as_u64()
+        .ok_or("validation.sim_messages is not an integer")?;
+    if messages == 0 {
+        return Err("validation.sim_messages is zero".into());
+    }
+    Ok(format!(
+        "flow bench v1 ({} rows, validation max_ks {max_ks})",
+        rows.len()
+    ))
+}
+
 /// A chrome://tracing file: `traceEvents`, each with `ph`/`name`/
 /// `pid`/`tid`, and `ts`/`dur` on complete (`X`) events.
 fn check_trace(doc: &JsonValue) -> Result<String, String> {
@@ -347,6 +415,7 @@ fn check_file(path: &str) -> Result<String, String> {
         Some(s) if s.starts_with("banyan-obs/manifest/") => check_manifest(&doc, s),
         Some("banyan-obs/dist/v1") => check_dist(&doc),
         Some("banyan-bench/serve/v1") => check_serve_bench(&doc),
+        Some("banyan-bench/flow/v1") => check_flow_bench(&doc),
         Some(other) => Err(format!("unknown schema \"{other}\"")),
         None if doc.get("traceEvents").is_some() => check_trace(&doc),
         None => Err("no schema key and no traceEvents array".into()),

@@ -65,4 +65,4 @@ pub use first_stage::{wait_moments, FirstStage, ModelError};
 pub use gf::{Pgf, TabulatedPgf};
 pub use later_stages::StageConstants;
 pub use service::{ConstantService, GeometricService, MixedService};
-pub use total_delay::TotalWaiting;
+pub use total_delay::{covariance_params, TotalWaiting};

@@ -102,11 +102,7 @@ impl TotalWaiting {
     /// The geometric covariance-model parameters `(a, b)` (§V):
     /// `a = (1 − 2ρ/5)·3ρ/(5k)`, `b = (1 − 2ρ/5)/k`.
     pub fn cov_params(&self) -> (f64, f64) {
-        let rho = self.rho();
-        let damp = 1.0 - 2.0 * rho / 5.0;
-        let a = damp * 3.0 * rho / (5.0 * self.k as f64);
-        let b = damp / self.k as f64;
-        (a, b)
+        covariance_params(self.rho(), self.k)
     }
 
     /// The model's predicted correlation between the waiting times at two
@@ -210,6 +206,20 @@ impl TotalWaiting {
             .expect("constructor already validated stability");
         (q.mean_wait(), q.var_wait())
     }
+}
+
+/// The §V geometric covariance-model parameters `(a, b)` for traffic
+/// intensity `ρ` through `k × k` switches:
+/// `a = (1 − 2ρ/5)·3ρ/(5k)`, `b = (1 − 2ρ/5)/k`.
+///
+/// Shared by [`TotalWaiting::cov_params`] and the feed-forward flow
+/// engine (`banyan-flow`), which applies it per hop with that hop's
+/// aggregated link intensity.
+pub fn covariance_params(rho: f64, k: u32) -> (f64, f64) {
+    let damp = 1.0 - 2.0 * rho / 5.0;
+    let a = damp * 3.0 * rho / (5.0 * k as f64);
+    let b = damp / k as f64;
+    (a, b)
 }
 
 /// Total mean waiting time through `n` stages under **hot-spot**

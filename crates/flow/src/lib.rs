@@ -1,0 +1,36 @@
+//! # banyan-flow
+//!
+//! Generalized end-to-end waiting-time analysis for **feed-forward
+//! routed networks**, lifting the paper's per-stage laws out of the
+//! banyan restriction (ROADMAP item 3; cf. Chen, "End-to-End Delay
+//! Approximation in Packet-Switched Networks", and Giroudot–Mifdaoui's
+//! per-node wormhole NoC analysis for the heterogeneous-node view).
+//!
+//! * [`graph`] — the routed-DAG model: [`FlowGraph`] with per-node
+//!   service ([`Node`]), output-port links ([`Link`]), and explicit
+//!   routed [`Flow`]s; link-rate aggregation and precedence depths.
+//! * [`engine`] — the analytic engine: [`FlowAnalysis`] computes each
+//!   flow's mean, variance, quantiles, and full waiting-time pmf by
+//!   applying the §II/§IV single-queue laws per hop (at the hop's
+//!   aggregated link load and depth) and convolving the per-hop pmfs
+//!   under Kleinrock's independence assumption. On a banyan this
+//!   reproduces `banyan_core::TotalWaiting` bit for bit.
+//! * [`topo`] — generators: [`omega`], [`butterfly`]
+//!   (with extra stages), k-ary [`mesh`] with XY routing, and
+//!   two-level [`fat_tree`].
+//! * [`sim`] — the event check: [`simulate_flows`] replays the routed
+//!   traffic over real queues (no independence assumed) and returns
+//!   per-flow waiting sketches for KS drift gauges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod graph;
+pub mod sim;
+pub mod topo;
+
+pub use engine::{FlowAnalysis, HopParams};
+pub use graph::{Flow, FlowGraph, FlowId, Link, LinkId, Node, NodeId};
+pub use sim::{simulate_flows, simulate_network, FlowSimConfig, FlowSimReport};
+pub use topo::{butterfly, fat_tree, mesh, omega};

@@ -1,0 +1,386 @@
+//! Built-in topology generators: omega and butterfly banyans (the
+//! collapse targets), k-ary 2-D meshes with XY routing, and two-level
+//! fat-trees.
+//!
+//! All generators produce fully-routed [`FlowGraph`]s — every flow
+//! carries its explicit link path — so the analytic engine and the event
+//! simulator see exactly the same traffic. The banyan generators route
+//! the *identity permutation* (terminal `s` sends to terminal `s` at
+//! rate `p`): under destination-tag routing that is a bijection at every
+//! stage, so each link carries exactly one flow and its aggregated rate
+//! is `p` by a single-term sum — the bit-exactness hook for the
+//! §V-collapse contract.
+
+use crate::graph::{FlowGraph, LinkId, NodeId};
+use banyan_sim::traffic::ServiceDist;
+
+/// `base^exp` over `usize` (topology sizes are small).
+fn pow(base: usize, exp: u32) -> usize {
+    base.pow(exp)
+}
+
+/// MSB-first digit `j ∈ [1, n]` of `w` in radix `k`.
+fn digit(w: usize, j: u32, n: u32, k: usize) -> usize {
+    (w / pow(k, n - j)) % k
+}
+
+/// Adds a flow whose endpoints are implied by its path (source node of
+/// the first link, owner of the final ejection port).
+fn add_routed(g: &mut FlowGraph, rate: f64, path: Vec<LinkId>) {
+    let src = g.links()[path[0]].from;
+    let last = *path.last().expect("generator paths are non-empty");
+    let dst = g.links()[last].to.unwrap_or(g.links()[last].from);
+    g.add_flow(src, dst, rate, path)
+        .expect("generator produced an invalid path");
+}
+
+/// An `n`-stage omega (shuffle-exchange) network of `k × k` switches
+/// routing the identity permutation at per-terminal rate `p` with
+/// constant message size `m`.
+///
+/// Terminals are the `k^n` wires; every stage is a perfect shuffle
+/// (left digit rotation) followed by a rank of `k^{n−1}` switches doing
+/// destination-tag routing (stage `t` consumes MSB-first digit `t` of
+/// the destination). Stage-`t` links are the output ports of the
+/// stage-`t` switches; stage-`n` ports eject.
+pub fn omega(k: u32, n: u32, p: f64, m: u32) -> FlowGraph {
+    assert!(k >= 2 && n >= 1, "need k ≥ 2, n ≥ 1");
+    let kk = k as usize;
+    let wires = pow(kk, n);
+    let switches = wires / kk;
+    let mut g = FlowGraph::new();
+    let node = |t: u32, sw: usize| -> NodeId { (t as usize - 1) * switches + sw };
+    for t in 1..=n {
+        for sw in 0..switches {
+            g.add_node(format!("s{t}x{sw}"), k, ServiceDist::Constant(m));
+        }
+    }
+    // Link id (t, w): output port `w % k` of switch `w / k` at stage t.
+    let shuffle = |w: usize| (w * kk) % wires + (w * kk) / wires;
+    for t in 1..=n {
+        for w in 0..wires {
+            let to = (t < n).then(|| node(t + 1, shuffle(w) / kk));
+            g.add_link(node(t, w / kk), to);
+        }
+    }
+    for s in 0..wires {
+        add_routed(&mut g, p, omega_path(k, n, s, s));
+    }
+    g
+}
+
+/// The link path a message takes through [`omega`] from terminal `src`
+/// to terminal `dst` (link ids as laid out by the generator).
+pub fn omega_path(k: u32, n: u32, src: usize, dst: usize) -> Vec<LinkId> {
+    let kk = k as usize;
+    let wires = pow(kk, n);
+    assert!(src < wires && dst < wires, "terminal out of range");
+    let shuffle = |w: usize| (w * kk) % wires + (w * kk) / wires;
+    let mut w = src;
+    (1..=n)
+        .map(|t| {
+            let sw = shuffle(w) / kk;
+            w = sw * kk + digit(dst, t, n, kk);
+            (t as usize - 1) * wires + w
+        })
+        .collect()
+}
+
+/// An indirect `k`-ary butterfly on `k^n` wires with `extra` straight
+/// pass-through stages prepended (`extra = 0` is the plain butterfly),
+/// routing the identity permutation at rate `p`, constant size `m`.
+///
+/// Butterfly stage `j` connects switches whose wire labels differ only
+/// in MSB-first digit `j` and corrects that digit to the destination's;
+/// the extra stages forward each wire straight through, adding queueing
+/// stages without changing the permutation — the "butterfly with extra
+/// stages" configuration, which collapses to the §V law at `n + extra`
+/// stages.
+pub fn butterfly(k: u32, n: u32, extra: u32, p: f64, m: u32) -> FlowGraph {
+    assert!(k >= 2 && n >= 1, "need k ≥ 2, n ≥ 1");
+    let kk = k as usize;
+    let wires = pow(kk, n);
+    let switches = wires / kk;
+    let stages = extra + n;
+    let mut g = FlowGraph::new();
+    let node = |t: u32, sw: usize| -> NodeId { (t as usize - 1) * switches + sw };
+    // Switch of wire `w` at stage `t`: natural grouping `w / k` during
+    // the straight stages, digit-`j` grouping in butterfly stage `j`.
+    let switch_of = |t: u32, w: usize| -> usize {
+        if t <= extra {
+            w / kk
+        } else {
+            let j = t - extra;
+            let span = pow(kk, n - j);
+            (w / (span * kk)) * span + w % span
+        }
+    };
+    for t in 1..=stages {
+        for sw in 0..switches {
+            g.add_node(format!("b{t}x{sw}"), k, ServiceDist::Constant(m));
+        }
+    }
+    // Link id (t, w): the stage-t output port that leaves on wire `w`.
+    for t in 1..=stages {
+        for w in 0..wires {
+            let to = (t < stages).then(|| node(t + 1, switch_of(t + 1, w)));
+            g.add_link(node(t, switch_of(t, w)), to);
+        }
+    }
+    for s in 0..wires {
+        let path = butterfly_path(k, n, extra, s, s);
+        add_routed(&mut g, p, path);
+    }
+    g
+}
+
+/// The link path through [`butterfly`] from terminal `src` to `dst`.
+pub fn butterfly_path(k: u32, n: u32, extra: u32, src: usize, dst: usize) -> Vec<LinkId> {
+    let kk = k as usize;
+    let wires = pow(kk, n);
+    assert!(src < wires && dst < wires, "terminal out of range");
+    let mut w = src;
+    (1..=extra + n)
+        .map(|t| {
+            if t > extra {
+                let j = t - extra;
+                let span = pow(kk, n - j);
+                w = (w / (span * kk)) * span * kk + digit(dst, j, n, kk) * span + w % span;
+            }
+            (t as usize - 1) * wires + w
+        })
+        .collect()
+}
+
+/// A `rows × cols` mesh of routers under dimension-ordered (XY: column
+/// first, then row) routing with all-to-all uniform traffic: every
+/// router injects rate `p`, split evenly over the other `rows·cols − 1`
+/// routers; messages have constant size `m`.
+///
+/// Each router is one node whose modeling fan-in is its in-degree plus
+/// one injection port; its output ports are the mesh links to its
+/// neighbours plus an ejection port. XY routing keeps the link
+/// precedence DAG acyclic even though the physical mesh has cycles.
+pub fn mesh(rows: usize, cols: usize, p: f64, m: u32) -> FlowGraph {
+    assert!(rows * cols >= 2, "mesh needs at least two routers");
+    let mut g = FlowGraph::new();
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let degree = usize::from(c + 1 < cols)
+                + usize::from(c > 0)
+                + usize::from(r + 1 < rows)
+                + usize::from(r > 0);
+            g.add_node(
+                format!("r{r}c{c}"),
+                degree as u32 + 1,
+                ServiceDist::Constant(m),
+            );
+        }
+    }
+    // Per-router output ports in fixed order: east, west, south, north,
+    // eject. `ports[router] = [east, west, south, north, eject]`, with
+    // usize::MAX marking a direction that does not exist.
+    const NONE: usize = usize::MAX;
+    let mut ports = vec![[NONE; 5]; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let me = id(r, c);
+            if c + 1 < cols {
+                ports[me][0] = g.add_link(me, Some(id(r, c + 1)));
+            }
+            if c > 0 {
+                ports[me][1] = g.add_link(me, Some(id(r, c - 1)));
+            }
+            if r + 1 < rows {
+                ports[me][2] = g.add_link(me, Some(id(r + 1, c)));
+            }
+            if r > 0 {
+                ports[me][3] = g.add_link(me, Some(id(r - 1, c)));
+            }
+            ports[me][4] = g.add_link(me, None);
+        }
+    }
+    let rate = p / (rows * cols - 1) as f64;
+    for sr in 0..rows {
+        for sc in 0..cols {
+            for dr in 0..rows {
+                for dc in 0..cols {
+                    if (sr, sc) == (dr, dc) {
+                        continue;
+                    }
+                    let mut path = Vec::new();
+                    let (mut r, mut c) = (sr, sc);
+                    while c != dc {
+                        let dir = if dc > c { 0 } else { 1 };
+                        path.push(ports[id(r, c)][dir]);
+                        c = if dc > c { c + 1 } else { c - 1 };
+                    }
+                    while r != dr {
+                        let dir = if dr > r { 2 } else { 3 };
+                        path.push(ports[id(r, c)][dir]);
+                        r = if dr > r { r + 1 } else { r - 1 };
+                    }
+                    path.push(ports[id(dr, dc)][4]);
+                    add_routed(&mut g, rate, path);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A two-level fat-tree: `leaves` leaf switches each hosting
+/// `hosts_per_leaf` terminals, fully connected to `spines` spine
+/// switches; all-to-all uniform host traffic at per-host rate `p`,
+/// constant size `m`, with deterministic spine selection
+/// (`(src + dst) mod spines` — a static ECMP hash).
+///
+/// Intra-leaf traffic crosses only the destination's ejection port;
+/// inter-leaf traffic goes up to one spine and back down. Leaf fan-in is
+/// `hosts_per_leaf + spines` (host injection ports plus spine
+/// downlinks); spine fan-in is `leaves`.
+pub fn fat_tree(leaves: usize, spines: usize, hosts_per_leaf: usize, p: f64, m: u32) -> FlowGraph {
+    assert!(leaves >= 2 && spines >= 1 && hosts_per_leaf >= 1, "degenerate fat-tree");
+    let mut g = FlowGraph::new();
+    for l in 0..leaves {
+        g.add_node(
+            format!("leaf{l}"),
+            (hosts_per_leaf + spines) as u32,
+            ServiceDist::Constant(m),
+        );
+    }
+    for s in 0..spines {
+        g.add_node(format!("spine{s}"), leaves as u32, ServiceDist::Constant(m));
+    }
+    let spine_node = |s: usize| leaves + s;
+    // Leaf ports: uplinks to every spine, then per-host ejection ports.
+    let mut up = Vec::with_capacity(leaves);
+    let mut eject = Vec::with_capacity(leaves);
+    for l in 0..leaves {
+        up.push((0..spines).map(|s| g.add_link(l, Some(spine_node(s)))).collect::<Vec<_>>());
+        eject.push((0..hosts_per_leaf).map(|_| g.add_link(l, None)).collect::<Vec<_>>());
+    }
+    let mut down = Vec::with_capacity(spines);
+    for s in 0..spines {
+        down.push((0..leaves).map(|l| g.add_link(spine_node(s), Some(l))).collect::<Vec<_>>());
+    }
+    let hosts = leaves * hosts_per_leaf;
+    let rate = p / (hosts - 1) as f64;
+    for src in 0..hosts {
+        for dst in 0..hosts {
+            if src == dst {
+                continue;
+            }
+            let (sl, dl, dh) = (src / hosts_per_leaf, dst / hosts_per_leaf, dst % hosts_per_leaf);
+            let path = if sl == dl {
+                vec![eject[dl][dh]]
+            } else {
+                let s = (src + dst) % spines;
+                vec![up[sl][s], down[s][dl], eject[dl][dh]]
+            };
+            add_routed(&mut g, rate, path);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_identity_gives_one_flow_per_link() {
+        for &(k, n) in &[(2u32, 3u32), (3, 2), (4, 2)] {
+            let g = omega(k, n, 0.4, 1);
+            let wires = pow(k as usize, n);
+            assert_eq!(g.links().len(), wires * n as usize);
+            for (l, &rate) in g.link_rates().iter().enumerate() {
+                assert_eq!(rate.to_bits(), 0.4f64.to_bits(), "link {l}");
+            }
+            let depths = g.link_depths().unwrap();
+            for (l, &d) in depths.iter().enumerate() {
+                assert_eq!(d as usize, l / wires + 1, "link {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_identity_gives_one_flow_per_link() {
+        for &(k, n, extra) in &[(2u32, 3u32, 0u32), (2, 2, 2), (3, 2, 1)] {
+            let g = butterfly(k, n, extra, 0.3, 2);
+            for &rate in &g.link_rates() {
+                assert_eq!(rate.to_bits(), 0.3f64.to_bits());
+            }
+            let wires = pow(k as usize, n);
+            let depths = g.link_depths().unwrap();
+            for (l, &d) in depths.iter().enumerate() {
+                assert_eq!(d as usize, l / wires + 1, "link {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_routes_arbitrary_pairs() {
+        // Destination-tag routing must land every (src, dst) pair on an
+        // ejection port of the right switch: re-add each path as a flow
+        // and let FlowGraph's chain validation vet it.
+        let mut g = omega(2, 3, 0.1, 1);
+        for src in 0..8 {
+            for dst in 0..8 {
+                let path = omega_path(2, 3, src, dst);
+                assert_eq!(path.len(), 3);
+                add_routed(&mut g, 0.0, path);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_routes_arbitrary_pairs() {
+        let mut g = butterfly(2, 2, 1, 0.1, 1);
+        for src in 0..4 {
+            for dst in 0..4 {
+                let path = butterfly_path(2, 2, 1, src, dst);
+                assert_eq!(path.len(), 3);
+                add_routed(&mut g, 0.0, path);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_2x2_matches_hand_analysis() {
+        // 2×2 all-to-all at p = 0.5: 12 flows of rate p/3; mesh links
+        // carry two flows (λ = 1/3), ejection ports three (λ = 1/2);
+        // horizontal depth 1, vertical depth 2, ejection depth 3.
+        let g = mesh(2, 2, 0.5, 1);
+        assert_eq!(g.flows().len(), 12);
+        let rates = g.link_rates();
+        let depths = g.link_depths().unwrap();
+        for (l, link) in g.links().iter().enumerate() {
+            if link.to.is_none() {
+                assert!((rates[l] - 0.5).abs() < 1e-12, "eject {l}: {}", rates[l]);
+                assert_eq!(depths[l], 3);
+            } else {
+                assert!((rates[l] - 1.0 / 3.0).abs() < 1e-12, "mesh {l}: {}", rates[l]);
+            }
+        }
+        for n in g.nodes() {
+            assert_eq!(n.fan_in, 3);
+        }
+    }
+
+    #[test]
+    fn fat_tree_routes_and_conserves_rate() {
+        let g = fat_tree(3, 2, 2, 0.3, 1);
+        // Total ejected rate equals total injected rate.
+        let eject_total: f64 = g
+            .links()
+            .iter()
+            .zip(g.link_rates())
+            .filter(|(l, _)| l.to.is_none())
+            .map(|(_, r)| r)
+            .sum();
+        assert!((eject_total - 6.0 * 0.3).abs() < 1e-12, "{eject_total}");
+        assert!(g.link_depths().is_ok());
+    }
+}

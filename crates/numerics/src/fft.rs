@@ -117,11 +117,28 @@ pub fn coefficients_from_unit_circle(samples: &[Complex]) -> Vec<f64> {
 
 /// Convolves two real sequences exactly (direct summation).
 ///
-/// Used for composing small pmfs in tests; `O(n·m)` but with no rounding
-/// surprises. For the sizes used in this project this is fast enough.
+/// Used for composing small pmfs in tests and for chaining per-hop
+/// waiting-time distributions in the flow engine; `O(n·m)` but with no
+/// rounding surprises. For the sizes used in this project this is fast
+/// enough.
+///
+/// Edge cases: an empty operand yields an empty result (there is no
+/// distribution to compose with), and a length-1 operand degenerates to
+/// scaling — `convolve(&[c], b)` is `b` scaled by `c`, term for term.
 pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
+    }
+    // Length-1 fast paths: same arithmetic as the general loop (each
+    // output is a single product), just without the zero-filled
+    // accumulator pass.
+    if a.len() == 1 {
+        let c = a[0];
+        return b.iter().map(|&y| c * y).collect();
+    }
+    if b.len() == 1 {
+        let c = b[0];
+        return a.iter().map(|&x| x * c).collect();
     }
     let mut out = vec![0.0; a.len() + b.len() - 1];
     for (i, &x) in a.iter().enumerate() {
@@ -133,6 +150,63 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
         }
     }
     out
+}
+
+/// Renormalizes a probability mass function whose total has drifted off
+/// 1 by floating-point round-off (repeated FFT/convolution passes lose
+/// a few ulps per stage).
+///
+/// The input must already be a pmf up to round-off: every entry above
+/// `-1e-12` (tiny FFT undershoot is clamped to zero) and the total mass
+/// within `1e-9` of 1 — anything further off is a modelling bug, not
+/// round-off, and panics. After the call the entries sum to **exactly**
+/// `1.0`: the slice is scaled by the observed total, then the final
+/// entry is rewritten as the complement of its prefix sum, which pins
+/// the plain left-to-right total to bit-exact 1 (the residual lands in
+/// the smallest-mass tail entry, where it is representable — folding it
+/// into the *largest* entry can fall below that entry's ulp and vanish).
+///
+/// # Panics
+/// On an empty slice, an entry below `-1e-12`, or total mass outside
+/// `1 ± 1e-9`.
+pub fn normalize_pmf(pmf: &mut [f64]) {
+    assert!(!pmf.is_empty(), "cannot normalize an empty pmf");
+    for x in pmf.iter_mut() {
+        assert!(
+            *x > -1e-12,
+            "pmf entry {x} is too negative to be FFT round-off"
+        );
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    let sum: f64 = pmf.iter().sum();
+    assert!(
+        (sum - 1.0).abs() <= 1e-9,
+        "pmf mass {sum} drifted more than 1e-9 from 1 — not round-off"
+    );
+    let inv = 1.0 / sum;
+    for x in pmf.iter_mut() {
+        *x *= inv;
+    }
+    // Pin the plain left-to-right total to exactly 1.0: rewrite the
+    // final entry as the complement of its prefix sum. For a prefix in
+    // [½, 1] the complement is exact (Sterbenz); below ½ its rounding
+    // error is under half an ulp of 1, so the closing addition still
+    // rounds to bit-exact 1.0. If the complement comes out (ulp-scale)
+    // negative, zero the entry and retry one slot to the left — the
+    // prefix shrinks, so the loop terminates at index 0 at the latest
+    // (empty prefix, complement 1.0).
+    for i in (0..pmf.len()).rev() {
+        let prefix: f64 = pmf[..i].iter().sum();
+        let complement = 1.0 - prefix;
+        if complement >= 0.0 {
+            pmf[i] = complement;
+            return;
+        }
+        pmf[i] = 0.0;
+    }
+    unreachable!("index 0 always has a non-negative complement");
 }
 
 #[cfg(test)]
@@ -279,6 +353,82 @@ mod tests {
         let b = [3.0, 4.0, 5.0];
         assert_eq!(convolve(&a, &b), vec![3.0, 10.0, 13.0, 10.0]);
         assert!(convolve(&[], &b).is_empty());
+    }
+
+    #[test]
+    fn convolve_edge_cases() {
+        // Empty operands on either side (or both) give an empty result.
+        assert!(convolve(&[1.0, 2.0], &[]).is_empty());
+        assert!(convolve(&[], &[]).is_empty());
+        // A length-1 operand is a pure scaling, from either side.
+        assert_eq!(convolve(&[2.0], &[3.0, 4.0, 5.0]), vec![6.0, 8.0, 10.0]);
+        assert_eq!(convolve(&[3.0, 4.0, 5.0], &[2.0]), vec![6.0, 8.0, 10.0]);
+        // The point mass at zero is the convolution identity.
+        let p = [0.25, 0.5, 0.25];
+        assert_eq!(convolve(&[1.0], &p), p.to_vec());
+        assert_eq!(convolve(&p, &[1.0]), p.to_vec());
+        // Two length-1 sequences.
+        assert_eq!(convolve(&[0.5], &[0.5]), vec![0.25]);
+        // The fast paths agree with the general loop bit for bit.
+        let q = [0.125, 0.5, 0.375];
+        let general: Vec<f64> = {
+            let mut out = vec![0.0; q.len()];
+            for (j, &y) in q.iter().enumerate() {
+                out[j] += 0.3 * y;
+            }
+            out
+        };
+        assert_eq!(convolve(&[0.3], &q), general);
+    }
+
+    #[test]
+    fn normalize_pmf_restores_unit_mass_exactly() {
+        // Accumulate round-off: a long geometric pmf scaled by a factor
+        // a few ulps off 1.
+        let drift = 1.0 + 3.0e-11;
+        let mut pmf: Vec<f64> = (0..200)
+            .map(|j| 0.5 * 0.5f64.powi(j) * drift)
+            .collect();
+        let before: f64 = pmf.iter().sum();
+        assert!((before - 1.0).abs() > 1e-12, "test setup should drift");
+        normalize_pmf(&mut pmf);
+        let after: f64 = pmf.iter().sum();
+        assert_eq!(after.to_bits(), 1.0f64.to_bits());
+        // Shape is preserved: ratios stay geometric.
+        assert!((pmf[1] / pmf[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_pmf_clamps_fft_undershoot() {
+        let mut pmf = vec![0.6, 0.4 + 1e-13, -1e-13];
+        normalize_pmf(&mut pmf);
+        assert_eq!(pmf[2], 0.0);
+        let total: f64 = pmf.iter().sum();
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn normalize_pmf_is_identity_on_exact_input() {
+        let mut pmf = vec![0.25, 0.5, 0.25];
+        normalize_pmf(&mut pmf);
+        assert_eq!(pmf, vec![0.25, 0.5, 0.25]);
+        let mut single = vec![1.0 + 2e-10];
+        normalize_pmf(&mut single);
+        assert_eq!(single, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted more than 1e-9")]
+    fn normalize_pmf_rejects_real_mass_loss() {
+        let mut pmf = vec![0.5, 0.4];
+        normalize_pmf(&mut pmf);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pmf")]
+    fn normalize_pmf_rejects_empty() {
+        let mut pmf: Vec<f64> = Vec::new();
+        normalize_pmf(&mut pmf);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod series;
 pub mod special;
 
 pub use complex::Complex;
-pub use fft::{fft, ifft, next_pow2};
+pub use fft::{convolve, fft, ifft, next_pow2, normalize_pmf};
 pub use roots::{bisect, brent};
 pub use series::{kahan_sum, KahanSum};
 pub use special::{ln_beta, ln_gamma, reg_beta, reg_gamma_lower, reg_gamma_upper};

@@ -106,6 +106,24 @@ pub fn ks_distance(sketch: &DistSketch, model_cdf: impl Fn(f64) -> f64) -> f64 {
     worst
 }
 
+/// Evaluates a dense integer CDF table at a continuity-corrected point:
+/// `table[floor(x)]`, clamped to `[0, 1]` outside the table.
+/// [`ks_distance`] probes the model at `v ± 0.5`, so a discrete
+/// analytic model tabulated at integers is compared at exactly `F(v)`
+/// on the post-jump side. Shared by the CLI drift reports and the flow
+/// engine's analytic-vs-event-sim gauges.
+pub fn table_cdf(table: &[f64], x: f64) -> f64 {
+    if x < 0.0 {
+        return 0.0;
+    }
+    let i = x.floor() as usize;
+    if i >= table.len() {
+        1.0
+    } else {
+        table[i]
+    }
+}
+
 /// A drift report comparing one observed sketch against analytic
 /// theory: KS distance, fitted vs analytic geometric tail rate, and
 /// observed vs analytic mean.

@@ -52,7 +52,7 @@ pub mod traffic;
 pub use butterfly::ButterflyTopology;
 pub use input_queued::{run_input_queued, InputQueuedConfig, InputQueuedSim};
 pub use network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
-pub use queue::{run_queue, ArrivalDist, QueueConfig, QueueStats};
+pub use queue::{run_queue, ArrivalDist, PortQueue, QueueConfig, QueueStats};
 pub use runner::{
     run_network_replicated, run_network_replicated_with_engine, run_queue_replicated,
     ReplicationEngine,

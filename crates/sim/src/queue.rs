@@ -270,6 +270,60 @@ impl LindleyState {
     }
 }
 
+/// A minimal reusable Lindley cell: the bare batch-arrival single-server
+/// queue dynamics of [`LindleyState::step`] (same clocked semantics —
+/// FIFO within a cycle's batch, one unit of work retired per cycle)
+/// without any statistics machinery. External drivers that model a
+/// network of output ports — e.g. the `banyan-flow` event check, where
+/// arrivals come from routed messages rather than an [`ArrivalDist`] —
+/// enqueue each arrival's service demand during the cycle and call
+/// [`PortQueue::end_cycle`] once per clock tick for *every* port,
+/// including idle ones (the server retires work unconditionally).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortQueue {
+    /// Unfinished work at the end of the previous cycle.
+    backlog: u64,
+    /// Work enqueued by arrivals so far *this* cycle.
+    batch_work: u64,
+}
+
+impl PortQueue {
+    /// A fresh, empty port.
+    pub fn new() -> Self {
+        PortQueue::default()
+    }
+
+    /// Enqueues one arrival with service demand `service` cycles and
+    /// returns its waiting time: the backlog carried in from previous
+    /// cycles plus the work of same-cycle arrivals already queued ahead
+    /// of it (`w = s + batch_work`, exactly as [`LindleyState::step`]
+    /// computes it).
+    pub fn arrive(&mut self, service: u64) -> u64 {
+        let wait = self.backlog + self.batch_work;
+        self.batch_work += service;
+        wait
+    }
+
+    /// Closes the cycle: folds this cycle's batch into the backlog and
+    /// retires one unit of work (`s ← (s + batch) − 1`, floored at 0).
+    /// Must be called every cycle, arrivals or not.
+    pub fn end_cycle(&mut self) {
+        self.backlog = (self.backlog + self.batch_work).saturating_sub(1);
+        self.batch_work = 0;
+    }
+
+    /// Unfinished work carried into the next cycle (after
+    /// [`PortQueue::end_cycle`]).
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// True when no work remains queued at this port.
+    pub fn is_empty(&self) -> bool {
+        self.backlog == 0 && self.batch_work == 0
+    }
+}
+
 /// Runs the Lindley-recursion simulation.
 pub fn run_queue(cfg: &QueueConfig) -> QueueStats {
     let mut st = LindleyState::new(cfg);
@@ -346,6 +400,34 @@ mod tests {
             measure_cycles: 400_000,
             ..QueueConfig::new(arrivals, service)
         })
+    }
+
+    #[test]
+    fn port_queue_matches_lindley_semantics() {
+        // Drive a PortQueue with an explicit arrival schedule and check
+        // the waits against the hand-computed Lindley recursion.
+        let mut q = PortQueue::new();
+        assert!(q.is_empty());
+        // Cycle 0: two unit-service arrivals. First waits 0, second 1.
+        assert_eq!(q.arrive(1), 0);
+        assert_eq!(q.arrive(1), 1);
+        q.end_cycle();
+        assert_eq!(q.backlog(), 1); // 2 units queued, 1 retired
+        // Cycle 1: one m = 3 arrival behind the leftover unit.
+        assert_eq!(q.arrive(3), 1);
+        q.end_cycle();
+        assert_eq!(q.backlog(), 3);
+        // Cycles 2–4: empty cycles still retire one unit each.
+        q.end_cycle();
+        q.end_cycle();
+        assert_eq!(q.backlog(), 1);
+        assert!(!q.is_empty());
+        q.end_cycle();
+        assert_eq!(q.backlog(), 0);
+        assert!(q.is_empty());
+        // Drained port stays at zero (saturating decrement).
+        q.end_cycle();
+        assert_eq!(q.backlog(), 0);
     }
 
     #[test]

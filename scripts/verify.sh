@@ -142,6 +142,67 @@ PY
 }
 timed "serve smoke" serve_smoke
 
+echo "== flow smoke =="
+flow_smoke() {
+    local workdir pid addr
+    workdir=$(mktemp -d)
+    # CLI --json must be byte-identical to the daemon's GET /v1/flow
+    # for the same canonical query.
+    ./target/release/banyan flow --topo mesh --rows 2 --cols 2 --p 0.5 \
+        --json > "$workdir/cli.json"
+    ./target/release/banyan serve --addr 127.0.0.1:0 > "$workdir/serve.out" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^banyan serve listening on //p' "$workdir/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "flow smoke: daemon never reported its address" >&2
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    python3 - "$addr" "$workdir/cli.json" <<'PY'
+import http.client, json, sys
+host, port = sys.argv[1].rsplit(":", 1)
+cli_body = open(sys.argv[2], "rb").read()
+conn = http.client.HTTPConnection(host, int(port), timeout=10)
+conn.request("GET", "/v1/flow?topo=mesh&rows=2&cols=2&p=0.5")
+r = conn.getresponse()
+assert r.status == 200, (r.status, r.read())
+served = r.read()
+assert served == cli_body, "CLI --json and /v1/flow bodies differ"
+doc = json.loads(served)
+assert doc["schema"] == "banyan-serve/flow/v1", doc["schema"]
+assert doc["flows"] == 12 and len(doc["per_flow"]) == 12, doc["flows"]
+# A batch: two identical capacity queries (the second must be served
+# from the cache as the same answer) and one flow query.
+batch = json.dumps([
+    {"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"},
+    {"stages": 6, "k": 2, "mode": "analytic", "p": 0.5},
+    {"topo": "mesh", "rows": 2, "cols": 2, "p": 0.5},
+])
+conn.request("POST", "/v1/batch", body=batch)
+r = conn.getresponse()
+assert r.status == 200, (r.status, r.read())
+out = json.loads(r.read())
+assert out["schema"] == "banyan-serve/batch/v1" and out["count"] == 3, out
+assert out["results"][0] == out["results"][1], "batch cache must dedup"
+assert out["results"][2]["schema"] == "banyan-serve/flow/v1", out["results"][2]
+conn.request("POST", "/shutdown")
+assert conn.getresponse().status == 200
+print("ok: flow CLI/daemon bodies byte-identical; batch answered through the cache")
+PY
+    wait "$pid"
+    # The flow drift path: a small sim dump must pass the dist checker.
+    ./target/release/banyan flow --topo mesh --rows 2 --cols 2 --p 0.5 \
+        --dist-out "$workdir/fd.json" --cycles 2000 --reps 1 > /dev/null
+    ./target/release/manifest_check "$workdir/fd.json"
+    rm -rf "$workdir"
+}
+timed "flow smoke" flow_smoke
+
 if [ "$QUICK" -eq 1 ]; then
     echo "== offline unit tests (--quick: libs + bins, minus the bench suites) =="
     # banyan-bench's lib tests exercise real timed benchmark runs
@@ -179,7 +240,7 @@ echo "== manifest check over recorded artifacts =="
 # stay structurally valid: schema v1 or v2, finite numbers, pmf mass
 # equal to sketch counts, conservation ledger closed.
 timed "manifest check" ./target/release/manifest_check \
-    results/*.manifest.json results/BENCH_serve.json
+    results/*.manifest.json results/BENCH_serve.json results/BENCH_flow.json
 
 
 if cargo clippy --version >/dev/null 2>&1; then

@@ -23,7 +23,7 @@
 
 use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, validate_flags, Flags};
 use banyan_repro::obs::json::JsonObject;
-use banyan_repro::obs::tail::{drift_array_json, drift_line, DriftReport};
+use banyan_repro::obs::tail::{drift_array_json, drift_line, table_cdf, DriftReport};
 use banyan_repro::obs::trace::write_trace;
 use banyan_repro::prelude::*;
 use std::process::ExitCode;
@@ -39,6 +39,10 @@ const SIMULATE_FLAGS: &[&str] = &[
 const REPORT_FLAGS: &[&str] =
     &["k", "stages", "p", "m", "cycles", "seed", "reps", "threads", "progress"];
 const PMF_FLAGS: &[&str] = &["k", "p", "m", "len"];
+const FLOW_FLAGS: &[&str] = &[
+    "topo", "k", "stages", "extra", "rows", "cols", "leaves", "spines", "hosts", "p", "m", "json",
+    "dist-out", "cycles", "reps", "seed",
+];
 const SERVE_FLAGS: &[&str] = &[
     "addr",
     "threads",
@@ -138,22 +142,6 @@ fn cmd_total(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-/// Evaluates a dense integer CDF table at a continuity-corrected point:
-/// `table[floor(x)]`, clamped to `[0, 1]` outside the table. The KS
-/// helper probes the model at `v + 0.5`, so a discrete analytic model
-/// tabulated at integers is compared at exactly `F(v)`.
-fn table_cdf(table: &[f64], x: f64) -> f64 {
-    if x < 0.0 {
-        return 0.0;
-    }
-    let i = x.floor() as usize;
-    if i >= table.len() {
-        1.0
-    } else {
-        table[i]
-    }
 }
 
 /// Builds observed-vs-analytic drift reports from the per-stage wait
@@ -461,6 +449,115 @@ fn cmd_pmf(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `banyan flow` — end-to-end waiting/delay analysis of a routed
+/// feed-forward topology (mesh, omega, butterfly, fat-tree) via the
+/// generalized `banyan-flow` engine. `--json` prints the exact
+/// `/v1/flow` answer body (byte-identical to what `banyan serve`
+/// returns for the same query); `--dist-out` additionally runs the
+/// event-check simulator and dumps per-flow waiting sketches plus KS
+/// drift reports against the analytic densities in the standard
+/// `banyan-obs/dist/v1` format.
+fn cmd_flow(flags: &Flags) -> Result<(), String> {
+    use banyan_repro::flow::simulate_network;
+    use banyan_repro::serve::flow::{flow_body, FlowQuery, FLOW_FIELDS};
+    // The engine fields ride the shared hardened decode path; the
+    // CLI-only output flags are stripped first (main already validated
+    // the full set against FLOW_FLAGS).
+    let mut engine_flags = Flags::new();
+    for (name, value) in flags {
+        if FLOW_FIELDS.contains(&name.as_str()) {
+            engine_flags.insert(name.clone(), value.clone());
+        }
+    }
+    let q = FlowQuery::from_flags(&engine_flags)?;
+    let graph = q.build_graph();
+    let an = FlowAnalysis::new(&graph)?;
+    if flags.contains_key("json") {
+        // Byte-identical to GET /v1/flow — verify.sh cross-checks this.
+        print!("{}", flow_body(&q)?);
+    } else {
+        println!(
+            "{}: {} nodes, {} links, {} flows (p = {}, m = {})",
+            q.topo.label(),
+            graph.nodes().len(),
+            graph.links().len(),
+            graph.flows().len(),
+            q.p,
+            q.m,
+        );
+        println!(
+            "{:>4}  {:>8} {:>8} {:>4}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+            "flow", "src", "dst", "hops", "E(w)", "Var(w)", "E(delay)", "delay p99", "delay p999"
+        );
+        for (f, flow) in graph.flows().iter().enumerate() {
+            println!(
+                "{f:>4}  {:>8} {:>8} {:>4}  {:>9.4}  {:>9.4}  {:>9.4}  {:>9.2}  {:>9.2}",
+                graph.nodes()[flow.src].name,
+                graph.nodes()[flow.dst].name,
+                flow.path.len(),
+                an.mean_wait(f),
+                an.var_wait(f),
+                an.mean_delay(f),
+                an.delay_quantile(f, 0.99),
+                an.delay_quantile(f, 0.999),
+            );
+        }
+    }
+    if let Some(path) = flags.get("dist-out") {
+        let cycles: u64 = get(flags, "cycles", 20_000u64)?;
+        let reps: u32 = get(flags, "reps", 4u32)?;
+        let seed: u64 = get(flags, "seed", 1u64)?;
+        if reps == 0 {
+            return Err("--reps must be at least 1".into());
+        }
+        let report = simulate_network(
+            &graph,
+            &FlowSimConfig {
+                warmup_cycles: (cycles / 10).max(500),
+                measure_cycles: cycles,
+                reps,
+                seed,
+            },
+        );
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let mut drift = Vec::new();
+        for (f, sk) in report.flows.iter().enumerate() {
+            let name = format!("flow.wait.{f:03}");
+            tel.sketches().merge_sketch(&name, sk);
+            if sk.count() == 0 {
+                continue;
+            }
+            let table = an.wait_cdf_table(f)?;
+            let r = DriftReport::against(&name, sk, |x| table_cdf(&table, x), an.mean_wait(f), None);
+            tel.registry()
+                .gauge(&format!("net.drift.ks_ppm.{name}"))
+                .set(r.ks_ppm());
+            drift.push(r);
+        }
+        let mut o = JsonObject::new();
+        o.field_str("schema", DIST_SCHEMA)
+            .field_str("name", "banyan-flow")
+            .field_str("topo", &q.topo.label())
+            .field_f64("p", q.p)
+            .field_u64("m", u64::from(q.m))
+            .field_u64("cycles", cycles)
+            .field_u64("seed", seed)
+            .field_u64("reps", u64::from(reps))
+            .field_raw("distributions", &tel.sketches().snapshot_json())
+            .field_raw("drift", &drift_array_json(&drift));
+        let mut json = o.finish_pretty(2);
+        json.push('\n');
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory for --dist-out {path}: {e}"))?;
+        }
+        std::fs::write(path, json).map_err(|e| format!("cannot write --dist-out {path}: {e}"))?;
+        eprintln!("distribution dump written to {path}");
+    }
+    Ok(())
+}
+
 /// `banyan serve` — run the capacity-planning daemon until a client
 /// POSTs `/shutdown`, then write the run manifest (when `--telemetry`
 /// names a file). The listening line goes to stdout (flushed) so
@@ -525,8 +622,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
-commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n  serve        capacity-planning HTTP daemon (POST /query, GET /metrics)\n\
+commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  flow         end-to-end delay per flow on a routed feed-forward topology\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n  serve        capacity-planning HTTP daemon (POST /query, GET /metrics)\n\
 common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
+flow-only:     --topo mesh|omega|butterfly|fat-tree --rows --cols --extra\n               --leaves --spines --hosts --json (print the /v1/flow body)\n               --dist-out FILE (event-check sketches + KS drift; --cycles\n               --reps --seed size the simulation)\n\
 simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)\n\
 serve-only:    --addr HOST:PORT (port 0 = ephemeral) --threads N --cache-cap N\n               --drift-threshold KS --probe-cycles N --probe-reps R\n               --sim-cycles N --sim-reps R --telemetry FILE";
 
@@ -548,6 +646,7 @@ fn main() -> ExitCode {
             validate_flags(&flags, FIRST_STAGE_FLAGS).and_then(|()| cmd_first_stage(&flags))
         }
         "total" => validate_flags(&flags, TOTAL_FLAGS).and_then(|()| cmd_total(&flags)),
+        "flow" => validate_flags(&flags, FLOW_FLAGS).and_then(|()| cmd_flow(&flags)),
         "simulate" => validate_flags(&flags, SIMULATE_FLAGS).and_then(|()| cmd_simulate(&flags)),
         "report" => validate_flags(&flags, REPORT_FLAGS).and_then(|()| cmd_report(&flags)),
         "pmf" => validate_flags(&flags, PMF_FLAGS).and_then(|()| cmd_pmf(&flags)),

@@ -12,6 +12,9 @@
 //!   §IV later-stage approximations, and the §V total-delay/gamma model.
 //! * [`banyan_sim`] (re-exported as `sim`) — the clocked banyan (omega) network simulator
 //!   and the single-queue Lindley simulator.
+//! * [`banyan_flow`] (re-exported as `flow`) — the generalized feed-forward flow engine:
+//!   per-flow end-to-end delay in arbitrary routed DAGs (meshes,
+//!   fat-trees, butterflies) under Kleinrock's independence assumption.
 //! * [`banyan_stats`] (re-exported as `stats`) — streaming statistics, histograms, the
 //!   gamma distribution, distribution distances.
 //! * [`banyan_numerics`] (re-exported as `numerics`) — FFT, special functions, root
@@ -29,6 +32,7 @@ pub mod cli;
 pub mod serve;
 
 pub use banyan_core as core;
+pub use banyan_flow as flow;
 pub use banyan_numerics as numerics;
 pub use banyan_obs as obs;
 pub use banyan_sim as sim;
@@ -42,6 +46,9 @@ pub mod prelude {
     };
     pub use banyan_core::total_delay::TotalWaiting;
     pub use banyan_core::{FirstStage, Pgf};
+    pub use banyan_flow::{
+        butterfly, fat_tree, mesh, omega, simulate_flows, FlowAnalysis, FlowGraph, FlowSimConfig,
+    };
     pub use banyan_obs::{Manifest, Telemetry, TelemetryConfig};
     pub use banyan_sim::input_queued::{run_input_queued, InputQueuedConfig};
     pub use banyan_sim::network::{

@@ -17,17 +17,25 @@
 //!   threshold the analytic answer is served, otherwise a full
 //!   replicated simulation answers ([`answer`]).
 //!
+//! Beyond `/query`, the daemon answers `/v1/flow` (feed-forward flow
+//! queries over the `banyan-flow` engine — [`flow`]) and
+//! `POST /v1/batch` (an array of query objects answered in order, each
+//! element riding the canonical-key cache individually).
+//!
 //! The daemon emits `serve.*` counters/gauges, per-request spans, and
-//! a `banyan-obs` run manifest on shutdown. See DESIGN.md §9.
+//! a `banyan-obs` run manifest on shutdown. See DESIGN.md §9–§10.
 
 pub mod answer;
 pub mod cache;
+pub mod flow;
 pub mod http;
 pub mod query;
 
 use answer::{analytic_body, probe_drift, run_sim, sim_body, AnalyticModel, SimSettings};
+use banyan_obs::json::{JsonObject, JsonValue};
 use banyan_obs::{Telemetry, TelemetryConfig};
 use cache::{AnswerCache, CachedAnswer};
+use flow::FlowQuery;
 use http::{HttpError, Request, Response};
 use query::{Mode, Query};
 use std::io::BufReader;
@@ -327,12 +335,39 @@ fn route(state: &ServerState, req: &Request) -> Response {
             Response::json(200, "{\"status\": \"shutting-down\"}\n".to_string())
         }
         ("GET" | "POST", "/query") => answer_query(state, req),
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/query") => Response::error(
-            405,
-            &format!("method {} not allowed for {}", req.method, req.path()),
-        ),
+        ("GET" | "POST", "/v1/flow") => answer_flow(state, req),
+        ("POST", "/v1/batch") => answer_batch(state, req),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/query" | "/v1/flow" | "/v1/batch") => {
+            Response::error(
+                405,
+                &format!("method {} not allowed for {}", req.method, req.path()),
+            )
+        }
         (_, path) => Response::error(404, &format!("unknown path '{path}'")),
     }
+}
+
+/// Looks a canonical key up in the answer cache, computing and
+/// inserting on a miss. Returns the answer and whether it was a hit.
+/// The hit/miss counters move for every validated query — including
+/// batch elements — so the `validated == hits + misses` ledger stays
+/// exact; the miss is counted *before* `compute` so a failed
+/// computation still balances.
+fn cached_answer(
+    state: &ServerState,
+    key: String,
+    compute: impl FnOnce() -> Result<CachedAnswer, String>,
+) -> Result<(CachedAnswer, bool), String> {
+    let reg = state.tel.registry();
+    if let Some(hit) = state.cache.get(&key) {
+        reg.counter("serve.cache.hits").inc();
+        return Ok((hit, true));
+    }
+    reg.counter("serve.cache.misses").inc();
+    let answer = compute()?;
+    state.cache.insert(key, answer.clone());
+    reg.gauge("serve.cache.entries").set(state.cache.len() as u64);
+    Ok((answer, false))
 }
 
 /// Decodes, caches, and answers a capacity query.
@@ -353,29 +388,135 @@ fn answer_query(state: &ServerState, req: &Request) -> Response {
             return Response::error(400, &msg);
         }
     };
-    let key = query.cache_key();
     reg.counter("serve.query.validated_total").inc();
-    if let Some(hit) = state.cache.get(&key) {
-        reg.counter("serve.cache.hits").inc();
-        let source = hit.source;
-        return Response::json(200, hit.body)
-            .with_header("X-Banyan-Cache", "hit")
-            .with_header("X-Banyan-Source", source);
-    }
-    reg.counter("serve.cache.misses").inc();
-    match compute_answer(state, &query) {
-        Ok(answer) => {
-            state.cache.insert(key, answer.clone());
-            reg.gauge("serve.cache.entries").set(state.cache.len() as u64);
-            Response::json(200, answer.body)
-                .with_header("X-Banyan-Cache", "miss")
-                .with_header("X-Banyan-Source", answer.source)
-        }
+    match cached_answer(state, query.cache_key(), || compute_answer(state, &query)) {
+        Ok((answer, hit)) => Response::json(200, answer.body)
+            .with_header("X-Banyan-Cache", if hit { "hit" } else { "miss" })
+            .with_header("X-Banyan-Source", answer.source),
         Err(msg) => {
             reg.counter("serve.query.errors_total").inc();
             Response::error(422, &msg)
         }
     }
+}
+
+/// Decodes, caches, and answers a feed-forward flow query
+/// (`/v1/flow`): the generalized `banyan-flow` engine behind the same
+/// canonical-key cache and counter discipline as `/query`.
+fn answer_flow(state: &ServerState, req: &Request) -> Response {
+    let reg = state.tel.registry();
+    reg.counter("serve.flow.requests_total").inc();
+    let parsed = if req.method == "POST" {
+        std::str::from_utf8(&req.body)
+            .map_err(|_| "request body is not valid UTF-8".to_string())
+            .and_then(FlowQuery::from_json)
+    } else {
+        FlowQuery::from_query_string(req.query_string().unwrap_or(""))
+    };
+    let fq = match parsed {
+        Ok(q) => q,
+        Err(msg) => {
+            reg.counter("serve.flow.errors_total").inc();
+            return Response::error(400, &msg);
+        }
+    };
+    reg.counter("serve.flow.validated_total").inc();
+    let compute = || {
+        let _span = state.tel.span("serve/flow/analytic");
+        Ok(CachedAnswer {
+            body: flow::flow_body(&fq)?,
+            source: "flow-analytic",
+        })
+    };
+    match cached_answer(state, fq.cache_key(), compute) {
+        Ok((answer, hit)) => Response::json(200, answer.body)
+            .with_header("X-Banyan-Cache", if hit { "hit" } else { "miss" })
+            .with_header("X-Banyan-Source", answer.source),
+        Err(msg) => {
+            reg.counter("serve.flow.errors_total").inc();
+            Response::error(422, &msg)
+        }
+    }
+}
+
+/// Largest accepted `/v1/batch` array (each element can cost a probe or
+/// full simulation, so the cap bounds one request's work).
+const BATCH_MAX: usize = 256;
+
+/// `POST /v1/batch`: a JSON array of query objects answered in order.
+/// Elements carrying a `topo` field are flow queries; everything else
+/// is a capacity query. Each element rides the canonical-key cache
+/// individually (with the usual validated/hit/miss counters), and a bad
+/// element yields an `{"error": …}` entry instead of failing the batch.
+fn answer_batch(state: &ServerState, req: &Request) -> Response {
+    let reg = state.tel.registry();
+    reg.counter("serve.batch.requests_total").inc();
+    let parsed: Result<JsonValue, String> = std::str::from_utf8(&req.body)
+        .map_err(|_| "request body is not valid UTF-8".to_string())
+        .and_then(|text| JsonValue::parse(text).map_err(|e| format!("invalid JSON body: {e}")));
+    let doc = match parsed {
+        Ok(doc) => doc,
+        Err(msg) => {
+            reg.counter("serve.batch.errors_total").inc();
+            return Response::error(400, &msg);
+        }
+    };
+    let items = match doc.as_array() {
+        Some([]) => {
+            reg.counter("serve.batch.errors_total").inc();
+            return Response::error(400, "batch array is empty");
+        }
+        Some(items) if items.len() > BATCH_MAX => {
+            reg.counter("serve.batch.errors_total").inc();
+            return Response::error(
+                400,
+                &format!("batch of {} elements exceeds the {BATCH_MAX}-element cap", items.len()),
+            );
+        }
+        Some(items) => items,
+        None => {
+            reg.counter("serve.batch.errors_total").inc();
+            return Response::error(400, "batch body must be a JSON array of query objects");
+        }
+    };
+    let _span = state.tel.span("serve/batch");
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        let answered = if item.get("topo").is_some() {
+            FlowQuery::from_value(item).and_then(|fq| {
+                reg.counter("serve.flow.validated_total").inc();
+                cached_answer(state, fq.cache_key(), || {
+                    Ok(CachedAnswer {
+                        body: flow::flow_body(&fq)?,
+                        source: "flow-analytic",
+                    })
+                })
+            })
+        } else {
+            Query::from_value(item).map(|q| (q.cache_key(), q)).and_then(|(key, q)| {
+                reg.counter("serve.query.validated_total").inc();
+                cached_answer(state, key, || compute_answer(state, &q))
+            })
+        };
+        results.push(match answered {
+            // Answer bodies are single JSON objects with a trailing
+            // newline; embedded as array elements they drop it.
+            Ok((answer, _)) => answer.body.trim_end().to_string(),
+            Err(msg) => {
+                reg.counter("serve.batch.element_errors_total").inc();
+                let mut e = JsonObject::new();
+                e.field_str("error", &msg);
+                e.finish()
+            }
+        });
+    }
+    let mut o = JsonObject::new();
+    o.field_str("schema", "banyan-serve/batch/v1")
+        .field_u64("count", results.len() as u64)
+        .field_raw("results", &format!("[{}]", results.join(", ")));
+    let mut body = o.finish();
+    body.push('\n');
+    Response::json(200, body)
 }
 
 /// The drift-gated answer policy.

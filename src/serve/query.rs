@@ -121,46 +121,18 @@ impl Query {
     /// the CLI's duplicate-flag rule.
     pub fn from_json(text: &str) -> Result<Query, String> {
         let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
-        let members = doc
-            .as_object()
-            .ok_or_else(|| "request body must be a JSON object".to_string())?;
-        let mut flags = Flags::new();
-        for (name, value) in members {
-            let name = name.replace('_', "-");
-            let rendered = match value {
-                JsonValue::Str(s) => s.clone(),
-                // `{}`-formatting an f64 is the shortest round-trip
-                // rendering, so integers stay integral ("4", not "4.0")
-                // and nothing is lost re-parsing.
-                JsonValue::Num(n) => format!("{n}"),
-                JsonValue::Bool(b) => b.to_string(),
-                _ => {
-                    return Err(format!(
-                        "field \"{name}\" must be a number, string, or boolean"
-                    ));
-                }
-            };
-            if flags.insert(name.clone(), rendered).is_some() {
-                return Err(format!("duplicate field \"{name}\""));
-            }
-        }
-        Query::from_flags(&flags)
+        Query::from_value(&doc)
+    }
+
+    /// Decodes an already-parsed JSON object (one `/v1/batch` element).
+    pub fn from_value(doc: &JsonValue) -> Result<Query, String> {
+        Query::from_flags(&flags_from_value(doc)?)
     }
 
     /// Decodes a `k=2&p=0.5`-style query string (no percent-decoding —
     /// none of the field values need it).
     pub fn from_query_string(qs: &str) -> Result<Query, String> {
-        let mut flags = Flags::new();
-        for pair in qs.split('&').filter(|s| !s.is_empty()) {
-            let (name, value) = pair.split_once('=').unwrap_or((pair, "true"));
-            if name.is_empty() {
-                return Err(format!("bad query-string pair '{pair}'"));
-            }
-            if flags.insert(name.to_string(), value.to_string()).is_some() {
-                return Err(format!("duplicate field \"{name}\""));
-            }
-        }
-        Query::from_flags(&flags)
+        Query::from_flags(&flags_from_query_string(qs)?)
     }
 
     /// Offered load ρ = p · E[m].
@@ -196,6 +168,53 @@ impl Query {
             self.mode.name(),
         )
     }
+}
+
+/// Converts a parsed JSON object into a [`Flags`] map: field names may
+/// use `_` or `-`, values may be numbers, strings, or booleans, and
+/// duplicate fields (post-rename) are an error — the same rules for
+/// every JSON decode path (`/query`, `/v1/flow`, `/v1/batch` elements).
+pub fn flags_from_value(doc: &JsonValue) -> Result<Flags, String> {
+    let members = doc
+        .as_object()
+        .ok_or_else(|| "request body must be a JSON object".to_string())?;
+    let mut flags = Flags::new();
+    for (name, value) in members {
+        let name = name.replace('_', "-");
+        let rendered = match value {
+            JsonValue::Str(s) => s.clone(),
+            // `{}`-formatting an f64 is the shortest round-trip
+            // rendering, so integers stay integral ("4", not "4.0")
+            // and nothing is lost re-parsing.
+            JsonValue::Num(n) => format!("{n}"),
+            JsonValue::Bool(b) => b.to_string(),
+            _ => {
+                return Err(format!(
+                    "field \"{name}\" must be a number, string, or boolean"
+                ));
+            }
+        };
+        if flags.insert(name.clone(), rendered).is_some() {
+            return Err(format!("duplicate field \"{name}\""));
+        }
+    }
+    Ok(flags)
+}
+
+/// Converts a `k=2&p=0.5`-style query string into a [`Flags`] map; a
+/// pair without `=` becomes the boolean `"true"`.
+pub fn flags_from_query_string(qs: &str) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    for pair in qs.split('&').filter(|s| !s.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, "true"));
+        if name.is_empty() {
+            return Err(format!("bad query-string pair '{pair}'"));
+        }
+        if flags.insert(name.to_string(), value.to_string()).is_some() {
+            return Err(format!("duplicate field \"{name}\""));
+        }
+    }
+    Ok(flags)
 }
 
 #[cfg(test)]

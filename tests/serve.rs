@@ -4,6 +4,7 @@
 
 use banyan_repro::core::total_delay::TotalWaiting;
 use banyan_repro::obs::json::JsonValue;
+use banyan_repro::serve::flow::{flow_body, FlowQuery};
 use banyan_repro::serve::http::Client;
 use banyan_repro::serve::{ServeConfig, ServerHandle};
 use std::io::{Read, Write};
@@ -333,6 +334,142 @@ fn metrics_endpoint_exposes_serve_counters() {
             resp.body
         );
     }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn flow_endpoint_serves_cached_byte_identical_answers() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let qs = "topo=mesh&rows=2&cols=2&p=0.5";
+    let first = client
+        .request("GET", &format!("/v1/flow?{qs}"), None)
+        .unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-banyan-cache"), Some("miss"));
+    assert_eq!(first.header("x-banyan-source"), Some("flow-analytic"));
+    // Same configuration as a JSON body in a different field order:
+    // canonical cache key, so the second answer is the cached first.
+    let body = r#"{"p": 0.50, "cols": 2, "rows": 2, "topo": "mesh"}"#;
+    let second = client.request("POST", "/v1/flow", Some(body)).unwrap();
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(second.header("x-banyan-cache"), Some("hit"));
+    assert_eq!(second.body, first.body, "cache must return the identical body");
+    // The served body is byte-identical to an in-process render — the
+    // same guarantee `banyan flow --json` rides on.
+    let fq = FlowQuery::from_query_string(qs).unwrap();
+    assert_eq!(first.body, flow_body(&fq).unwrap());
+    let doc = JsonValue::parse(&first.body).expect("flow answer is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("banyan-serve/flow/v1")
+    );
+    assert_eq!(doc.get("flows").and_then(JsonValue::as_u64), Some(12));
+    let per_flow = doc.get("per_flow").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(per_flow.len(), 12);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_flow_queries_get_clean_errors() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for (body, status, needle) in [
+        // Validation errors are 400s with the CLI's diagnostics.
+        (r#"{"topo": "torus"}"#, 400, "--topo"),
+        (r#"{"topo": "omega", "rows": 2}"#, 400, "does not apply"),
+        (r#"{"topo": "omega", "k": 2, "stages": 40}"#, 400, "terminals"),
+        (r#"{"topo": "mesh", "stage": 3}"#, 400, "did you mean --stages?"),
+        // A structurally valid but unstable load is the engine speaking:
+        // 422, same split as /query.
+        (r#"{"topo": "mesh", "rows": 2, "cols": 2, "p": 1.0}"#, 422, "overloaded"),
+    ] {
+        let resp = client.request("POST", "/v1/flow", Some(body)).unwrap();
+        assert_eq!(resp.status, status, "{body} -> {}", resp.body);
+        assert!(resp.body.contains(needle), "{body} -> {}", resp.body);
+    }
+    // Known path, wrong method.
+    let resp = client.request("PUT", "/v1/flow", Some("{}")).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.body);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn batch_endpoint_answers_each_element_through_the_cache() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    // Two identical capacity queries (second must be a cache hit), one
+    // bad element (reported in place, not fatal), one flow query.
+    let body = r#"[
+        {"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"},
+        {"stages": 6, "k": 2, "mode": "analytic", "p": 0.50},
+        {"k": 1},
+        {"topo": "mesh", "rows": 2, "cols": 2, "p": 0.5}
+    ]"#;
+    let resp = client.request("POST", "/v1/batch", Some(body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = JsonValue::parse(&resp.body).expect("batch answer is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("banyan-serve/batch/v1")
+    );
+    assert_eq!(doc.get("count").and_then(JsonValue::as_u64), Some(4));
+    let results = doc.get("results").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(results.len(), 4);
+    // Element answers are the same canonical bodies the scalar routes
+    // serve (modulo the trailing newline trimmed for embedding).
+    assert_eq!(
+        results[0].get("schema").and_then(JsonValue::as_str),
+        Some("banyan-serve/answer/v1")
+    );
+    assert_eq!(results[1], results[0], "identical queries share one answer");
+    assert!(
+        results[2]
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|e| e.contains("--k")),
+        "bad element must carry its error: {}",
+        resp.body
+    );
+    assert_eq!(
+        results[3].get("schema").and_then(JsonValue::as_str),
+        Some("banyan-serve/flow/v1")
+    );
+    let reg = handle.state().telemetry().registry();
+    assert_eq!(reg.counter_value("serve.batch.requests_total"), Some(1));
+    assert_eq!(reg.counter_value("serve.batch.element_errors_total"), Some(1));
+    // The shared-cache ledger: query + flow validated traffic balances
+    // hits + misses exactly.
+    let validated = reg.counter_value("serve.query.validated_total").unwrap_or(0)
+        + reg.counter_value("serve.flow.validated_total").unwrap_or(0);
+    let hits = reg.counter_value("serve.cache.hits").unwrap_or(0);
+    let misses = reg.counter_value("serve.cache.misses").unwrap_or(0);
+    assert_eq!(validated, hits + misses, "cache ledger");
+    assert_eq!(hits, 1, "the duplicate query is the one hit");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_batches_are_rejected_whole() {
+    let handle = spawn(|_| {});
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for (body, needle) in [
+        (r#"{"k": 2}"#.to_string(), "array"),
+        ("[]".to_string(), "empty"),
+        ("not json".to_string(), "JSON"),
+        // One element past the cap.
+        (format!("[{}]", vec![r#"{"k": 2}"#; 257].join(",")), "256"),
+    ] {
+        let resp = client.request("POST", "/v1/batch", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400, "{} -> {}", &body[..body.len().min(40)], resp.body);
+        assert!(resp.body.contains(needle), "{}", resp.body);
+    }
+    let resp = client.request("GET", "/v1/batch", None).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.body);
     handle.shutdown().unwrap();
 }
 
