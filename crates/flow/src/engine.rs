@@ -99,6 +99,13 @@ pub struct FlowAnalysis<'g> {
     /// individually, transit flows grouped by previous link), in
     /// deterministic key order. Zero-rate contributors are dropped.
     streams: Vec<Vec<(StreamKey, f64)>>,
+    /// Per link: the stationary start-of-cycle workload pmf `V` for
+    /// multi-stream links (`None` where the single-stream aggregate
+    /// closure applies). Solved once at construction, which is also
+    /// where a near-critical load whose workload tail outruns
+    /// [`MAX_HOP_SUPPORT`] is rejected — so the moment laws never see a
+    /// silently truncated pmf.
+    workloads: Vec<Option<Vec<f64>>>,
 }
 
 /// Support bound for per-hop pmfs: beyond this the engine refuses
@@ -154,16 +161,45 @@ impl<'g> FlowAnalysis<'g> {
                 *groups[l].entry(key).or_insert(0.0) += flow.rate;
             }
         }
-        let streams = groups
+        let streams: Vec<Vec<(StreamKey, f64)>> = groups
             .into_iter()
             .map(|g| g.into_iter().collect())
             .collect();
+        // Solve the start-of-cycle workload chain of every multi-stream
+        // link up front: the per-slot work is `S = m·Σ_j Bernoulli(r_j)`
+        // over the link's streams, and a tail that outruns the support
+        // cap is a construction error (the same "load too heavy" refusal
+        // `hop_pmf` makes), not a silent truncation.
+        let mut workloads = vec![None; graph.links().len()];
+        for (l, stream) in streams.iter().enumerate() {
+            if stream.len() < 2 {
+                continue;
+            }
+            let node = &graph.nodes()[graph.links()[l].from];
+            let ServiceDist::Constant(m) = node.service else {
+                unreachable!("loaded links were validated constant-service above");
+            };
+            let m = m as usize;
+            let mut batch = vec![1.0];
+            for &(_, r) in stream {
+                batch = convolve(&batch, &[1.0 - r, r]);
+            }
+            let mut s_pmf = vec![0.0; (batch.len() - 1) * m + 1];
+            for (b, &p) in batch.iter().enumerate() {
+                s_pmf[b * m] = p;
+            }
+            workloads[l] = Some(
+                workload_pmf(&s_pmf)
+                    .map_err(|e| format!("link {l} (out of '{}'): {e}", node.name))?,
+            );
+        }
         Ok(FlowAnalysis {
             graph,
             constants,
             rates,
             depths,
             streams,
+            workloads,
         })
     }
 
@@ -196,21 +232,12 @@ impl<'g> FlowAnalysis<'g> {
     /// single-stream links (the aggregate closure applies there — see
     /// the module docs) and idle links.
     fn tagged_hop_pmf(&self, h: &HopParams) -> Option<Vec<f64>> {
+        // The stationary workload under the full per-slot work was
+        // solved at construction (present exactly for multi-stream
+        // links).
+        let v = self.workloads[h.link].as_deref()?;
         let streams = &self.streams[h.link];
-        if streams.len() < 2 {
-            return None;
-        }
         let m = h.m as usize;
-        // Per-slot batch-count pmf over all streams, then per-slot work.
-        let mut batch = vec![1.0];
-        for &(_, r) in streams {
-            batch = convolve(&batch, &[1.0 - r, r]);
-        }
-        let mut s_pmf = vec![0.0; (batch.len() - 1) * m + 1];
-        for (b, &p) in batch.iter().enumerate() {
-            s_pmf[b * m] = p;
-        }
-        let v = workload_pmf(&s_pmf);
         // Same-slot mates come from the other streams only — a stream
         // is serialized upstream, so it never batches with itself. Skip
         // one occurrence of the tagged flow's own stream rate (streams
@@ -237,7 +264,7 @@ impl<'g> FlowAnalysis<'g> {
         for (a, &p) in ahead.iter().enumerate() {
             m_pmf[a * m] = p;
         }
-        Some(convolve(&v, &m_pmf))
+        Some(convolve(v, &m_pmf))
     }
 
     /// The kernel inputs for each hop of flow `f`, in path order.
@@ -449,22 +476,34 @@ impl<'g> FlowAnalysis<'g> {
 /// fraction of idle slots `P(V = 0, S = 0) = 1 − E[S]`, i.e.
 /// `π₀ = (1 − E[S]) / s₀`, and for `j ≥ 0`
 /// `π_{j+1}·s₀ = π_j − Σ_{i≤j} π_i·s_{j+1−i} − [j = 0]·π₀·s₀`.
-/// The geometric tail is chased until less than `1e-13` mass remains
-/// (hard-capped at `MAX_HOP_SUPPORT`; loads that heavy want the
-/// simulator).
-fn workload_pmf(s_pmf: &[f64]) -> Vec<f64> {
+/// The geometric tail is chased until less than `1e-13` mass remains.
+/// A tail still holding more than `1e-12` mass at `MAX_HOP_SUPPORT`
+/// points is an error — the same refusal [`FlowAnalysis::hop_pmf`]
+/// makes at this bound — never a silent truncation (downstream
+/// `normalize_pmf` budgets `1e-9` total round-off, and the moment laws
+/// read this pmf directly).
+fn workload_pmf(s_pmf: &[f64]) -> Result<Vec<f64>, String> {
     let s0 = s_pmf[0];
     let mean_s: f64 = s_pmf.iter().enumerate().map(|(j, &p)| j as f64 * p).sum();
     debug_assert!(s0 > 0.0 && mean_s < 1.0, "caller verified ρ < 1");
     let mut pi = vec![(1.0 - mean_s) / s0];
     let mut mass = pi[0];
-    while mass < 1.0 - 1e-13 && pi.len() < MAX_HOP_SUPPORT {
+    while mass < 1.0 - 1e-13 {
+        if pi.len() >= MAX_HOP_SUPPORT {
+            if mass < 1.0 - 1e-12 {
+                return Err(format!(
+                    "start-of-cycle workload needs more than {MAX_HOP_SUPPORT} support points; \
+                     load too heavy for the density engine"
+                ));
+            }
+            break;
+        }
         let j = pi.len() - 1;
         let mut next = pi[j];
-        for (i, &p) in pi.iter().enumerate() {
-            if let Some(&s) = s_pmf.get(j + 1 - i) {
-                next -= p * s;
-            }
+        // Only the trailing window of π reaches back into s_pmf:
+        // s_{j+1−i} vanishes once j + 1 − i ≥ len(s).
+        for i in (j + 2).saturating_sub(s_pmf.len())..=j {
+            next -= pi[i] * s_pmf[j + 1 - i];
         }
         if j == 0 {
             next -= pi[0] * s0;
@@ -476,7 +515,7 @@ fn workload_pmf(s_pmf: &[f64]) -> Vec<f64> {
         mass += next;
         pi.push(next);
     }
-    pi
+    Ok(pi)
 }
 
 #[cfg(test)]
@@ -582,6 +621,23 @@ mod tests {
         // Tagged decomposition: E[W_s] = E[V] + (λ − r_s)/2.
         assert!((w_lo - (e_v + (lambda - 1.0 / 6.0) / 2.0)).abs() < 1e-9);
         assert!((w_hi - (e_v + (lambda - 1.0 / 3.0) / 2.0)).abs() < 1e-9);
+    }
+
+    /// ρ = 0.99998 passes the per-link stability check, but the
+    /// workload tail needs far more than `MAX_HOP_SUPPORT` points to
+    /// hold `1 − 1e-13` mass — the engine must refuse at construction
+    /// instead of truncating (a truncated workload understated
+    /// `hop_mean`/`hop_var` and tripped `normalize_pmf`'s round-off
+    /// assertion in `waiting_pmf`).
+    #[test]
+    fn near_critical_multi_stream_load_is_refused() {
+        let mut g = FlowGraph::new();
+        let a = g.add_node("a", 2, ServiceDist::unit());
+        let out = g.add_link(a, None);
+        g.add_flow(a, a, 0.49999, vec![out]).unwrap();
+        g.add_flow(a, a, 0.49999, vec![out]).unwrap();
+        let err = FlowAnalysis::new(&g).unwrap_err();
+        assert!(err.contains("load too heavy"), "{err}");
     }
 
     #[test]

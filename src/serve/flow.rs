@@ -131,14 +131,16 @@ impl FlowQuery {
                 check_dims(flags, "mesh", &["rows", "cols"])?;
                 let rows: usize = get(flags, "rows", 2)?;
                 let cols: usize = get(flags, "cols", 2)?;
-                if rows * cols < 2 {
-                    return Err("mesh needs at least two routers".to_string());
-                }
-                if rows * cols > MAX_ALL_TO_ALL {
+                // checked_mul: a wrapping product could slip under the
+                // cap and reach the generator with absurd dimensions.
+                let routers = rows.checked_mul(cols).filter(|&n| n <= MAX_ALL_TO_ALL);
+                let Some(routers) = routers else {
                     return Err(format!(
-                        "mesh of {} routers exceeds the {MAX_ALL_TO_ALL}-router cap",
-                        rows * cols
+                        "mesh of {rows}×{cols} routers exceeds the {MAX_ALL_TO_ALL}-router cap"
                     ));
+                };
+                if routers < 2 {
+                    return Err("mesh needs at least two routers".to_string());
                 }
                 Topo::Mesh { rows, cols }
             }
@@ -183,10 +185,12 @@ impl FlowQuery {
                         "fat-tree needs --leaves >= 2, --spines >= 1, --hosts >= 1".to_string()
                     );
                 }
-                if leaves * hosts > MAX_ALL_TO_ALL || spines > MAX_ALL_TO_ALL {
+                let within_cap = leaves
+                    .checked_mul(hosts)
+                    .is_some_and(|n| n <= MAX_ALL_TO_ALL);
+                if !within_cap || spines > MAX_ALL_TO_ALL {
                     return Err(format!(
-                        "fat-tree of {} hosts exceeds the {MAX_ALL_TO_ALL}-host cap",
-                        leaves * hosts
+                        "fat-tree of {leaves}×{hosts} hosts exceeds the {MAX_ALL_TO_ALL}-host cap"
                     ));
                 }
                 Topo::FatTree {
@@ -332,6 +336,18 @@ mod tests {
             .contains("host cap"));
         // checked_pow overflow must fail cleanly, not panic.
         assert!(FlowQuery::from_query_string("topo=omega&k=2&stages=4000000000").is_err());
+        // Dimension products that wrap usize must hit the cap error, not
+        // slip under it (2 × (2^63 + 1) wraps to 2).
+        assert!(
+            FlowQuery::from_query_string("topo=mesh&rows=2&cols=9223372036854775809")
+                .unwrap_err()
+                .contains("router cap")
+        );
+        assert!(
+            FlowQuery::from_query_string("topo=fat-tree&leaves=9223372036854775809&hosts=2")
+                .unwrap_err()
+                .contains("host cap")
+        );
     }
 
     #[test]

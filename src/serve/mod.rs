@@ -486,6 +486,9 @@ fn answer_batch(state: &ServerState, req: &Request) -> Response {
             FlowQuery::from_value(item).and_then(|fq| {
                 reg.counter("serve.flow.validated_total").inc();
                 cached_answer(state, fq.cache_key(), || {
+                    // Same span as answer_flow, so batch-driven flow
+                    // work shows up in span-based observability too.
+                    let _span = state.tel.span("serve/flow/analytic");
                     Ok(CachedAnswer {
                         body: flow::flow_body(&fq)?,
                         source: "flow-analytic",
