@@ -181,6 +181,8 @@ fn main() {
         probe_reps: 2,
         sim_cycles: if quick { 1_000 } else { 4_000 },
         sim_reps: 2,
+        // No background drift re-probes: phase timings stay pure load.
+        drift_poll_ms: 0,
         ..ServeConfig::default()
     };
     let handle = ServerHandle::spawn(cfg.clone()).expect("spawn daemon");
@@ -206,6 +208,47 @@ fn main() {
         hot.clone()
     }));
     phases.push(("analytic_hot_1conn".to_string(), t0.elapsed().as_secs_f64()));
+
+    // Rolling-window agreement: right after the single-connection hot
+    // phase (before other phases pollute the windows), the daemon's own
+    // 10s-window quantiles for the query route must track the
+    // client-measured latencies. The server timer excludes the loopback
+    // round trip and channel queueing, so the band is directional — the
+    // server quantile sits at or below the client's, never far above.
+    let t0 = Instant::now();
+    let mut probe = Client::connect(&addr).expect("connect");
+    let resp = probe.request("GET", "/statusz", None).expect("statusz");
+    assert_eq!(resp.status, 200, "statusz failed: {}", resp.body);
+    let doc = banyan_obs::json::JsonValue::parse(&resp.body).expect("statusz parses");
+    let win = doc
+        .get("routes")
+        .and_then(|r| r.get("query"))
+        .and_then(|q| q.get("10s"))
+        .expect("statusz carries a 10s rolling window for /query");
+    let get_f64 = |key: &str| {
+        win.get(key)
+            .and_then(banyan_obs::json::JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("statusz 10s window missing {key}"))
+    };
+    let srv_p50 = get_f64("p50_us");
+    let srv_p99 = get_f64("p99_us");
+    let cli_p50 = rows[0].latency_us(0.50);
+    let cli_p99 = rows[0].latency_us(0.99);
+    assert!(get_f64("qps") > 0.0, "10s window saw no traffic");
+    assert!(
+        srv_p50 > 0.0 && srv_p50 <= cli_p50 * 2.0 + 200.0,
+        "server p50 {srv_p50:.0}us disagrees with client p50 {cli_p50:.0}us"
+    );
+    assert!(
+        srv_p99 <= cli_p99 * 3.0 + 1_000.0,
+        "server p99 {srv_p99:.0}us disagrees with client p99 {cli_p99:.0}us"
+    );
+    eprintln!(
+        "statusz agreement: server p50 {srv_p50:.0}us / p99 {srv_p99:.0}us vs \
+         client p50 {cli_p50:.0}us / p99 {cli_p99:.0}us"
+    );
+    drop(probe);
+    phases.push(("statusz_scrape".to_string(), t0.elapsed().as_secs_f64()));
 
     let t0 = Instant::now();
     rows.push(run_phase(
@@ -273,6 +316,13 @@ fn main() {
         .field_u64("probe_cycles", cfg.probe_cycles)
         .field_u64("sim_cycles", cfg.sim_cycles);
     o.field_raw("server", &server.finish());
+    let mut statusz = JsonObject::new();
+    statusz
+        .field_f64("rolling_10s_p50_us", srv_p50)
+        .field_f64("rolling_10s_p99_us", srv_p99)
+        .field_f64("client_p50_us", cli_p50)
+        .field_f64("client_p99_us", cli_p99);
+    o.field_raw("statusz_agreement", &statusz.finish());
     let row_json: Vec<String> = rows.iter().map(Row::to_json).collect();
     o.field_raw("rows", &format!("[{}]", row_json.join(", ")));
     let mut json = o.finish_pretty(2);

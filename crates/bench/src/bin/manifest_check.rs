@@ -2,8 +2,9 @@
 //! run manifests (`*.manifest.json`, schema v1 or v2), distribution
 //! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), `bench_serve`
 //! results (schema `banyan-bench/serve/v1`), `bench_flow` results
-//! (schema `banyan-bench/flow/v1`), and trace-event files
-//! (`--trace-out`, chrome://tracing format).
+//! (schema `banyan-bench/flow/v1`), trace-event files (`--trace-out`,
+//! chrome://tracing format), and structured access logs
+//! (`--access-log` JSONL, schema `banyan-serve/access/v1` per line).
 //!
 //! Usage: `manifest_check FILE...` — each file is sniffed by its
 //! `schema` key (or by a top-level `traceEvents` array) and checked for
@@ -191,6 +192,51 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
                 return Err(format!(
                     "lane ledger broken: net.lane_runs {lane_runs} > net.runs {runs}"
                 ));
+            }
+        }
+        // Operations-plane gauges. The drift flag is boolean, and
+        // every published rolling window must carry its full gauge set
+        // with isotonic quantiles bounded by the windowed max (the
+        // rolling estimators repair crossings before publishing, so a
+        // violation here means the publisher mixed up windows).
+        let gauge = |name: &str| {
+            metrics
+                .get("gauges")
+                .and_then(|g| g.get(name))
+                .and_then(|g| g.get("value"))
+                .and_then(JsonValue::as_u64)
+        };
+        if let Some(flag) = gauge("serve.drift.degraded") {
+            if flag > 1 {
+                return Err(format!("serve.drift.degraded {flag} is not a 0/1 flag"));
+            }
+        }
+        if let Some(gauges) = metrics.get("gauges").and_then(JsonValue::as_object) {
+            for (name, _) in gauges {
+                let Some(prefix) = name
+                    .strip_suffix(".count")
+                    .filter(|p| p.starts_with("serve.rolling."))
+                else {
+                    continue;
+                };
+                let field = |suffix: &str| {
+                    gauge(&format!("{prefix}.{suffix}")).ok_or_else(|| {
+                        format!("rolling window \"{prefix}\" missing gauge .{suffix}")
+                    })
+                };
+                let (p50, p90, p99, p999, max) = (
+                    field("p50_us")?,
+                    field("p90_us")?,
+                    field("p99_us")?,
+                    field("p999_us")?,
+                    field("max_us")?,
+                );
+                if !(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max) {
+                    return Err(format!(
+                        "rolling window \"{prefix}\" quantiles not monotone: \
+                         p50 {p50} p90 {p90} p99 {p99} p999 {p999} max {max}"
+                    ));
+                }
             }
         }
     }
@@ -406,9 +452,75 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
     ))
 }
 
+/// Route labels `banyan serve` emits, mirrored from `src/serve/ops.rs`
+/// — an access-log line naming anything else is malformed.
+const ACCESS_ROUTES: [&str; 9] = [
+    "query", "flow", "batch", "metrics", "statusz", "healthz", "readyz", "shutdown", "other",
+];
+
+/// A structured access log: JSONL, one `banyan-serve/access/v1` object
+/// per line with the full field set — string fields string-typed,
+/// counters nonnegative integers, status a plausible HTTP code, and
+/// the route drawn from the daemon's route label set.
+fn check_access_log(text: &str) -> Result<String, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = |msg: String| format!("line {}: {msg}", i + 1);
+        let doc = JsonValue::parse(line).map_err(|e| ctx(format!("invalid JSON: {e}")))?;
+        check_finite(&doc, "$").map_err(&ctx)?;
+        if require(&doc, "schema").map_err(&ctx)?.as_str() != Some("banyan-serve/access/v1")
+        {
+            return Err(ctx("schema is not \"banyan-serve/access/v1\"".into()));
+        }
+        let route = require(&doc, "route")
+            .map_err(&ctx)?
+            .as_str()
+            .ok_or_else(|| ctx("route is not a string".into()))?;
+        if !ACCESS_ROUTES.contains(&route) {
+            return Err(ctx(format!("unknown route \"{route}\"")));
+        }
+        for key in ["method", "path", "cache", "source"] {
+            require(&doc, key)
+                .map_err(&ctx)?
+                .as_str()
+                .ok_or_else(|| ctx(format!("{key} is not a string")))?;
+        }
+        for key in ["ts_ms", "bytes", "us", "ks_ppm"] {
+            require(&doc, key)
+                .map_err(&ctx)?
+                .as_u64()
+                .ok_or_else(|| ctx(format!("{key} is not a nonnegative integer")))?;
+        }
+        let status = require(&doc, "status")
+            .map_err(&ctx)?
+            .as_u64()
+            .ok_or_else(|| ctx("status is not an integer".into()))?;
+        if !(100..=599).contains(&status) {
+            return Err(ctx(format!("status {status} is not an HTTP status code")));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("access log has no lines".into());
+    }
+    Ok(format!("access log v1 ({lines} lines)"))
+}
+
 /// Dispatches one file by its schema (or trace shape).
 fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    // Access logs are JSONL — many documents, one per line — so they
+    // are sniffed by their first line before the whole-file parse.
+    if text
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"banyan-serve/access/v1\""))
+    {
+        return check_access_log(&text);
+    }
     let doc = JsonValue::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     check_finite(&doc, "$")?;
     match doc.get("schema").and_then(JsonValue::as_str) {

@@ -19,11 +19,18 @@
 //! (interleaved, telemetry off) must merge to bit-identical statistics
 //! with the lane engine no slower than scalar beyond the off budget,
 //! and enabling telemetry on the lane engine must stay within the
-//! enabled envelope while changing nothing. Writes
-//! `results/BENCH_overhead_guard.json`.
+//! enabled envelope while changing nothing.
+//!
+//! A third section guards the serve operations plane: interleaved
+//! keep-alive request batches against two in-process daemons — ops off
+//! (no rolling windows, no access log) vs fully instrumented — must
+//! stay within the serve budget (2% at full scale) with byte-identical
+//! `/query` bodies. Writes `results/BENCH_overhead_guard.json`.
 
 use banyan_obs::json::JsonObject;
 use banyan_obs::{Telemetry, TelemetryConfig};
+use banyan_repro::serve::http::Client;
+use banyan_repro::serve::{ServeConfig, ServerHandle};
 use banyan_sim::network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
 use banyan_sim::traffic::Workload;
 use banyan_sim::{run_network_replicated_with_engine, ReplicationEngine};
@@ -170,7 +177,10 @@ fn main() {
     // the lane engine must never be slower than scalar beyond the off
     // budget (it exists to be faster), and telemetry on the lane engine
     // must stay a pure observer within the enabled envelope.
-    let (lane_reps, lane_samples) = if quick { (4u32, 3usize) } else { (8, 5) };
+    // 9 samples: the ~1.29x typical telemetry-on ratio sits ~5% under
+    // its 1.35x envelope, and a 5-sample median let single-run noise
+    // spikes through; widening the median keeps the gate honest.
+    let (lane_reps, lane_samples) = if quick { (4u32, 3usize) } else { (8, 9) };
     let lane_mk = || NetworkConfig {
         warmup_cycles: 100,
         measure_cycles: 3_000,
@@ -243,6 +253,145 @@ fn main() {
         lanes_on_ratio
     );
 
+    // Operations plane on the serve path: two in-process daemons answer
+    // the same cached analytic query over keep-alive connections — one
+    // with the plane off (no rolling windows, no access log), one fully
+    // instrumented (rolling + per-request access log). The `/query`
+    // bodies must be byte-identical (the plane observes, never
+    // rewrites) and the instrumented side must stay within the serve
+    // budget. A loopback request is ~22 µs of syscalls and thread
+    // wakeups whose cost depends on which cores the kernel parks the
+    // worker and client on, so a single keep-alive connection biases an
+    // entire run by more than the plane's real cost. Every pass
+    // therefore opens FRESH connections to both daemons (resampling
+    // placement), alternates which side runs first (cancelling slow
+    // drift), and the verdict is the median of per-pass paired ratios.
+    // 600 passes: the per-pass ratio's spread is dominated by the two
+    // daemons' placement draws (σ ≈ 5%), so the median's standard
+    // error is ~1.25σ/√passes ≈ 0.26% — comfortable against the
+    // ~0.7% gap between the plane's real cost and the budget.
+    let (serve_batches, serve_reqs, serve_budget) =
+        if quick { (4usize, 150usize, 1.25) } else { (600, 100, 1.02) };
+    let base_cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        drift_poll_ms: 0,
+        ..ServeConfig::default()
+    };
+    let log_path = std::env::temp_dir().join(format!(
+        "overhead_guard_access_{}.jsonl",
+        std::process::id()
+    ));
+    let hot = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    let spawn_daemon = |instrumented: bool| {
+        if instrumented {
+            ServerHandle::spawn(ServeConfig {
+                rolling: true,
+                access_log: Some(log_path.display().to_string()),
+                access_log_sample_ms: 0,
+                ..base_cfg.clone()
+            })
+            .expect("spawn ops-on daemon")
+        } else {
+            ServerHandle::spawn(ServeConfig {
+                rolling: false,
+                ..base_cfg.clone()
+            })
+            .expect("spawn ops-off daemon")
+        }
+    };
+    let run_batch = |daemon: &ServerHandle| -> f64 {
+        let mut c = Client::connect(&daemon.addr().to_string()).expect("connect batch client");
+        // Warm the fresh connection: the first requests pay TCP setup,
+        // the answer-cache fill, and a cold worker wakeup that the
+        // timed window should not.
+        for _ in 0..8 {
+            let resp = c.request("POST", "/query", Some(hot)).expect("warm batch");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+        let t0 = Instant::now();
+        for _ in 0..serve_reqs {
+            let resp = c.request("POST", "/query", Some(hot)).expect("batch query");
+            assert_eq!(resp.status, 200);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let mut t_serve_off = Vec::with_capacity(serve_batches);
+    let mut t_serve_on = Vec::with_capacity(serve_batches);
+    let mut body_checked = false;
+    for pass in 0..serve_batches {
+        // Fresh daemons each pass: worker threads live for the whole
+        // daemon, so a single pair of daemons carries one core-placement
+        // draw across every batch and can bias the entire run by more
+        // than the plane's real cost.
+        let off_daemon = spawn_daemon(false);
+        let on_daemon = spawn_daemon(true);
+        if !body_checked {
+            body_checked = true;
+            let mut off_client =
+                Client::connect(&off_daemon.addr().to_string()).expect("connect off");
+            let mut on_client = Client::connect(&on_daemon.addr().to_string()).expect("connect on");
+            let body_off = off_client
+                .request("POST", "/query", Some(hot))
+                .expect("warm off daemon");
+            let body_on = on_client
+                .request("POST", "/query", Some(hot))
+                .expect("warm on daemon");
+            assert_eq!(body_off.status, 200, "{}", body_off.body);
+            assert_eq!(
+                body_off.body, body_on.body,
+                "ops plane changed a /query body"
+            );
+        }
+        let (d_off_serve, d_on_serve) = if pass % 2 == 0 {
+            let off = run_batch(&off_daemon);
+            (off, run_batch(&on_daemon))
+        } else {
+            let on = run_batch(&on_daemon);
+            (run_batch(&off_daemon), on)
+        };
+        t_serve_off.push(d_off_serve);
+        t_serve_on.push(d_on_serve);
+        off_daemon.shutdown().expect("ops-off daemon shutdown");
+        on_daemon.shutdown().expect("ops-on daemon shutdown");
+    }
+    // Paired estimator: each pass compares adjacent batches, so
+    // frequency scaling and background load cancel in the per-pass
+    // ratio, and the per-pass daemons and connections turn core-
+    // placement luck into zero-mean noise the median over all passes
+    // suppresses.
+    let mut pass_ratios: Vec<f64> = t_serve_on
+        .iter()
+        .zip(&t_serve_off)
+        .map(|(on, off)| on / off)
+        .collect();
+    if std::env::var("GUARD_DEBUG").is_ok() {
+        let mut sorted = pass_ratios.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        eprintln!(
+            "serve pass ratios: {:?}",
+            sorted.iter().map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        );
+    }
+    let serve_ratio = median(&mut pass_ratios);
+    let m_serve_off = median(&mut t_serve_off);
+    let m_serve_on = median(&mut t_serve_on);
+    let access_lines = std::fs::read_to_string(&log_path).expect("read access log");
+    assert!(
+        access_lines
+            .lines()
+            .next()
+            .is_some_and(|l| l.contains("banyan-serve/access/v1")),
+        "instrumented daemon wrote no access-log lines"
+    );
+    let _ = std::fs::remove_file(&log_path);
+    eprintln!(
+        "serve: ops-off {:.3} ms | ops-on {:.3} ms (paired {:.3}x) per {serve_reqs}-request batch",
+        m_serve_off * 1e3,
+        m_serve_on * 1e3,
+        serve_ratio
+    );
+
     let mut o = JsonObject::new();
     o.field_str("suite", "overhead_guard")
         .field_str(
@@ -266,7 +415,12 @@ fn main() {
         .field_f64("lane_engine_median_ns", m_lanes * 1e9)
         .field_f64("lane_engine_on_median_ns", m_lanes_on * 1e9)
         .field_f64("lanes_over_scalar", lanes_ratio)
-        .field_f64("lanes_on_over_lanes_off", lanes_on_ratio);
+        .field_f64("lanes_on_over_lanes_off", lanes_on_ratio)
+        .field_u64("serve_batch_requests", serve_reqs as u64)
+        .field_f64("serve_off_median_ns", m_serve_off * 1e9)
+        .field_f64("serve_on_median_ns", m_serve_on * 1e9)
+        .field_f64("serve_on_over_off", serve_ratio)
+        .field_f64("serve_budget", serve_budget);
     let json = format!("{}\n", o.finish_pretty(2));
     let cwd = std::env::current_dir().expect("current dir");
     let root = cwd
@@ -298,9 +452,15 @@ fn main() {
         lanes_on_ratio <= on_budget,
         "lane-engine telemetry overhead {lanes_on_ratio:.4}x exceeds envelope {on_budget}x"
     );
+    assert!(
+        serve_ratio <= serve_budget,
+        "serve ops-plane overhead {serve_ratio:.4}x exceeds budget {serve_budget}x: \
+         the rolling/access-log path has leaked real work onto the request path"
+    );
     println!(
         "overhead guard: off {off_ratio:.4}x (budget {off_budget}x), \
          on {on_ratio:.4}x (budget {on_budget}x), \
-         lanes {lanes_ratio:.4}x (budget {off_budget}x) -- ok"
+         lanes {lanes_ratio:.4}x (budget {off_budget}x), \
+         serve {serve_ratio:.4}x (budget {serve_budget}x) -- ok"
     );
 }

@@ -1,0 +1,298 @@
+//! Prometheus text exposition (format 0.0.4), hand-rolled like
+//! [`json`](crate::json).
+//!
+//! The [`Exposition`] builder renders metric families in the plain-text
+//! scrape format Prometheus and OpenMetrics-compatible collectors
+//! ingest: `# HELP` / `# TYPE` headers followed by sample lines, one
+//! family per metric. Registry names use dots (`serve.http.requests_total`);
+//! exposition names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`, so
+//! [`sanitize_name`] maps every illegal byte to `_` and the original
+//! dotted name is preserved verbatim in the `# HELP` line.
+//!
+//! Histograms render in the cumulative `_bucket{le="…"}` convention
+//! (our bucket bounds are inclusive upper edges — exactly Prometheus's
+//! `le`), plus `_sum`, `_count`, and an explicit `_overflow` counter
+//! for observations beyond the last finite bound (the same count the
+//! `le="+Inf"` minus last-finite-bucket difference hides).
+
+use crate::json::fmt_f64;
+use crate::registry::{MetricSnapshot, Registry};
+
+/// The `Content-Type` a `/metrics` endpoint should serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps an internal metric name onto the exposition charset: bytes
+/// outside `[a-zA-Z0-9_:]` become `_`, and a leading digit gets a `_`
+/// prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push(if ok { c } else { '_' });
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, and newline get
+/// backslash escapes (the exposition format's exact escaping rules).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value. Values are finite in practice; a non-finite
+/// value renders as the exposition's `NaN` rather than JSON's `null`.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        fmt_f64(v)
+    } else {
+        "NaN".to_string()
+    }
+}
+
+/// Builder for one scrape body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty scrape.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Emits `# HELP` and `# TYPE` headers for a family. `name` must
+    /// already be sanitized.
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        // HELP text escapes backslash and newline (not quotes).
+        let mut escaped = String::with_capacity(help.len());
+        for c in help.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                _ => escaped.push(c),
+            }
+        }
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escaped);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// One sample line: `name{label="value",…} value`. `name` must be
+    /// sanitized; label values are escaped here.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// A single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        let name = sanitize_name(name);
+        self.family(&name, "counter", help);
+        self.out.push_str(&name);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// A single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        let name = sanitize_name(name);
+        self.family(&name, "gauge", help);
+        self.sample(&name, &[], value);
+    }
+
+    /// A gauge family whose samples the caller adds via
+    /// [`sample`](Self::sample); returns the sanitized name.
+    pub fn gauge_family(&mut self, name: &str, help: &str) -> String {
+        let name = sanitize_name(name);
+        self.family(&name, "gauge", help);
+        name
+    }
+
+    /// A full histogram family in the cumulative `le` convention, plus
+    /// the explicit `_overflow` counter.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        buckets: &[u64],
+        count: u64,
+        sum: u64,
+    ) {
+        let name = sanitize_name(name);
+        self.family(&name, "histogram", help);
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (bound, n) in bounds.iter().zip(buckets) {
+            cumulative += n;
+            let le = bound.to_string();
+            self.sample(&bucket_name, &[("le", le.as_str())], cumulative as f64);
+        }
+        self.sample(&bucket_name, &[("le", "+Inf")], count as f64);
+        self.sample(&format!("{name}_sum"), &[], sum as f64);
+        self.sample(&format!("{name}_count"), &[], count as f64);
+        let overflow = buckets.last().copied().unwrap_or(0);
+        self.counter(
+            &format!("{name}_overflow"),
+            "observations beyond the last finite bucket bound",
+            overflow,
+        );
+    }
+
+    /// Renders every instrument of a registry: counters and gauges as
+    /// single-sample families (gauges additionally expose their
+    /// high-water mark as `<name>_high`), histograms in the cumulative
+    /// `le` convention. The `# HELP` line carries the original dotted
+    /// name.
+    pub fn registry(&mut self, reg: &Registry) {
+        for (name, metric) in reg.snapshot() {
+            match metric {
+                MetricSnapshot::Counter(v) => self.counter(&name, &name, v),
+                MetricSnapshot::Gauge { value, high } => {
+                    self.gauge(&name, &name, value as f64);
+                    self.gauge(
+                        &format!("{name}_high"),
+                        &format!("{name} high-water mark"),
+                        high as f64,
+                    );
+                }
+                MetricSnapshot::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                    ..
+                } => self.histogram(&name, &name, &bounds, &buckets, count, sum),
+            }
+        }
+    }
+
+    /// The scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sanitize_to_the_exposition_charset() {
+        assert_eq!(sanitize_name("serve.http.requests_total"), "serve_http_requests_total");
+        assert_eq!(sanitize_name("net.drift.ks_ppm.wait"), "net_drift_ks_ppm_wait");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok:name_2"), "ok:name_2");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        assert_eq!(escape_label(r#"plain"#), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("two\nlines"), "two\\nlines");
+        let mut e = Exposition::new();
+        e.sample("m", &[("k", "v\"\\\n")], 1.0);
+        assert_eq!(e.finish(), "m{k=\"v\\\"\\\\\\n\"} 1\n");
+    }
+
+    #[test]
+    fn counter_and_gauge_families_have_help_and_type() {
+        let mut e = Exposition::new();
+        e.counter("serve.cache.hits", "serve.cache.hits", 42);
+        e.gauge("rho", "offered load", 0.5);
+        let s = e.finish();
+        assert!(s.contains("# HELP serve_cache_hits serve.cache.hits\n"), "{s}");
+        assert!(s.contains("# TYPE serve_cache_hits counter\n"), "{s}");
+        assert!(s.contains("serve_cache_hits 42\n"), "{s}");
+        assert!(s.contains("# TYPE rho gauge\n"), "{s}");
+        assert!(s.contains("rho 0.5\n"), "{s}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_and_overflow() {
+        let mut e = Exposition::new();
+        // bounds 0,1,4 with per-bucket counts 1,1,2 and 2 overflow.
+        e.histogram("lat.us", "lat.us", &[0, 1, 4], &[1, 1, 2, 2], 6, 1012);
+        let s = e.finish();
+        assert!(s.contains("# TYPE lat_us histogram\n"), "{s}");
+        assert!(s.contains("lat_us_bucket{le=\"0\"} 1\n"), "{s}");
+        assert!(s.contains("lat_us_bucket{le=\"1\"} 2\n"), "{s}");
+        assert!(s.contains("lat_us_bucket{le=\"4\"} 4\n"), "{s}");
+        assert!(s.contains("lat_us_bucket{le=\"+Inf\"} 6\n"), "{s}");
+        assert!(s.contains("lat_us_sum 1012\n"), "{s}");
+        assert!(s.contains("lat_us_count 6\n"), "{s}");
+        assert!(s.contains("# TYPE lat_us_overflow counter\n"), "{s}");
+        assert!(s.contains("lat_us_overflow 2\n"), "{s}");
+    }
+
+    #[test]
+    fn registry_renders_every_kind_sorted() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(3);
+        reg.gauge("a.gauge").set(7);
+        reg.gauge("a.gauge").set(2);
+        reg.histogram("c.hist", &[1, 2]).record(9);
+        let mut e = Exposition::new();
+        e.registry(&reg);
+        let s = e.finish();
+        let a = s.find("a_gauge 2\n").expect("gauge sample");
+        let high = s.find("a_gauge_high 7\n").expect("high-water sample");
+        let b = s.find("b_count 3\n").expect("counter sample");
+        let c = s.find("c_hist_count 1\n").expect("histogram count");
+        assert!(a < high && high < b && b < c, "sorted family order: {s}");
+        assert!(s.contains("c_hist_overflow 1\n"), "{s}");
+        // Well-formed: every non-comment line is `name[{labels}] value`.
+        for line in s.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("sample value parses");
+        }
+    }
+}

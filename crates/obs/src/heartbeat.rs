@@ -3,9 +3,12 @@
 //! Workers push coarse deltas (every few thousand cycles, never per
 //! cycle) into a shared [`Progress`] ledger; the [`Heartbeat`] turns
 //! the ledger into at most one human-readable stderr line per
-//! `min_interval`. Everything goes to **stderr** so stdout stays
+//! `min_interval`, gated by the shared [`RateLimiter`] (primed: a
+//! line at t=0 would carry no information, so the first interval is
+//! silent). Everything goes to **stderr** so stdout stays
 //! machine-parseable — a regression test in the CLI suite pins that.
 
+use crate::limiter::RateLimiter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -85,7 +88,7 @@ impl Progress {
 /// Rate-limited stderr progress reporter.
 #[derive(Debug)]
 pub struct Heartbeat {
-    min_interval: Duration,
+    limiter: RateLimiter,
     started: Instant,
     state: Mutex<HbState>,
     lines: AtomicU64,
@@ -103,7 +106,9 @@ impl Heartbeat {
     pub fn new(min_interval: Duration) -> Self {
         let now = Instant::now();
         Heartbeat {
-            min_interval,
+            // Primed: construction counts as the last event, so the
+            // first interval after startup stays silent.
+            limiter: RateLimiter::primed(min_interval),
             started: now,
             state: Mutex::new(HbState {
                 last_emit: now,
@@ -120,10 +125,10 @@ impl Heartbeat {
         let Ok(mut st) = self.state.try_lock() else {
             return false;
         };
-        let now = Instant::now();
-        if now.duration_since(st.last_emit) < self.min_interval {
+        if !self.limiter.allow() {
             return false;
         }
+        let now = Instant::now();
         let snap = progress.snapshot();
         let dt = now.duration_since(st.last_emit).as_secs_f64();
         let cps = (snap.cycles.saturating_sub(st.last_cycles)) as f64 / dt;

@@ -35,18 +35,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod heartbeat;
 pub mod json;
+pub mod limiter;
 pub mod manifest;
 pub mod registry;
+pub mod rolling;
 pub mod sketch;
 pub mod span;
 pub mod tail;
 pub mod trace;
 
+pub use expo::Exposition;
 pub use heartbeat::{Heartbeat, Progress, ProgressSnapshot};
+pub use limiter::RateLimiter;
 pub use manifest::Manifest;
-pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, Registry};
+pub use rolling::{RollingStat, WindowSnapshot, WindowSpec};
 pub use sketch::{DistSketch, P2Quantile, QuantileSet, SketchSet};
 pub use span::{SpanEvent, SpanGuard, SpanSet, SpanStat};
 pub use tail::DriftReport;

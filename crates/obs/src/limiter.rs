@@ -1,0 +1,174 @@
+//! A lock-free minimum-interval rate limiter.
+//!
+//! Shared by the stderr [`Heartbeat`](crate::Heartbeat) and the serve
+//! access-log sampler: both need "at most one event per interval"
+//! gating that never blocks the caller. The limiter is a single atomic
+//! compare-exchange over nanoseconds-since-construction, so it is safe
+//! to call from every worker thread on a hot path.
+//!
+//! Two constructions differ only in how they treat the very first
+//! event:
+//!
+//! * [`RateLimiter::new`] — the **first event is always allowed**
+//!   (an access log that never writes its first line is useless);
+//!   subsequent events within `min_interval` of the last allowed one
+//!   are suppressed.
+//! * [`RateLimiter::primed`] — behaves as if an event had fired at
+//!   construction, so the first `min_interval` is silent. This is the
+//!   heartbeat's contract: a progress line at t=0 would carry no
+//!   information.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no event allowed yet" (see [`RateLimiter::new`]).
+const NEVER: u64 = u64::MAX;
+
+/// A thread-safe "at most one event per `min_interval`" gate.
+#[derive(Debug)]
+pub struct RateLimiter {
+    min_interval: Duration,
+    start: Instant,
+    /// Nanoseconds since `start` of the last allowed event, or
+    /// [`NEVER`]. Updated by compare-exchange so exactly one racing
+    /// caller wins each interval.
+    last_nanos: AtomicU64,
+    allowed: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl RateLimiter {
+    /// A limiter whose **first** [`allow`](Self::allow) always returns
+    /// `true`, with at most one further event per `min_interval`.
+    pub fn new(min_interval: Duration) -> Self {
+        RateLimiter {
+            min_interval,
+            start: Instant::now(),
+            last_nanos: AtomicU64::new(NEVER),
+            allowed: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// A limiter that acts as if an event fired at construction: the
+    /// first `min_interval` suppresses everything.
+    pub fn primed(min_interval: Duration) -> Self {
+        let limiter = RateLimiter::new(min_interval);
+        limiter.last_nanos.store(0, Ordering::Relaxed);
+        limiter
+    }
+
+    /// True if an event may fire now; claims the slot on success.
+    /// Contending callers race on a compare-exchange — exactly one
+    /// wins per interval, the rest are suppressed without blocking.
+    pub fn allow(&self) -> bool {
+        self.allow_at(self.start.elapsed())
+    }
+
+    /// [`allow`](Self::allow) with an explicit elapsed-time clock
+    /// (tests drive interval edges deterministically through this).
+    pub fn allow_at(&self, since_start: Duration) -> bool {
+        let now = since_start.as_nanos().min(u128::from(NEVER - 1)) as u64;
+        let interval = self.min_interval.as_nanos().min(u128::from(NEVER)) as u64;
+        let mut cur = self.last_nanos.load(Ordering::Relaxed);
+        loop {
+            if cur != NEVER && now.saturating_sub(cur) < interval {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.last_nanos.compare_exchange_weak(
+                cur,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.allowed.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                // Another caller claimed the slot (or a spurious
+                // failure); re-examine the fresh value.
+                Err(fresh) => cur = fresh,
+            }
+        }
+    }
+
+    /// Events that passed the gate so far.
+    pub fn allowed_count(&self) -> u64 {
+        self.allowed.load(Ordering::Relaxed)
+    }
+
+    /// Events the gate suppressed so far.
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// The configured minimum interval.
+    pub fn min_interval(&self) -> Duration {
+        self.min_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_event_is_always_emitted() {
+        let l = RateLimiter::new(Duration::from_secs(3600));
+        assert!(l.allow(), "first event must pass even inside the interval");
+        assert!(!l.allow(), "second event within the interval is suppressed");
+        assert_eq!(l.allowed_count(), 1);
+        assert_eq!(l.suppressed_count(), 1);
+    }
+
+    #[test]
+    fn primed_limiter_suppresses_the_first_interval() {
+        let l = RateLimiter::primed(Duration::from_secs(3600));
+        assert!(!l.allow(), "primed: construction counts as the last event");
+        assert_eq!(l.allowed_count(), 0);
+    }
+
+    #[test]
+    fn bursts_collapse_to_one_event_per_interval() {
+        let l = RateLimiter::new(Duration::from_millis(100));
+        assert!(l.allow_at(Duration::from_millis(0)));
+        for ms in [1, 5, 50, 99] {
+            assert!(!l.allow_at(Duration::from_millis(ms)), "t={ms}ms");
+        }
+        assert!(l.allow_at(Duration::from_millis(100)), "interval edge re-opens");
+        assert!(!l.allow_at(Duration::from_millis(199)));
+        assert!(l.allow_at(Duration::from_millis(205)));
+        assert_eq!(l.allowed_count(), 3);
+        assert_eq!(l.suppressed_count(), 5);
+    }
+
+    #[test]
+    fn zero_interval_allows_everything() {
+        let l = RateLimiter::primed(Duration::ZERO);
+        for _ in 0..5 {
+            assert!(l.allow());
+        }
+        assert_eq!(l.allowed_count(), 5);
+        assert_eq!(l.suppressed_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_burst_admits_exactly_one() {
+        let l = std::sync::Arc::new(RateLimiter::new(Duration::from_secs(3600)));
+        let admitted: u64 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let l = std::sync::Arc::clone(&l);
+                    s.spawn(move || u64::from(l.allow()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(admitted, 1, "exactly one racing caller wins the slot");
+        assert_eq!(l.allowed_count(), 1);
+        assert_eq!(l.suppressed_count(), 7);
+    }
+}

@@ -146,6 +146,15 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Observations larger than the last bound — the contents of the
+    /// final overflow bucket, surfaced explicitly so out-of-range
+    /// observations are visible instead of silently pooling at the
+    /// tail. Snapshots (JSON and the Prometheus exposition) report it
+    /// as its own field.
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[self.bounds.len()].load(Ordering::Relaxed)
+    }
+
     /// Folds another histogram's contents into this one. Both must
     /// share identical bucket bounds. Used to aggregate worker-local
     /// histograms into a shared registry once per run, so hot loops
@@ -172,6 +181,36 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time copy of one instrument, used by renderers (the
+/// JSON snapshot and the Prometheus exposition) that must not hold the
+/// registry lock while formatting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value and high-water mark.
+    Gauge {
+        /// Last recorded value.
+        value: u64,
+        /// Largest value ever recorded.
+        high: u64,
+    },
+    /// Histogram contents.
+    Histogram {
+        /// Inclusive bucket upper bounds (overflow bucket excluded).
+        bounds: Vec<u64>,
+        /// Per-bucket counts, overflow bucket last
+        /// (`buckets.len() == bounds.len() + 1`).
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Observations above the last bound (equals `buckets.last()`).
+        overflow: u64,
+    },
 }
 
 /// A named collection of instruments. Cheap to construct; instruments
@@ -247,6 +286,32 @@ impl Registry {
         self.metrics.lock().expect("registry poisoned").is_empty()
     }
 
+    /// A typed point-in-time snapshot of every instrument, names
+    /// sorted. The registry lock is held only for the copy, never
+    /// while a caller formats.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let m = self.metrics.lock().expect("registry poisoned");
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge {
+                        value: g.get(),
+                        high: g.high_water(),
+                    },
+                    Metric::Histogram(h) => MetricSnapshot::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        overflow: h.overflow_count(),
+                    },
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
     /// Serializes every instrument, grouped by kind, names sorted:
     /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`.
     pub fn snapshot_json(&self) -> String {
@@ -272,6 +337,7 @@ impl Registry {
                         h.bucket_counts().iter().map(|c| c.to_string()).collect();
                     o.field_u64("count", h.count())
                         .field_u64("sum", h.sum())
+                        .field_u64("overflow", h.overflow_count())
                         .field_raw("le", &format!("[{}]", bounds.join(", ")))
                         .field_raw("buckets", &format!("[{}]", counts.join(", ")));
                     histograms.field_raw(name, &o.finish());
@@ -330,6 +396,42 @@ mod tests {
         assert_eq!(h.mean(), 0.0, "empty mean must be the documented 0.0");
         assert!(!h.mean().is_nan());
         assert_eq!(h.bucket_counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn overflow_count_is_explicit_in_api_and_json() {
+        let h = Histogram::new(&[0, 1, 4]);
+        assert_eq!(h.overflow_count(), 0);
+        for v in [0, 4, 5, 1000, u64::MAX / 2] {
+            h.record(v);
+        }
+        // 5, 1000, and u64::MAX/2 exceed the last bound.
+        assert_eq!(h.overflow_count(), 3);
+        assert_eq!(h.overflow_count(), *h.bucket_counts().last().unwrap());
+
+        let r = Registry::new();
+        let rh = r.histogram("h", &[0, 1, 4]);
+        rh.record(9);
+        let s = r.snapshot_json();
+        assert!(s.contains("\"overflow\": 1"), "{s}");
+        match &r.snapshot()[0].1 {
+            MetricSnapshot::Histogram { overflow, buckets, .. } => {
+                assert_eq!(*overflow, 1);
+                assert_eq!(buckets.last(), Some(&1));
+            }
+            other => panic!("expected histogram snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_survives_merge() {
+        let a = Histogram::new(&[0, 1]);
+        let b = Histogram::new(&[0, 1]);
+        a.record(100);
+        b.record(7);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.overflow_count(), 2);
     }
 
     #[test]

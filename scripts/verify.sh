@@ -95,8 +95,13 @@ echo "== serve smoke =="
 serve_smoke() {
     local workdir pid addr expected
     workdir=$(mktemp -d)
+    # Fast drift polling + cheap probes so the operational surface
+    # (readyz, /metrics drift gauges) settles within the smoke budget.
     ./target/release/banyan serve --addr 127.0.0.1:0 \
-        --telemetry "$workdir/serve.manifest.json" > "$workdir/serve.out" &
+        --telemetry "$workdir/serve.manifest.json" \
+        --access-log "$workdir/access.jsonl" \
+        --drift-threshold 0.9 --drift-poll-ms 100 \
+        --probe-cycles 800 --probe-reps 2 > "$workdir/serve.out" &
     pid=$!
     addr=""
     for _ in $(seq 1 100); do
@@ -114,7 +119,7 @@ serve_smoke() {
     expected=$(./target/release/banyan total --stages 6 --p 0.5 \
         | sed -n 's/^E(total waiting)[[:space:]]*= //p')
     python3 - "$addr" "$expected" <<'PY'
-import http.client, json, sys
+import http.client, json, sys, time
 host, port = sys.argv[1].rsplit(":", 1)
 expected = float(sys.argv[2])
 conn = http.client.HTTPConnection(host, int(port), timeout=10)
@@ -132,12 +137,82 @@ conn.request("POST", "/query", body=body)
 r = conn.getresponse()
 assert r.getheader("X-Banyan-Cache") == "hit", r.getheaders()
 assert json.loads(r.read()) == first
+# Operational surface: liveness, the Prometheus exposition, readiness.
+conn.request("GET", "/healthz")
+r = conn.getresponse()
+assert r.status == 200 and b"ok" in r.read(), "healthz must answer ok"
+scrape = ""
+for _ in range(100):  # wait for the drift monitor to probe the hot key
+    conn.request("GET", "/metrics")
+    r = conn.getresponse()
+    assert r.status == 200, (r.status, r.read())
+    ctype = r.getheader("Content-Type") or ""
+    assert ctype.startswith("text/plain; version=0.0.4"), ctype
+    scrape = r.read().decode()
+    if "serve_drift_probe_ks_ppm" in scrape:
+        break
+    time.sleep(0.05)
+else:
+    raise AssertionError("drift monitor never probed the hot key:\n" + scrape)
+assert "# TYPE serve_http_requests_total counter" in scrape, scrape
+assert "serve_cache_hits 1" in scrape, scrape
+assert 'serve_rolling_latency_us{route="query",window="10s",quantile="p99"}' in scrape, scrape
+conn.request("GET", "/readyz")
+r = conn.getresponse()
+ready = r.read()
+assert r.status == 200 and b"ready" in ready, (r.status, ready)
 conn.request("POST", "/shutdown")
 assert conn.getresponse().status == 200
-print("ok: serve answered the closed form, cache hit, shutdown accepted")
+print("ok: serve answered the closed form, cache hit, ops surface healthy")
 PY
     wait "$pid"
-    ./target/release/manifest_check "$workdir/serve.manifest.json"
+    # The run manifest and the structured access log are both checked
+    # structurally (the access log by its per-line v1 schema).
+    ./target/release/manifest_check "$workdir/serve.manifest.json" \
+        "$workdir/access.jsonl"
+
+    # The other drift direction: a zero KS threshold marks every
+    # analytic probe as drifted, which must flip /readyz to 503.
+    ./target/release/banyan serve --addr 127.0.0.1:0 \
+        --drift-threshold 0.0 --drift-poll-ms 100 \
+        --probe-cycles 800 --probe-reps 2 > "$workdir/serve2.out" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^banyan serve listening on //p' "$workdir/serve2.out")
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "serve smoke: degraded daemon never reported its address" >&2
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    python3 - "$addr" <<'PY'
+import http.client, json, sys, time
+host, port = sys.argv[1].rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=10)
+body = json.dumps({"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"})
+conn.request("POST", "/query", body=body)
+r = conn.getresponse()
+assert r.status == 200, (r.status, r.read())
+r.read()
+text = ""
+for _ in range(100):
+    conn.request("GET", "/readyz")
+    r = conn.getresponse()
+    status, text = r.status, r.read().decode()
+    if status == 503:
+        break
+    time.sleep(0.05)
+else:
+    raise AssertionError("readyz never went not-ready under a zero KS threshold")
+assert "not-ready" in text and "drift" in text, text
+conn.request("POST", "/shutdown")
+assert conn.getresponse().status == 200
+print("ok: zero-threshold drift flips /readyz to 503")
+PY
+    wait "$pid"
     rm -rf "$workdir"
 }
 timed "serve smoke" serve_smoke

@@ -13,6 +13,7 @@
 //! banyan pmf --k 2 --p 0.5 --m 1 --len 32
 //! banyan serve --addr 127.0.0.1:7070 [--threads N] [--cache-cap N]
 //!              [--drift-threshold KS] [--telemetry FILE]
+//!              [--access-log FILE] [--admin-port PORT] [--drift-poll-ms MS]
 //! ```
 //!
 //! Flags are `--name value`; anything unknown is an error with a
@@ -54,6 +55,11 @@ const SERVE_FLAGS: &[&str] = &[
     "sim-reps",
     "seed",
     "telemetry",
+    "access-log",
+    "access-log-sample-ms",
+    "admin-port",
+    "drift-poll-ms",
+    "no-rolling",
 ];
 
 /// Schema identifier of the `--dist-out` distribution dump.
@@ -581,6 +587,20 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if cfg.probe_reps == 0 || cfg.sim_reps == 0 {
         return Err("--probe-reps and --sim-reps must be at least 1".into());
     }
+    cfg.access_log = flags.get("access-log").cloned();
+    cfg.access_log_sample_ms = get(flags, "access-log-sample-ms", cfg.access_log_sample_ms)?;
+    cfg.drift_poll_ms = get(flags, "drift-poll-ms", cfg.drift_poll_ms)?;
+    if flags.get("no-rolling").is_some() {
+        cfg.rolling = false;
+    }
+    if let Some(port) = flags.get("admin-port") {
+        let port: u16 = port
+            .parse()
+            .map_err(|_| format!("--admin-port must be a port number, got '{port}'"))?;
+        // The admin surface binds the same host as the main listener.
+        let host = cfg.addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+        cfg.admin_addr = Some(format!("{host}:{port}"));
+    }
     let telemetry_path = flags.get("telemetry").cloned();
     let tel = Telemetry::new(TelemetryConfig::on());
     let server =
@@ -588,6 +608,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let addr = server.local_addr();
     let state = server.state();
     println!("banyan serve listening on {addr}");
+    if let Some(admin) = state.admin_addr() {
+        println!("banyan serve admin listening on {admin}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     let started = std::time::Instant::now();
@@ -611,6 +634,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .config("probe_reps", cfg.probe_reps)
             .config("sim_cycles", cfg.sim_cycles)
             .config("sim_reps", cfg.sim_reps)
+            .config("drift_poll_ms", cfg.drift_poll_ms)
+            .config("rolling", cfg.rolling)
+            .config(
+                "access_log",
+                cfg.access_log.as_deref().unwrap_or("-").to_string(),
+            )
             .seed("base", cfg.seed)
             .phase("serve", run_secs);
         let written = m
@@ -626,7 +655,7 @@ commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total  
 common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
 flow-only:     --topo mesh|omega|butterfly|fat-tree --rows --cols --extra\n               --leaves --spines --hosts --json (print the /v1/flow body)\n               --dist-out FILE (event-check sketches + KS drift; --cycles\n               --reps --seed size the simulation)\n\
 simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)\n\
-serve-only:    --addr HOST:PORT (port 0 = ephemeral) --threads N --cache-cap N\n               --drift-threshold KS --probe-cycles N --probe-reps R\n               --sim-cycles N --sim-reps R --telemetry FILE";
+serve-only:    --addr HOST:PORT (port 0 = ephemeral) --threads N --cache-cap N\n               --drift-threshold KS --probe-cycles N --probe-reps R\n               --sim-cycles N --sim-reps R --telemetry FILE\n               --access-log FILE (JSONL; --access-log-sample-ms MS rate-limits)\n               --admin-port PORT (separate ops listener; 0 = ephemeral)\n               --drift-poll-ms MS (0 disables the drift monitor)\n               --no-rolling (disable rolling-window SLO aggregation)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -205,6 +205,16 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response (`GET /metrics`).
+    pub fn exposition(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body,
+            content_type: banyan_obs::expo::CONTENT_TYPE,
+            extra_headers: Vec::new(),
+        }
+    }
+
     /// A JSON error response with a single `error` field.
     pub fn error(status: u16, message: &str) -> Self {
         Self::json(
@@ -217,6 +227,14 @@ impl Response {
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
         self.extra_headers.push((name.to_string(), value.to_string()));
         self
+    }
+
+    /// Value of an attached extra header (case-insensitive name).
+    pub fn extra_header(&self, name: &str) -> Option<&str> {
+        self.extra_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -231,6 +249,7 @@ pub fn reason(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

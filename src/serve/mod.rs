@@ -22,21 +22,28 @@
 //! `POST /v1/batch` (an array of query objects answered in order, each
 //! element riding the canonical-key cache individually).
 //!
-//! The daemon emits `serve.*` counters/gauges, per-request spans, and
-//! a `banyan-obs` run manifest on shutdown. See DESIGN.md §9–§10.
+//! The operations plane ([`ops`]) watches all of it: `GET /metrics`
+//! renders the Prometheus text exposition, `GET /readyz` gates on the
+//! worker pool, cache capacity, and the background drift monitor,
+//! `GET /statusz` reports per-route rolling-window latency quantiles,
+//! and `--access-log` appends one structured JSON line per request.
+//! The daemon also emits `serve.*` counters/gauges, per-request spans,
+//! and a `banyan-obs` run manifest on shutdown. See DESIGN.md §9–§10.
 
 pub mod answer;
 pub mod cache;
 pub mod flow;
 pub mod http;
+pub mod ops;
 pub mod query;
 
 use answer::{analytic_body, probe_drift, run_sim, sim_body, AnalyticModel, SimSettings};
 use banyan_obs::json::{JsonObject, JsonValue};
-use banyan_obs::{Telemetry, TelemetryConfig};
+use banyan_obs::{Registry, Telemetry, TelemetryConfig};
 use cache::{AnswerCache, CachedAnswer};
 use flow::FlowQuery;
 use http::{HttpError, Request, Response};
+use ops::OpsPlane;
 use query::{Mode, Query};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -74,6 +81,21 @@ pub struct ServeConfig {
     /// Per-connection read timeout in milliseconds (bounds how long an
     /// idle keep-alive connection pins a worker).
     pub read_timeout_ms: u64,
+    /// Structured JSON access-log path (`None` disables the log).
+    pub access_log: Option<String>,
+    /// Minimum interval between access-log lines in milliseconds
+    /// (0 = log every request; the first line is always emitted).
+    pub access_log_sample_ms: u64,
+    /// Separate admin bind address for `/metrics`, `/statusz`,
+    /// `/healthz`, `/readyz`, `/shutdown` (`None` = the main listener
+    /// serves them too — it always does).
+    pub admin_addr: Option<String>,
+    /// Drift-monitor poll interval in milliseconds (0 disables the
+    /// background re-probe thread; benches set 0 for determinism).
+    pub drift_poll_ms: u64,
+    /// Rolling-window SLO aggregation on the request path (the
+    /// `overhead_guard` off-config disables it).
+    pub rolling: bool,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +112,11 @@ impl Default for ServeConfig {
             seed: 0x0BAD_5EED,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             read_timeout_ms: 10_000,
+            access_log: None,
+            access_log_sample_ms: 0,
+            admin_addr: None,
+            drift_poll_ms: 5_000,
+            rolling: true,
         }
     }
 }
@@ -112,8 +139,10 @@ pub struct ServerState {
     cfg: ServeConfig,
     tel: Telemetry,
     cache: AnswerCache,
+    ops: OpsPlane,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
 }
 
 impl ServerState {
@@ -133,42 +162,91 @@ impl ServerState {
         self.addr
     }
 
+    /// Bound admin address, when `--admin-port` split the surfaces.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The operations plane (rolling windows, access log, hot keys).
+    pub fn ops(&self) -> &OpsPlane {
+        &self.ops
+    }
+
     /// Cached-answer count.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
 
-    /// Requests shutdown: sets the flag and wakes the accept loop with
-    /// a throwaway connection. Idempotent.
+    /// Requests shutdown: sets the flag and wakes every accept loop
+    /// with a throwaway connection. Idempotent.
     pub fn request_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         let _ = TcpStream::connect(self.addr);
+        if let Some(admin) = self.admin_addr {
+            let _ = TcpStream::connect(admin);
+        }
     }
 }
 
 /// A bound (not yet running) daemon.
 pub struct Server {
     listener: TcpListener,
+    admin_listener: Option<TcpListener>,
     state: Arc<ServerState>,
 }
 
+/// Decrements the live-worker accounting even if the worker panics, so
+/// `/readyz` notices a lost worker.
+struct WorkerGuard<'a>(&'a Registry);
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.counter("serve.workers.exited_total").inc();
+    }
+}
+
 impl Server {
-    /// Binds the configured address and prepares shared state around
-    /// the given telemetry sink.
+    /// Binds the configured address(es) and prepares shared state
+    /// around the given telemetry sink: the answer cache, the
+    /// operations plane (which opens the access log when configured),
+    /// and the optional admin listener.
     pub fn bind(cfg: ServeConfig, tel: Telemetry) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let admin_listener = match &cfg.admin_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let cache = AnswerCache::new(cfg.cache_cap);
+        let ops = OpsPlane::new(
+            tel.registry(),
+            cfg.rolling,
+            cfg.access_log.as_deref(),
+            cfg.access_log_sample_ms,
+        )?;
+        for name in ["serve.workers.started_total", "serve.workers.exited_total"] {
+            tel.registry().counter(name);
+        }
         let state = Arc::new(ServerState {
             cfg,
             tel,
             cache,
+            ops,
             shutdown: AtomicBool::new(false),
             addr,
+            admin_addr,
         });
-        Ok(Server { listener, state })
+        Ok(Server {
+            listener,
+            admin_listener,
+            state,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -184,38 +262,79 @@ impl Server {
     /// Serves until [`ServerState::request_shutdown`] fires: a fixed
     /// worker pool drains accepted connections from an mpsc channel,
     /// each worker handling batched keep-alive requests per
-    /// connection.
+    /// connection. The optional admin listener feeds the same pool
+    /// (its connections tagged admin-only), and the drift monitor
+    /// re-probes hot analytic keys in the background.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, state } = self;
+        let Server {
+            listener,
+            admin_listener,
+            state,
+        } = self;
         let workers = state.cfg.worker_count();
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
+        let result = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(TcpStream, bool)>();
             let rx = Arc::new(Mutex::new(rx));
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&state);
-                scope.spawn(move || loop {
-                    // Hold the lock only for the dequeue, never while
-                    // serving.
-                    let next = rx.lock().expect("receiver poisoned").recv();
-                    match next {
-                        Ok(stream) => handle_connection(&state, stream),
-                        Err(_) => break,
+                state
+                    .tel
+                    .registry()
+                    .counter("serve.workers.started_total")
+                    .inc();
+                scope.spawn(move || {
+                    let _guard = WorkerGuard(state.tel.registry());
+                    loop {
+                        // Hold the lock only for the dequeue, never
+                        // while serving.
+                        let next = rx.lock().expect("receiver poisoned").recv();
+                        match next {
+                            Ok((stream, admin)) => handle_connection(&state, stream, admin),
+                            Err(_) => break,
+                        }
                     }
                 });
             }
-            loop {
-                let (stream, _) = listener.accept()?;
-                if state.shutdown.load(Ordering::SeqCst) {
-                    // The wake-up connection (or any racing late
-                    // arrival) is dropped unanswered.
-                    break;
-                }
-                let _ = tx.send(stream);
+            if let Some(admin) = admin_listener {
+                let tx = tx.clone();
+                let state = Arc::clone(&state);
+                scope.spawn(move || loop {
+                    let Ok((stream, _)) = admin.accept() else { break };
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let _ = tx.send((stream, true));
+                });
             }
+            if state.cfg.drift_poll_ms > 0 {
+                let state = Arc::clone(&state);
+                scope.spawn(move || drift_monitor(&state));
+            }
+            let accepted = loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            // The wake-up connection (or any racing
+                            // late arrival) is dropped unanswered.
+                            break Ok(());
+                        }
+                        let _ = tx.send((stream, false));
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            // Idempotent: on the error path this raises the flag so the
+            // admin accept loop and drift monitor also wind down.
+            state.request_shutdown();
             drop(tx);
-            Ok(())
-        })
+            accepted
+        });
+        // Final maintenance: durable access log, rolling aggregates
+        // published as `serve.rolling.*` gauges for the run manifest.
+        state.ops.maintenance_flush();
+        state.ops.publish_rolling_gauges(state.tel.registry());
+        result
     }
 }
 
@@ -263,8 +382,10 @@ impl ServerHandle {
 }
 
 /// Serves one connection: batched keep-alive request handling until
-/// the peer closes, errors, or asks to stop.
-fn handle_connection(state: &ServerState, stream: TcpStream) {
+/// the peer closes, errors, or asks to stop. `admin` marks
+/// connections from the dedicated admin listener, which only serve
+/// the operational surface.
+fn handle_connection(state: &ServerState, stream: TcpStream, admin: bool) {
     stream
         .set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms)))
         .ok();
@@ -293,9 +414,13 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         reg.counter("serve.http.requests_total").inc();
         let keep = {
             let _span = state.tel.span("serve/request");
-            let resp = route(state, &req);
+            // The timer finishes after the response write, so rolling
+            // latencies and access-log lines cover the full request.
+            let timer = state.ops.timer(req.path());
+            let resp = route(state, &req, admin);
             let keep = req.keep_alive() && resp.status != 413;
             write_counted(state, &mut reader, &resp, keep);
+            timer.finish(&req, &resp);
             keep
         };
         if !keep {
@@ -321,15 +446,20 @@ fn write_counted(
     let _ = http::write_response(&mut stream, resp, keep_alive);
 }
 
-/// Routes one parsed request.
-fn route(state: &ServerState, req: &Request) -> Response {
+/// Routes one parsed request. Admin-listener connections only see the
+/// operational surface; the main listener serves everything.
+fn route(state: &ServerState, req: &Request, admin: bool) -> Response {
+    if admin && matches!(req.path(), "/query" | "/v1/flow" | "/v1/batch") {
+        return Response::error(
+            404,
+            &format!("'{}' is not served on the admin listener", req.path()),
+        );
+    }
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
-        ("GET", "/metrics") => {
-            let mut body = state.tel.registry().snapshot_json();
-            body.push('\n');
-            Response::json(200, body)
-        }
+        ("GET", "/metrics") => Response::exposition(200, state.ops.render_metrics(&state.tel)),
+        ("GET", "/statusz") => Response::json(200, statusz_body(state)),
+        ("GET", "/readyz") => readyz(state),
         ("POST", "/shutdown") => {
             state.request_shutdown();
             Response::json(200, "{\"status\": \"shutting-down\"}\n".to_string())
@@ -337,13 +467,165 @@ fn route(state: &ServerState, req: &Request) -> Response {
         ("GET" | "POST", "/query") => answer_query(state, req),
         ("GET" | "POST", "/v1/flow") => answer_flow(state, req),
         ("POST", "/v1/batch") => answer_batch(state, req),
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/query" | "/v1/flow" | "/v1/batch") => {
-            Response::error(
-                405,
-                &format!("method {} not allowed for {}", req.method, req.path()),
-            )
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/statusz" | "/metrics" | "/shutdown" | "/query" | "/v1/flow"
+            | "/v1/batch",
+        ) => Response::error(
+            405,
+            &format!("method {} not allowed for {}", req.method, req.path()),
+        ),
         (_, path) => Response::error(404, &format!("unknown path '{path}'")),
+    }
+}
+
+/// `GET /readyz`: `200` only when the worker pool is whole, the answer
+/// cache is within capacity, and the drift monitor has not flagged an
+/// analytic answer as drifted past the KS threshold; otherwise `503`
+/// with the failing checks listed.
+fn readyz(state: &ServerState) -> Response {
+    let reg = state.tel.registry();
+    let started = reg.counter_value("serve.workers.started_total").unwrap_or(0);
+    let exited = reg.counter_value("serve.workers.exited_total").unwrap_or(0);
+    let expected = state.cfg.worker_count() as u64;
+    let mut failing = Vec::new();
+    if started.saturating_sub(exited) != expected {
+        failing.push(format!(
+            "worker pool degraded: {} of {expected} workers live",
+            started.saturating_sub(exited)
+        ));
+    }
+    if state.cache.len() > state.cfg.cache_cap {
+        failing.push(format!(
+            "cache over capacity: {} entries > {}",
+            state.cache.len(),
+            state.cfg.cache_cap
+        ));
+    }
+    if reg.gauge("serve.drift.degraded").get() != 0 {
+        failing.push(format!(
+            "analytic drift past threshold: worst probe ks_ppm = {}",
+            reg.gauge("serve.drift.probe_ks_ppm").get()
+        ));
+    }
+    let mut o = JsonObject::new();
+    if failing.is_empty() {
+        o.field_str("status", "ready");
+    } else {
+        let items: Vec<String> = failing
+            .iter()
+            .map(|f| format!("\"{}\"", banyan_obs::json::escape(f)))
+            .collect();
+        o.field_str("status", "not-ready")
+            .field_raw("failing", &format!("[{}]", items.join(", ")));
+    }
+    let mut body = o.finish();
+    body.push('\n');
+    Response::json(if failing.is_empty() { 200 } else { 503 }, body)
+}
+
+/// `GET /statusz`: one JSON document for humans and tests — uptime,
+/// worker pool, cache health, the drift-gauge table, and per-route
+/// rolling-window latency quantiles.
+fn statusz_body(state: &ServerState) -> String {
+    let reg = state.tel.registry();
+    let started = reg.counter_value("serve.workers.started_total").unwrap_or(0);
+    let exited = reg.counter_value("serve.workers.exited_total").unwrap_or(0);
+    let hits = reg.counter_value("serve.cache.hits").unwrap_or(0);
+    let misses = reg.counter_value("serve.cache.misses").unwrap_or(0);
+    let looked_up = hits + misses;
+    let mut workers = JsonObject::new();
+    workers
+        .field_u64("expected", state.cfg.worker_count() as u64)
+        .field_u64("active", started.saturating_sub(exited));
+    let mut cache = JsonObject::new();
+    cache
+        .field_u64("entries", state.cache.len() as u64)
+        .field_u64("capacity", state.cfg.cache_cap as u64)
+        .field_u64("hits", hits)
+        .field_u64("misses", misses)
+        .field_f64(
+            "hit_ratio",
+            if looked_up == 0 {
+                0.0
+            } else {
+                hits as f64 / looked_up as f64
+            },
+        );
+    let mut drift = JsonObject::new();
+    drift
+        .field_u64("degraded", reg.gauge("serve.drift.degraded").get())
+        .field_f64("threshold", state.cfg.drift_threshold)
+        .field_u64("last_ks_ppm", reg.gauge("serve.drift.last_ks_ppm").get())
+        .field_u64("probe_ks_ppm", reg.gauge("serve.drift.probe_ks_ppm").get())
+        .field_u64(
+            "probes_total",
+            reg.counter_value("serve.drift.probes_total").unwrap_or(0),
+        )
+        .field_u64("hot_keys", state.ops.hot_queries().len() as u64);
+    let mut o = JsonObject::new();
+    o.field_str("schema", "banyan-serve/statusz/v1")
+        .field_f64("uptime_secs", state.ops.uptime().as_secs_f64())
+        .field_str("addr", &state.addr.to_string())
+        .field_raw("workers", &workers.finish())
+        .field_raw("cache", &cache.finish())
+        .field_raw("drift", &drift.finish())
+        .field_raw("routes", &state.ops.routes_status_json());
+    let mut body = o.finish();
+    body.push('\n');
+    body
+}
+
+/// One drift-monitor pass: flushes the plane's buffers, then re-probes
+/// every hot analytic configuration with a fresh short simulation and
+/// updates the drift gauges `/readyz` consumes. Public so tests (and
+/// the monitor thread) can tick deterministically.
+pub fn drift_tick(state: &ServerState) {
+    state.ops.maintenance_flush();
+    let reg = state.tel.registry();
+    let hot = state.ops.hot_queries();
+    let settings = SimSettings {
+        cycles: state.cfg.probe_cycles,
+        reps: state.cfg.probe_reps,
+        seed: state.cfg.seed,
+    };
+    let mut worst = 0u64;
+    let mut degraded = false;
+    let mut probed = false;
+    for (_, q) in &hot {
+        let Some(model) = AnalyticModel::for_query(q) else {
+            continue;
+        };
+        let Ok(report) = probe_drift(q, &model, settings) else {
+            continue;
+        };
+        reg.counter("serve.drift.probes_total").inc();
+        probed = true;
+        worst = worst.max(report.ks_ppm());
+        degraded = degraded || report.ks > state.cfg.drift_threshold;
+    }
+    if probed {
+        reg.gauge("serve.drift.probe_ks_ppm").set(worst);
+        reg.gauge("serve.drift.degraded").set(u64::from(degraded));
+    }
+}
+
+/// The background drift monitor: sleeps in short steps (so shutdown is
+/// prompt), ticking every `drift_poll_ms`.
+fn drift_monitor(state: &ServerState) {
+    let poll = Duration::from_millis(state.cfg.drift_poll_ms);
+    let step = Duration::from_millis(25).min(poll);
+    let mut slept = Duration::ZERO;
+    loop {
+        std::thread::sleep(step);
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        slept += step;
+        if slept >= poll {
+            slept = Duration::ZERO;
+            drift_tick(state);
+        }
     }
 }
 
@@ -538,6 +820,7 @@ fn compute_answer(state: &ServerState, query: &Query) -> Result<CachedAnswer, St
             })?;
             let _span = state.tel.span("serve/query/analytic");
             state.tel.registry().counter("serve.answer.analytic_total").inc();
+            state.ops.note_hot(query);
             Ok(CachedAnswer {
                 body: analytic_body(query, &model, None),
                 source: "analytic",
@@ -549,6 +832,8 @@ fn compute_answer(state: &ServerState, query: &Query) -> Result<CachedAnswer, St
                 // Outside analytic reach: straight to the simulator.
                 return simulate(state, query, sim_settings, None);
             };
+            // Analytically covered: the drift monitor re-probes it.
+            state.ops.note_hot(query);
             let probe_settings = SimSettings {
                 cycles: cfg.probe_cycles,
                 reps: cfg.probe_reps,

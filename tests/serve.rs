@@ -310,31 +310,327 @@ fn idle_keep_alive_connections_do_not_starve_new_ones() {
     handle.shutdown().unwrap();
 }
 
+/// Parses exposition sample lines into `identity -> value`, where the
+/// identity is the full `name{labels}` prefix of the line.
+fn parse_samples(body: &str) -> std::collections::BTreeMap<String, f64> {
+    body.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (id, v) = l.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample line {l:?}"));
+            (
+                id.to_string(),
+                v.parse::<f64>().unwrap_or_else(|_| panic!("bad sample value {l:?}")),
+            )
+        })
+        .collect()
+}
+
 #[test]
-fn metrics_endpoint_exposes_serve_counters() {
-    let handle = spawn(|_| {});
+fn metrics_endpoint_renders_prometheus_exposition() {
+    let handle = spawn(|cfg| cfg.drift_poll_ms = 0);
     let addr = handle.addr().to_string();
     let mut client = Client::connect(&addr).unwrap();
-    client
-        .request("GET", "/query?k=2&stages=3&p=0.4&mode=analytic", None)
-        .unwrap();
+    let body = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(body)).unwrap().status, 200);
+    assert_eq!(client.request("POST", "/query", Some(body)).unwrap().status, 200);
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
     let resp = client.request("GET", "/metrics", None).unwrap();
     assert_eq!(resp.status, 200);
-    let doc = JsonValue::parse(&resp.body).expect("metrics JSON");
-    let counters = doc.get("counters").expect("counters section");
-    for name in [
-        "serve.http.requests_total",
-        "serve.query.validated_total",
-        "serve.cache.misses",
-        "serve.answer.analytic_total",
+    assert_eq!(resp.header("content-type"), Some("text/plain; version=0.0.4"));
+    for header in [
+        "# TYPE serve_http_requests_total counter",
+        "# TYPE serve_uptime_seconds gauge",
+        "# TYPE serve_latency_us_query histogram",
+        "# HELP serve_http_requests_total serve.http.requests_total",
     ] {
-        assert!(
-            counters.get(name).and_then(JsonValue::as_u64).unwrap_or(0) >= 1,
-            "missing counter {name} in {}",
-            resp.body
+        assert!(resp.body.contains(header), "missing {header:?} in scrape");
+    }
+    let samples = parse_samples(&resp.body);
+    assert!(samples["serve_http_requests_total"] >= 3.0);
+    assert_eq!(samples["serve_cache_misses"], 1.0);
+    assert_eq!(samples["serve_cache_hits"], 1.0);
+    // Histogram structure: cumulative buckets capped by +Inf == _count,
+    // with the explicit overflow counter at zero for loopback latencies.
+    let count = samples["serve_latency_us_query_count"];
+    assert!(count >= 2.0, "{count}");
+    assert_eq!(samples["serve_latency_us_query_bucket{le=\"+Inf\"}"], count);
+    assert_eq!(samples["serve_latency_us_query_overflow"], 0.0);
+    assert!(samples["serve_latency_us_query_sum"] > 0.0);
+    // The /query observations finished before this scrape, so the
+    // rolling families cover the route; the scrape itself has not
+    // finished and must not count itself.
+    assert!(
+        samples.contains_key("serve_rolling_latency_us{route=\"query\",window=\"10s\",quantile=\"p50\"}"),
+        "rolling quantile family missing"
+    );
+    assert!(
+        samples.contains_key("serve_rolling_requests_per_sec{route=\"query\",window=\"1s\"}"),
+        "rolling rate family missing"
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_counters_are_monotone_across_scrapes() {
+    let handle = spawn(|cfg| cfg.drift_poll_ms = 0);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let query = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    let first = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    let second = client.request("GET", "/metrics", None).unwrap();
+    // Families declared `counter` may only grow between scrapes, and
+    // none may disappear.
+    let counter_families: Vec<&str> = first
+        .body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.strip_suffix(" counter"))
+        .collect();
+    assert!(
+        counter_families.contains(&"serve_http_requests_total"),
+        "{counter_families:?}"
+    );
+    let (a, b) = (parse_samples(&first.body), parse_samples(&second.body));
+    let mut checked = 0;
+    for family in counter_families {
+        for (id, &va) in a.range(family.to_string()..) {
+            if !id.starts_with(family) {
+                break;
+            }
+            let vb = *b
+                .get(id)
+                .unwrap_or_else(|| panic!("counter {id} vanished between scrapes"));
+            assert!(vb >= va, "counter {id} went backwards: {va} -> {vb}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "too few counter samples checked: {checked}");
+    assert!(
+        b["serve_http_requests_total"] > a["serve_http_requests_total"],
+        "traffic between scrapes must show up"
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_scrape_matches_the_golden_identity_set() {
+    // A fixed request sequence against an ephemeral daemon must expose
+    // exactly the committed set of families and sample identities —
+    // metric renames, dropped instruments, or label changes all fail
+    // here. Values vary run to run and are stripped; `# HELP`/`# TYPE`
+    // lines and sample identities must match byte for byte.
+    // Regenerate with: UPDATE_GOLDEN=1 cargo test --test serve golden
+    let handle = spawn(|cfg| {
+        cfg.drift_poll_ms = 0;
+        cfg.workers = 2;
+    });
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let query = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    // First scrape is discarded so the `metrics` route itself has
+    // rolling/histogram traffic in the golden scrape.
+    assert_eq!(client.request("GET", "/metrics", None).unwrap().status, 200);
+    let resp = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let identities: String = resp
+        .body
+        .lines()
+        .map(|l| {
+            if l.starts_with('#') || l.is_empty() {
+                l.to_string()
+            } else {
+                l.rsplit_once(' ').expect("sample line").0.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/serve_metrics_scrape.txt"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &identities).expect("write golden");
+    } else {
+        let expect = std::fs::read_to_string(golden_path)
+            .expect("golden scrape file (regenerate with UPDATE_GOLDEN=1)");
+        assert_eq!(
+            identities, expect,
+            "scrape identity set changed; if intended, regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test serve golden"
         );
     }
     handle.shutdown().unwrap();
+}
+
+#[test]
+fn readyz_reflects_drift_health_in_both_directions() {
+    // Healthy direction: a generous threshold keeps the probe inside
+    // the gate, the drift tick leaves the flag clear, and /readyz says
+    // ready.
+    let handle = spawn(|cfg| {
+        cfg.drift_threshold = 0.9;
+        cfg.drift_poll_ms = 0;
+    });
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let query = r#"{"k": 2, "stages": 3, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    banyan_repro::serve::drift_tick(handle.state().as_ref());
+    let state = handle.state();
+    let reg = state.telemetry().registry();
+    assert!(reg.counter_value("serve.drift.probes_total").unwrap_or(0) >= 1);
+    assert_eq!(reg.gauge("serve.drift.degraded").get(), 0);
+    let resp = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"ready\""), "{}", resp.body);
+    handle.shutdown().unwrap();
+
+    // Degraded direction: an impossible threshold trips on any nonzero
+    // probe drift and /readyz flips to 503 naming the failure.
+    let handle = spawn(|cfg| {
+        cfg.drift_threshold = 0.0;
+        cfg.drift_poll_ms = 0;
+    });
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    banyan_repro::serve::drift_tick(handle.state().as_ref());
+    assert_eq!(
+        handle
+            .state()
+            .telemetry()
+            .registry()
+            .gauge("serve.drift.degraded")
+            .get(),
+        1
+    );
+    let resp = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("not-ready"), "{}", resp.body);
+    assert!(resp.body.contains("drift"), "{}", resp.body);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn statusz_reports_rolling_quantiles_and_cache_state() {
+    let handle = spawn(|cfg| cfg.drift_poll_ms = 0);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let query = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    let resp = client.request("GET", "/statusz", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = JsonValue::parse(&resp.body).expect("statusz JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("banyan-serve/statusz/v1")
+    );
+    assert!(get_f64(&doc, "workers", "active") >= 1.0);
+    assert_eq!(get_f64(&doc, "cache", "entries"), 1.0);
+    assert_eq!(get_f64(&doc, "cache", "hits"), 1.0);
+    assert_eq!(get_f64(&doc, "cache", "misses"), 1.0);
+    assert_eq!(get_f64(&doc, "cache", "hit_ratio"), 0.5);
+    assert_eq!(get_f64(&doc, "drift", "degraded"), 0.0);
+    assert_eq!(get_f64(&doc, "drift", "hot_keys"), 1.0);
+    assert!(
+        doc.get("uptime_secs").and_then(JsonValue::as_f64).expect("uptime_secs") >= 0.0
+    );
+    // Both finished /query observations are in the 10-second window
+    // with positive microsecond quantiles, p50 <= p99.
+    let query_10s = doc
+        .get("routes")
+        .and_then(|r| r.get("query"))
+        .and_then(|q| q.get("10s"))
+        .expect("routes.query.10s");
+    let count = query_10s.get("count").and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(count, 2, "{}", resp.body);
+    let p50 = query_10s.get("p50_us").and_then(JsonValue::as_f64).unwrap();
+    let p99 = query_10s.get("p99_us").and_then(JsonValue::as_f64).unwrap();
+    assert!(p50 > 0.0 && p50 <= p99, "p50 {p50} p99 {p99}");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn access_log_records_each_route_and_samples_when_asked() {
+    let log_path = std::env::temp_dir().join(format!(
+        "banyan_serve_test_access_{}.jsonl",
+        std::process::id()
+    ));
+    let handle = spawn(|cfg| {
+        cfg.drift_poll_ms = 0;
+        cfg.access_log = Some(log_path.display().to_string());
+    });
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let query = r#"{"k": 2, "stages": 6, "p": 0.5, "mode": "analytic"}"#;
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("POST", "/query", Some(query)).unwrap().status, 200);
+    assert_eq!(client.request("GET", "/nope", None).unwrap().status, 404);
+    // Stop over HTTP so the shutdown request itself lands in the log;
+    // joining the handle afterwards flushes the staged lines.
+    assert_eq!(client.request("POST", "/shutdown", None).unwrap().status, 200);
+    drop(client);
+    handle.shutdown().unwrap();
+    let text = std::fs::read_to_string(&log_path).expect("access log");
+    let _ = std::fs::remove_file(&log_path);
+    let lines: Vec<JsonValue> = text
+        .lines()
+        .map(|l| JsonValue::parse(l).unwrap_or_else(|e| panic!("bad log line {l:?}: {e}")))
+        .collect();
+    // query miss, query hit, 404, then the shutdown request itself.
+    assert_eq!(lines.len(), 4, "{text}");
+    let field = |i: usize, key: &str| {
+        lines[i]
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("line {i} missing {key}: {text}"))
+    };
+    for line in &lines {
+        assert_eq!(
+            line.get("schema").and_then(JsonValue::as_str),
+            Some("banyan-serve/access/v1")
+        );
+        assert!(line.get("us").and_then(JsonValue::as_u64).is_some());
+        assert!(line.get("ts_ms").and_then(JsonValue::as_u64).is_some());
+    }
+    assert_eq!(field(0, "route"), "query");
+    assert_eq!(field(0, "cache"), "miss");
+    assert_eq!(field(0, "source"), "analytic");
+    assert_eq!(field(1, "cache"), "hit");
+    assert_eq!(field(2, "route"), "other");
+    assert_eq!(lines[2].get("status").and_then(JsonValue::as_u64), Some(404));
+    assert_eq!(field(3, "route"), "shutdown");
+
+    // Sampled: a huge interval admits the first line and suppresses the
+    // rest, counting what it dropped.
+    let handle = spawn(|cfg| {
+        cfg.drift_poll_ms = 0;
+        cfg.access_log = Some(log_path.display().to_string());
+        cfg.access_log_sample_ms = 600_000;
+    });
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..5 {
+        assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    }
+    let state = handle.state().clone();
+    drop(client);
+    handle.shutdown().unwrap();
+    let text = std::fs::read_to_string(&log_path).expect("sampled access log");
+    let _ = std::fs::remove_file(&log_path);
+    assert_eq!(text.lines().count(), 1, "sampling must keep one line: {text}");
+    let reg = state.telemetry().registry();
+    assert_eq!(reg.counter_value("serve.accesslog.lines_total"), Some(1));
+    assert!(reg.counter_value("serve.accesslog.suppressed_total").unwrap_or(0) >= 4);
 }
 
 #[test]
