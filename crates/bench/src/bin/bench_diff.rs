@@ -1,0 +1,278 @@
+//! Compares fresh `BENCH_*.json` medians against the committed
+//! baselines in `results/` — the "did this PR slow anything down"
+//! gate. Every row present in both files gets a `fresh / baseline`
+//! ratio of its `median_ns`; a ratio above the regression threshold
+//! fails the run (exit 1). Rows present on only one side are reported
+//! but never fail (benches come and go); files without a `benchmarks`
+//! array (the serve/flow row formats track wall-clock, not per-iter
+//! medians) are skipped with a note.
+//!
+//! Usage: `bench_diff [--baseline-dir DIR] [--threshold X] FILE...`
+//! where each FILE is a freshly generated bench result whose baseline
+//! shares its file name under `--baseline-dir` (default `results`).
+//! The threshold default of 1.25 leaves room for machine-to-machine
+//! noise; CI pinning identical hardware can tighten it.
+
+use banyan_obs::json::JsonValue;
+use std::path::{Path, PathBuf};
+
+/// Default allowed `fresh / baseline` median ratio.
+const DEFAULT_THRESHOLD: f64 = 1.25;
+
+struct Opts {
+    baseline_dir: PathBuf,
+    threshold: f64,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        baseline_dir: PathBuf::from("results"),
+        threshold: DEFAULT_THRESHOLD,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                let dir = it.next().ok_or("--baseline-dir needs a directory")?;
+                opts.baseline_dir = PathBuf::from(dir);
+            }
+            "--threshold" => {
+                let t = it.next().ok_or("--threshold needs a ratio")?;
+                opts.threshold = t
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 1.0)
+                    .ok_or_else(|| format!("--threshold must be a ratio >= 1.0, got '{t}'"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no fresh bench files given".into());
+    }
+    Ok(opts)
+}
+
+/// Extracts `(name, median_ns)` per row of a `benchmarks` array;
+/// `None` when the file uses a different result format.
+fn medians(doc: &JsonValue) -> Option<Vec<(String, f64)>> {
+    let rows = doc.get("benchmarks")?.as_array()?;
+    let mut out = Vec::new();
+    for r in rows {
+        let name = r.get("name")?.as_str()?.to_string();
+        let m = r.get("median_ns")?.as_f64().filter(|m| *m > 0.0)?;
+        out.push((name, m));
+    }
+    Some(out)
+}
+
+/// The comparison of one fresh file against its baseline.
+struct FileDiff {
+    /// Human-readable per-row lines, ready to print.
+    lines: Vec<String>,
+    /// Rows whose ratio exceeded the threshold.
+    regressions: Vec<String>,
+}
+
+/// Compares two parsed bench documents row by row.
+fn diff_docs(fresh: &JsonValue, baseline: &JsonValue, threshold: f64) -> Result<FileDiff, String> {
+    let fresh_rows = medians(fresh).ok_or("fresh file has no benchmarks array")?;
+    let base_rows = medians(baseline).ok_or("baseline file has no benchmarks array")?;
+    let mut diff = FileDiff {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for (name, f) in &fresh_rows {
+        let Some((_, b)) = base_rows.iter().find(|(n, _)| n == name) else {
+            diff.lines.push(format!("  {name:<40} (new row, no baseline)"));
+            continue;
+        };
+        let ratio = f / b;
+        let flag = if ratio > threshold {
+            diff.regressions
+                .push(format!("{name} {ratio:.3}x > {threshold:.2}x"));
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        diff.lines.push(format!(
+            "  {name:<40} {b:>14.1} -> {f:>14.1} ns  {ratio:>6.3}x{flag}"
+        ));
+    }
+    for (name, _) in &base_rows {
+        if !fresh_rows.iter().any(|(n, _)| n == name) {
+            diff.lines
+                .push(format!("  {name:<40} (baseline row missing from fresh run)"));
+        }
+    }
+    Ok(diff)
+}
+
+fn load(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    JsonValue::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn run(opts: &Opts) -> Result<usize, String> {
+    let mut total_regressions = 0usize;
+    for fresh_path in &opts.files {
+        let file_name = fresh_path
+            .file_name()
+            .ok_or_else(|| format!("{}: not a file path", fresh_path.display()))?;
+        let base_path = opts.baseline_dir.join(file_name);
+        if !base_path.exists() {
+            println!(
+                "{}: skipped (no baseline at {})",
+                fresh_path.display(),
+                base_path.display()
+            );
+            continue;
+        }
+        let fresh = load(fresh_path)?;
+        if medians(&fresh).is_none() {
+            println!(
+                "{}: skipped (no benchmarks array — not a median_ns suite)",
+                fresh_path.display()
+            );
+            continue;
+        }
+        let baseline = load(&base_path)?;
+        let diff = diff_docs(&fresh, &baseline, opts.threshold)
+            .map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+        println!("{} vs {}:", fresh_path.display(), base_path.display());
+        for line in &diff.lines {
+            println!("{line}");
+        }
+        for r in &diff.regressions {
+            eprintln!("{}: REGRESSION {r}", fresh_path.display());
+        }
+        total_regressions += diff.regressions.len();
+    }
+    Ok(total_regressions)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: bench_diff [--baseline-dir DIR] [--threshold X] FILE..."
+            );
+            std::process::exit(2);
+        }
+    };
+    match run(&opts) {
+        Ok(0) => {}
+        Ok(n) => {
+            eprintln!("{n} regression(s) above {:.2}x", opts.threshold);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, f64)]) -> JsonValue {
+        let rows_json: Vec<String> = rows
+            .iter()
+            .map(|(n, m)| format!("{{\"name\": \"{n}\", \"median_ns\": {m}}}"))
+            .collect();
+        let text = format!(
+            "{{\"suite\": \"t\", \"benchmarks\": [{}]}}",
+            rows_json.join(", ")
+        );
+        JsonValue::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn clean_diff_has_no_regressions() {
+        let base = doc(&[("a", 100.0), ("b", 2000.0)]);
+        let fresh = doc(&[("a", 110.0), ("b", 1900.0)]);
+        let d = diff_docs(&fresh, &base, 1.25).unwrap();
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.lines.len(), 2);
+        assert!(d.lines[0].contains("1.100x"));
+    }
+
+    #[test]
+    fn regression_above_threshold_is_flagged() {
+        let base = doc(&[("a", 100.0)]);
+        let fresh = doc(&[("a", 140.0)]);
+        let d = diff_docs(&fresh, &base, 1.25).unwrap();
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("1.400x"));
+        // A looser gate passes the same rows.
+        assert!(diff_docs(&fresh, &base, 1.5).unwrap().regressions.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_rows_are_reported_not_failed() {
+        let base = doc(&[("gone", 50.0), ("kept", 100.0)]);
+        let fresh = doc(&[("kept", 100.0), ("new", 10.0)]);
+        let d = diff_docs(&fresh, &base, 1.25).unwrap();
+        assert!(d.regressions.is_empty());
+        assert!(d.lines.iter().any(|l| l.contains("new row")));
+        assert!(d.lines.iter().any(|l| l.contains("missing from fresh")));
+    }
+
+    #[test]
+    fn non_median_formats_are_rejected_by_diff() {
+        let rows = JsonValue::parse("{\"rows\": [{\"name\": \"x\", \"wall_secs\": 1.0}]}").unwrap();
+        let base = doc(&[("a", 1.0)]);
+        assert!(diff_docs(&rows, &base, 1.25).is_err());
+        assert!(medians(&rows).is_none());
+    }
+
+    #[test]
+    fn end_to_end_over_temp_files() {
+        let dir = std::env::temp_dir().join(format!("bench_diff_test_{}", std::process::id()));
+        let base_dir = dir.join("baseline");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::write(
+            base_dir.join("BENCH_x.json"),
+            "{\"benchmarks\": [{\"name\": \"a\", \"median_ns\": 100.0}]}",
+        )
+        .unwrap();
+        let fresh = dir.join("BENCH_x.json");
+        std::fs::write(&fresh, "{\"benchmarks\": [{\"name\": \"a\", \"median_ns\": 90.0}]}")
+            .unwrap();
+        let opts = Opts {
+            baseline_dir: base_dir,
+            threshold: 1.25,
+            files: vec![fresh],
+        };
+        assert_eq!(run(&opts).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arg_parsing_validates() {
+        let ok = parse_args(&[
+            "--baseline-dir".into(),
+            "b".into(),
+            "--threshold".into(),
+            "1.5".into(),
+            "f.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(ok.baseline_dir, PathBuf::from("b"));
+        assert!((ok.threshold - 1.5).abs() < 1e-12);
+        assert_eq!(ok.files.len(), 1);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["--threshold".into(), "0.5".into(), "f".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

@@ -1,10 +1,14 @@
 //! Structural validator for the JSON artifacts a run leaves behind:
 //! run manifests (`*.manifest.json`, schema v1 or v2), distribution
-//! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), `bench_serve`
-//! results (schema `banyan-bench/serve/v1`), `bench_flow` results
-//! (schema `banyan-bench/flow/v1`), trace-event files (`--trace-out`,
-//! chrome://tracing format), and structured access logs
-//! (`--access-log` JSONL, schema `banyan-serve/access/v1` per line).
+//! dumps (`--dist-out`, schema `banyan-obs/dist/v1`), drift reports
+//! (`banyan report --json`, schema `banyan-obs/report/v1`),
+//! `bench_serve` results (schema `banyan-bench/serve/v1`), `bench_flow`
+//! results (schema `banyan-bench/flow/v1`), trace-event files
+//! (`--trace-out`, chrome://tracing format), structured access logs
+//! (`--access-log` JSONL, schema `banyan-serve/access/v1` per line),
+//! and sampled message traces (`--msg-trace` JSONL, schema
+//! `banyan-obs/msgtrace/v1`: monotone per-stage cycle chains, stage
+//! counts matching the header, and the sum-of-stage-waits identity).
 //!
 //! Usage: `manifest_check FILE...` — each file is sniffed by its
 //! `schema` key (or by a top-level `traceEvents` array) and checked for
@@ -246,12 +250,9 @@ fn check_manifest(doc: &JsonValue, schema: &str) -> Result<String, String> {
     ))
 }
 
-/// A `--dist-out` dump: per-stage sketches plus drift reports.
-fn check_dist(doc: &JsonValue) -> Result<String, String> {
-    let n = check_distributions(doc)?;
-    if n == 0 {
-        return Err("distributions object is empty".into());
-    }
+/// The `drift` array shared by `--dist-out` dumps and `banyan report
+/// --json`: named KS reports with bounded statistics and finite means.
+fn check_drift_array(doc: &JsonValue) -> Result<usize, String> {
     let drift = require(doc, "drift")?
         .as_array()
         .ok_or("drift is not an array")?;
@@ -277,9 +278,52 @@ fn check_dist(doc: &JsonValue) -> Result<String, String> {
                 .ok_or_else(|| ctx(&format!("{key} is not a finite number")))?;
         }
     }
+    Ok(drift.len())
+}
+
+/// A `--dist-out` dump: per-stage sketches plus drift reports.
+fn check_dist(doc: &JsonValue) -> Result<String, String> {
+    let n = check_distributions(doc)?;
+    if n == 0 {
+        return Err("distributions object is empty".into());
+    }
+    let drift = check_drift_array(doc)?;
+    Ok(format!("dist v1 ({n} distributions, {drift} drift reports)"))
+}
+
+/// A `banyan report --json` drift table: the run's identifying knobs
+/// plus a nonempty drift array.
+fn check_report(doc: &JsonValue) -> Result<String, String> {
+    for key in ["k", "stages", "cycles", "seed", "reps", "delivered"] {
+        require(doc, key)?
+            .as_u64()
+            .ok_or_else(|| format!("{key} is not a nonnegative integer"))?;
+    }
+    require(doc, "p")?
+        .as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or("p is not a finite number")?;
+    let drift = check_drift_array(doc)?;
+    if drift == 0 {
+        return Err("drift array is empty".into());
+    }
+    Ok(format!("report v1 ({drift} drift reports)"))
+}
+
+/// A sampled per-message lifecycle trace (`--msg-trace` JSONL). The
+/// library parser enforces the format's contracts — monotone cycle
+/// chains `enter[j] ≤ start[j] < enter[j+1]`, per-record stage counts
+/// matching the header, `total = Σ wait[j]`, ascending `(rep, ord)` —
+/// so validation is exactly a parse.
+fn check_msgtrace(text: &str) -> Result<String, String> {
+    let parsed = banyan_obs::msgtrace::parse_trace(text)?;
+    let stages = parsed
+        .stages
+        .map_or("variable".to_string(), |s| s.to_string());
     Ok(format!(
-        "dist v1 ({n} distributions, {} drift reports)",
-        drift.len()
+        "msgtrace v1 ({} records, stages {stages}, rate {})",
+        parsed.records.len(),
+        parsed.rate
     ))
 }
 
@@ -521,11 +565,20 @@ fn check_file(path: &str) -> Result<String, String> {
     {
         return check_access_log(&text);
     }
+    // Message traces are JSONL too: sniff the header line's schema.
+    if text
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"banyan-obs/msgtrace/v1\""))
+    {
+        return check_msgtrace(&text);
+    }
     let doc = JsonValue::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     check_finite(&doc, "$")?;
     match doc.get("schema").and_then(JsonValue::as_str) {
         Some(s) if s.starts_with("banyan-obs/manifest/") => check_manifest(&doc, s),
         Some("banyan-obs/dist/v1") => check_dist(&doc),
+        Some("banyan-obs/report/v1") => check_report(&doc),
         Some("banyan-bench/serve/v1") => check_serve_bench(&doc),
         Some("banyan-bench/flow/v1") => check_flow_bench(&doc),
         Some(other) => Err(format!("unknown schema \"{other}\"")),

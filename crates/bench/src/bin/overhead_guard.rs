@@ -21,7 +21,15 @@
 //! and enabling telemetry on the lane engine must stay within the
 //! enabled envelope while changing nothing.
 //!
-//! A third section guards the serve operations plane: interleaved
+//! A third section guards the message tracer: the replicated runner
+//! with tracing disabled (`tracer = None` — the `TRACE = false`
+//! monomorphization) must stay within the hot-path budget of a plain
+//! per-replication `run_network` loop, a tracer at a realistic
+//! sampling rate must stay within the enabled envelope, and a
+//! rate-1.0 tracer must capture exactly one record per delivered
+//! message while changing no statistic.
+//!
+//! A fourth section guards the serve operations plane: interleaved
 //! keep-alive request batches against two in-process daemons — ops off
 //! (no rolling windows, no access log) vs fully instrumented — must
 //! stay within the serve budget (2% at full scale) with byte-identical
@@ -74,10 +82,15 @@ fn main() {
     // config so the guard speaks to the recorded baseline medians; quick
     // shrinks the network and sample count, and relaxes the thresholds
     // (short runs are noisier), to smoke-test the same code path.
+    // 17 samples (was 11): on a single-core box the harness and kernel
+    // steal whole scheduling quanta, and an 11-sample median of ~0.8 s
+    // passes let a 2–3 % swing through — over budget for a gate whose
+    // off-vs-plain legs run the very same monomorphized loop. Widening
+    // the median (not the budgets) absorbs it.
     let (stages, samples, off_budget, on_budget) = if quick {
         (6u32, 5usize, 1.10, 1.60)
     } else {
-        (10, 11, 1.02, 1.35)
+        (10, 17, 1.02, 1.35)
     };
     let mk = || NetworkConfig {
         warmup_cycles: 100,
@@ -177,10 +190,11 @@ fn main() {
     // the lane engine must never be slower than scalar beyond the off
     // budget (it exists to be faster), and telemetry on the lane engine
     // must stay a pure observer within the enabled envelope.
-    // 9 samples: the ~1.29x typical telemetry-on ratio sits ~5% under
-    // its 1.35x envelope, and a 5-sample median let single-run noise
-    // spikes through; widening the median keeps the gate honest.
-    let (lane_reps, lane_samples) = if quick { (4u32, 3usize) } else { (8, 9) };
+    // 15 samples: the ~1.29x typical telemetry-on ratio sits ~5% under
+    // its 1.35x envelope, and a 9-sample median still let a single-core
+    // scheduling spike land it at 1.352x; widening the median keeps the
+    // gate honest without loosening the envelope.
+    let (lane_reps, lane_samples) = if quick { (4u32, 3usize) } else { (8, 15) };
     let lane_mk = || NetworkConfig {
         warmup_cycles: 100,
         measure_cycles: 3_000,
@@ -251,6 +265,113 @@ fn main() {
         lanes_ratio,
         m_lanes_on * 1e3,
         lanes_on_ratio
+    );
+
+    // Message tracer: with `tracer = None` the runner compiles to the
+    // existing hot loop (`TRACE = false`), so a traced-capable run with
+    // tracing disabled must cost no more than a plain per-replication
+    // `run_network` loop. A tracer at the default 1% sampling rate adds
+    // one hash per tracked injection plus a record per sampled message,
+    // and must stay within the enabled envelope.
+    use banyan_obs::msgtrace::MsgTracer;
+    use banyan_sim::run_network_replicated_traced;
+    // 15 samples for the same reason as the sections above: the 1.02x
+    // disabled-path gate needs a median wide enough to shrug off
+    // single-core scheduling spikes.
+    let (trace_reps, trace_samples) = if quick { (2u32, 3usize) } else { (4, 15) };
+    let trace_mk = lane_mk;
+    // Correctness: a full-rate tracer observes everything and perturbs
+    // nothing — statistics bit-identical, one record per delivery, and
+    // every record's stage waits sum to its total.
+    let untraced = run_network_replicated_traced(
+        &trace_mk(),
+        trace_reps,
+        1,
+        &Telemetry::off(),
+        ReplicationEngine::Scalar,
+        None,
+    );
+    let full_tracer = MsgTracer::new(1.0);
+    let traced = run_network_replicated_traced(
+        &trace_mk(),
+        trace_reps,
+        1,
+        &Telemetry::off(),
+        ReplicationEngine::Scalar,
+        Some(&full_tracer),
+    );
+    assert_bit_identical("traced vs untraced", &traced, &untraced);
+    let records = full_tracer.finish();
+    assert_eq!(
+        records.len() as u64,
+        traced.delivered,
+        "rate-1.0 tracer: one record per delivered message"
+    );
+    for r in &records {
+        assert_eq!(
+            r.waits.iter().map(|&w| u64::from(w)).sum::<u64>(),
+            r.total_wait(),
+            "record stage waits must sum to the total"
+        );
+    }
+    eprintln!(
+        "msgtrace bit-identity: ok ({} records over {trace_reps} replications)",
+        records.len()
+    );
+
+    let mut t_trace_plain = Vec::with_capacity(trace_samples);
+    let mut t_trace_off = Vec::with_capacity(trace_samples);
+    let mut t_trace_on = Vec::with_capacity(trace_samples);
+    for pass in 0..=trace_samples {
+        let t0 = Instant::now();
+        let mut plain_delivered = 0u64;
+        for j in 0..trace_reps {
+            let mut c = trace_mk();
+            c.seed = c.seed.wrapping_add(u64::from(j));
+            plain_delivered += run_network(c).delivered;
+        }
+        let d_plain = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let a = run_network_replicated_traced(
+            &trace_mk(),
+            trace_reps,
+            1,
+            &off,
+            ReplicationEngine::Scalar,
+            None,
+        );
+        let d_off = t0.elapsed().as_secs_f64();
+        let tracer = MsgTracer::new(0.01);
+        let t0 = Instant::now();
+        let b = run_network_replicated_traced(
+            &trace_mk(),
+            trace_reps,
+            1,
+            &off,
+            ReplicationEngine::Scalar,
+            Some(&tracer),
+        );
+        let d_on = t0.elapsed().as_secs_f64();
+        assert_eq!(a.delivered, plain_delivered);
+        assert_eq!(a.delivered, b.delivered);
+        if pass > 0 {
+            t_trace_plain.push(d_plain);
+            t_trace_off.push(d_off);
+            t_trace_on.push(d_on);
+        }
+    }
+    let m_trace_plain = median(&mut t_trace_plain);
+    let m_trace_off = median(&mut t_trace_off);
+    let m_trace_on = median(&mut t_trace_on);
+    let trace_off_ratio = m_trace_off / m_trace_plain;
+    let trace_on_ratio = m_trace_on / m_trace_plain;
+    eprintln!(
+        "msgtrace: plain {:.3} ms | untraced {:.3} ms ({:.3}x) | traced@1% {:.3} ms ({:.3}x)",
+        m_trace_plain * 1e3,
+        m_trace_off * 1e3,
+        trace_off_ratio,
+        m_trace_on * 1e3,
+        trace_on_ratio
     );
 
     // Operations plane on the serve path: two in-process daemons answer
@@ -416,6 +537,12 @@ fn main() {
         .field_f64("lane_engine_on_median_ns", m_lanes_on * 1e9)
         .field_f64("lanes_over_scalar", lanes_ratio)
         .field_f64("lanes_on_over_lanes_off", lanes_on_ratio)
+        .field_u64("msgtrace_reps", u64::from(trace_reps))
+        .field_f64("msgtrace_plain_median_ns", m_trace_plain * 1e9)
+        .field_f64("msgtrace_off_median_ns", m_trace_off * 1e9)
+        .field_f64("msgtrace_on_median_ns", m_trace_on * 1e9)
+        .field_f64("msgtrace_off_over_plain", trace_off_ratio)
+        .field_f64("msgtrace_on_over_plain", trace_on_ratio)
         .field_u64("serve_batch_requests", serve_reqs as u64)
         .field_f64("serve_off_median_ns", m_serve_off * 1e9)
         .field_f64("serve_on_median_ns", m_serve_on * 1e9)
@@ -453,6 +580,15 @@ fn main() {
         "lane-engine telemetry overhead {lanes_on_ratio:.4}x exceeds envelope {on_budget}x"
     );
     assert!(
+        trace_off_ratio <= off_budget,
+        "msgtrace-disabled overhead {trace_off_ratio:.4}x exceeds budget {off_budget}x: \
+         the TRACE = false path has leaked tracing work onto the hot loop"
+    );
+    assert!(
+        trace_on_ratio <= on_budget,
+        "msgtrace sampling overhead {trace_on_ratio:.4}x exceeds envelope {on_budget}x"
+    );
+    assert!(
         serve_ratio <= serve_budget,
         "serve ops-plane overhead {serve_ratio:.4}x exceeds budget {serve_budget}x: \
          the rolling/access-log path has leaked real work onto the request path"
@@ -461,6 +597,7 @@ fn main() {
         "overhead guard: off {off_ratio:.4}x (budget {off_budget}x), \
          on {on_ratio:.4}x (budget {on_budget}x), \
          lanes {lanes_ratio:.4}x (budget {off_budget}x), \
+         msgtrace {trace_off_ratio:.4}x (budget {off_budget}x), \
          serve {serve_ratio:.4}x (budget {serve_budget}x) -- ok"
     );
 }

@@ -32,5 +32,7 @@ pub mod topo;
 
 pub use engine::{FlowAnalysis, HopParams};
 pub use graph::{Flow, FlowGraph, FlowId, Link, LinkId, Node, NodeId};
-pub use sim::{simulate_flows, simulate_network, FlowSimConfig, FlowSimReport};
+pub use sim::{
+    simulate_flows, simulate_network, simulate_network_traced, FlowSimConfig, FlowSimReport,
+};
 pub use topo::{butterfly, fat_tree, mesh, omega};

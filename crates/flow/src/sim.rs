@@ -15,6 +15,7 @@
 //! approximation under test.
 
 use crate::graph::FlowGraph;
+use banyan_obs::msgtrace::{MsgTracer, RepTrace};
 use banyan_obs::DistSketch;
 use banyan_prng::rngs::SmallRng;
 use banyan_prng::{Rng, SeedableRng};
@@ -53,15 +54,20 @@ const COOLDOWN_CYCLES: u64 = 512;
 /// this means the instance is effectively unstable).
 const DRAIN_CAP: u64 = 1_000_000;
 
+/// `Msg::trace` value for untraced messages.
+const TRACE_NONE: u32 = u32::MAX;
+
 /// A message in flight: which flow it belongs to, which hop it is about
-/// to queue at, the waiting accumulated so far, and whether it was
-/// injected inside the measure window.
+/// to queue at, the waiting accumulated so far, whether it was injected
+/// inside the measure window, and (for sampled messages) its open
+/// record index in the replication's [`RepTrace`].
 #[derive(Clone, Copy, Debug)]
 struct Msg {
     flow: u32,
     hop: u32,
     wait_acc: u64,
     measured: bool,
+    trace: u32,
 }
 
 /// What the event check observed: exact waiting-time sketches per flow
@@ -88,6 +94,21 @@ pub fn simulate_flows(graph: &FlowGraph, cfg: &FlowSimConfig) -> Vec<DistSketch>
 /// Like [`simulate_flows`], but also reports the per-link hop-wait
 /// sketches.
 pub fn simulate_network(graph: &FlowGraph, cfg: &FlowSimConfig) -> FlowSimReport {
+    simulate_network_traced(graph, cfg, None)
+}
+
+/// Like [`simulate_network`], with an optional sampled per-message
+/// lifecycle tracer. A traced record holds the message's injection
+/// cycle and one wait per hop of its flow's path (no routing digits —
+/// the path is the flow's, not per-message); the sampled set is a pure
+/// function of `(seed, ordinal)` where the ordinal counts measured
+/// injections in injection order, so tracing never perturbs the
+/// simulation.
+pub fn simulate_network_traced(
+    graph: &FlowGraph,
+    cfg: &FlowSimConfig,
+    tracer: Option<&MsgTracer>,
+) -> FlowSimReport {
     assert!(cfg.reps >= 1, "need at least one replication");
     let mut merged = FlowSimReport {
         flows: (0..graph.flows().len())
@@ -98,7 +119,12 @@ pub fn simulate_network(graph: &FlowGraph, cfg: &FlowSimConfig) -> FlowSimReport
             .collect(),
     };
     for i in 0..cfg.reps {
-        let rep = run_once(graph, cfg, cfg.seed.wrapping_add(i as u64));
+        let seed = cfg.seed.wrapping_add(u64::from(i));
+        let mut rt = tracer.map(|tc| tc.rep(i, seed));
+        let rep = run_once(graph, cfg, seed, &mut rt);
+        if let (Some(tc), Some(rt)) = (tracer, rt) {
+            tc.commit(rt);
+        }
         for (m, r) in merged.flows.iter_mut().zip(&rep.flows) {
             m.merge(r);
         }
@@ -109,7 +135,12 @@ pub fn simulate_network(graph: &FlowGraph, cfg: &FlowSimConfig) -> FlowSimReport
     merged
 }
 
-fn run_once(graph: &FlowGraph, cfg: &FlowSimConfig, seed: u64) -> FlowSimReport {
+fn run_once(
+    graph: &FlowGraph,
+    cfg: &FlowSimConfig,
+    seed: u64,
+    trace: &mut Option<RepTrace>,
+) -> FlowSimReport {
     let links = graph.links();
     let flows = graph.flows();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -123,6 +154,10 @@ fn run_once(graph: &FlowGraph, cfg: &FlowSimConfig, seed: u64) -> FlowSimReport 
         (0..links.len()).map(|_| DistSketch::new_exact()).collect();
     let inject_end = cfg.warmup_cycles + cfg.measure_cycles + COOLDOWN_CYCLES;
     let measure_end = cfg.warmup_cycles + cfg.measure_cycles;
+    // Tracked-injection ordinal: counts measured injections in
+    // injection order (cycle-major, flow-index-minor) whether or not a
+    // tracer is attached, so the sampled set is seed-deterministic.
+    let mut ord = 0u64;
     let mut cycle = 0u64;
     while cycle < inject_end || !calendar.is_empty() {
         assert!(
@@ -133,11 +168,22 @@ fn run_once(graph: &FlowGraph, cfg: &FlowSimConfig, seed: u64) -> FlowSimReport 
         if cycle < inject_end {
             for (fi, f) in flows.iter().enumerate() {
                 if f.rate > 0.0 && rng.gen_bool(f.rate) {
+                    let measured = cycle >= cfg.warmup_cycles && cycle < measure_end;
+                    let mut tid = TRACE_NONE;
+                    if measured {
+                        if let Some(tr) = trace.as_mut() {
+                            if tr.sampled(ord) {
+                                tid = tr.begin(ord, cycle) as u32;
+                            }
+                        }
+                        ord += 1;
+                    }
                     today.push(Msg {
                         flow: fi as u32,
                         hop: 0,
                         wait_acc: 0,
-                        measured: cycle >= cfg.warmup_cycles && cycle < measure_end,
+                        measured,
+                        trace: tid,
                     });
                 }
             }
@@ -160,6 +206,14 @@ fn run_once(graph: &FlowGraph, cfg: &FlowSimConfig, seed: u64) -> FlowSimReport 
             let total = msg.wait_acc + w;
             if msg.measured {
                 link_sketches[link].record(w);
+            }
+            if msg.trace != TRACE_NONE {
+                if let Some(tr) = trace.as_mut() {
+                    tr.push_wait(
+                        msg.trace as usize,
+                        u32::try_from(w).expect("hop wait exceeds u32"),
+                    );
+                }
             }
             if msg.hop as usize + 1 == path.len() {
                 if msg.measured {
@@ -241,6 +295,61 @@ mod tests {
         );
         // More reps → strictly more samples.
         assert!(a[0].count() > single[0].count());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_validates() {
+        use banyan_obs::msgtrace::{header_object, parse_trace, render_jsonl, MsgTracer};
+        let g = omega(2, 2, 0.4, 1);
+        let cfg = FlowSimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            reps: 2,
+            seed: 11,
+        };
+        let plain = simulate_network(&g, &cfg);
+        let tracer = MsgTracer::new(1.0);
+        let traced = simulate_network_traced(&g, &cfg, Some(&tracer));
+        // Tracing is purely observational.
+        for (a, b) in plain.flows.iter().zip(&traced.flows) {
+            assert_eq!(a.count_points(), b.count_points());
+        }
+        let records = tracer.finish();
+        // Rate 1.0: one record per measured message.
+        let measured: u64 = plain.flows.iter().map(DistSketch::count).sum();
+        assert_eq!(records.len() as u64, measured);
+        // Hop counts are variable; the header declares stages: 0 and the
+        // parser accepts per-record lengths.
+        let header = header_object("flow", 0, cfg.seed, cfg.reps, 1.0).finish();
+        let doc = render_jsonl(&header, &records);
+        let parsed = parse_trace(&doc).expect("flow trace validates");
+        assert_eq!(parsed.stages, None);
+        assert_eq!(parsed.records.len(), records.len());
+        // Record totals replay the end-to-end pmf exactly.
+        let mut sk: Vec<DistSketch> = (0..g.flows().len())
+            .map(|_| DistSketch::new_exact())
+            .collect();
+        let mut all = DistSketch::new_exact();
+        for r in &records {
+            assert!(r.digits.is_empty());
+            all.record(r.total_wait());
+        }
+        for f in &plain.flows {
+            sk[0].merge(f);
+        }
+        assert_eq!(all.count_points(), sk[0].count_points());
+        // Sub-rate sampling is a subset and deterministic.
+        let t1 = MsgTracer::new(0.25);
+        simulate_network_traced(&g, &cfg, Some(&t1));
+        let t2 = MsgTracer::new(0.25);
+        simulate_network_traced(&g, &cfg, Some(&t2));
+        let (r1, r2) = (t1.finish(), t2.finish());
+        assert!(!r1.is_empty() && r1.len() < records.len());
+        assert_eq!(r1.len(), r2.len());
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!((a.rep, a.ord, a.inject), (b.rep, b.ord, b.inject));
+            assert_eq!(a.waits, b.waits);
+        }
     }
 
     #[test]

@@ -297,11 +297,23 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this
-                // is always well-formed).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+            Some(&byte) if byte < 0x80 => {
+                out.push(char::from(byte));
+                *pos += 1;
+            }
+            Some(&byte) => {
+                // Consume one multi-byte UTF-8 scalar. Decode just this
+                // scalar: validating the whole remaining tail here made
+                // parsing quadratic in document size (each character of
+                // every string re-scanned megabytes of suffix).
+                let len = match byte {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let end = (*pos + len).min(b.len());
+                let scalar = std::str::from_utf8(&b[*pos..end]).map_err(|e| e.to_string())?;
+                let c = scalar.chars().next().ok_or("truncated UTF-8 scalar")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -441,5 +453,31 @@ mod tests {
         let doc = JsonValue::parse(r#"{"u": "\u0041\u00e9", "n": -1.5e3}"#).unwrap();
         assert_eq!(doc.get("u").and_then(JsonValue::as_str), Some("Aé"));
         assert_eq!(doc.get("n").and_then(JsonValue::as_f64), Some(-1500.0));
+    }
+
+    #[test]
+    fn parser_stays_linear_on_string_heavy_megabyte_documents() {
+        // Regression guard: the string scanner used to revalidate the
+        // entire remaining document for every ordinary character,
+        // making a parse of a megabyte-scale chrome trace quadratic
+        // (minutes of CPU). Linear parsing clears this ~1.7 MB document
+        // in milliseconds; the generous bound only catches a return of
+        // the quadratic scan, not machine noise.
+        let row = "{\"name\": \"stage—01/αβγ — span\", \"val\": 123456789}";
+        let rows = vec![row; 30_000].join(", ");
+        let doc = format!("{{\"rows\": [{rows}]}}");
+        let t0 = std::time::Instant::now();
+        let v = JsonValue::parse(&doc).unwrap();
+        let arr = v.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr.len(), 30_000);
+        assert_eq!(
+            arr[29_999].get("name").and_then(JsonValue::as_str),
+            Some("stage—01/αβγ — span")
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "parse took {:?} — the quadratic string scan is back",
+            t0.elapsed()
+        );
     }
 }

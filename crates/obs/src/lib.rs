@@ -5,7 +5,8 @@
 //! marks, fixed-bucket histograms), hierarchical [`span`] timers,
 //! distribution [`sketch`]es (exact sparse integer pmfs, P² streaming
 //! quantiles), [`tail`] tracking with analytic drift checks, a
-//! `chrome://tracing` [`trace`] exporter, a rate-limited stderr
+//! `chrome://tracing` [`trace`] exporter, a sampled per-message
+//! lifecycle tracer ([`msgtrace`]), a rate-limited stderr
 //! progress [`heartbeat`], and provenance-stamped run [`manifest`]s
 //! (config, seeds, phase wall times, metric snapshot, host
 //! parallelism, git revision).
@@ -40,6 +41,7 @@ pub mod heartbeat;
 pub mod json;
 pub mod limiter;
 pub mod manifest;
+pub mod msgtrace;
 pub mod registry;
 pub mod rolling;
 pub mod sketch;
@@ -48,6 +50,7 @@ pub mod tail;
 pub mod trace;
 
 pub use expo::Exposition;
+pub use msgtrace::{MsgRecord, MsgTracer, RepTrace};
 pub use heartbeat::{Heartbeat, Progress, ProgressSnapshot};
 pub use limiter::RateLimiter;
 pub use manifest::Manifest;

@@ -112,4 +112,94 @@ mod tests {
         assert!(doc.contains("\"traceEvents\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
+
+    #[test]
+    fn empty_span_set_exports_a_parseable_document() {
+        use crate::json::JsonValue;
+        let doc = trace_json(&SpanSet::new());
+        let parsed = JsonValue::parse(&doc).expect("empty trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        // Only the process_name metadata event; no thread rows without
+        // events, and no complete events.
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("ph").and_then(JsonValue::as_str),
+            Some("M")
+        );
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(JsonValue::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn event_names_are_json_escaped() {
+        use crate::json::JsonValue;
+        let events = vec![SpanEvent {
+            name: "odd \"name\"\\with\ncontrol\tchars".into(),
+            ts_us: 1,
+            dur_us: 2,
+            tid: 7,
+        }];
+        let doc = trace_json_from_events(&events);
+        let parsed = JsonValue::parse(&doc).expect("escaped names still parse");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let complete = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .expect("complete event present");
+        // The parser must recover the original name byte for byte.
+        assert_eq!(
+            complete.get("name").and_then(JsonValue::as_str),
+            Some("odd \"name\"\\with\ncontrol\tchars")
+        );
+        assert_eq!(
+            complete.get("cat").and_then(JsonValue::as_str),
+            Some("banyan")
+        );
+    }
+
+    #[test]
+    fn exported_events_round_trip_through_the_parser() {
+        use crate::json::JsonValue;
+        let events = vec![
+            SpanEvent { name: "a".into(), ts_us: 0, dur_us: 10, tid: 0 },
+            SpanEvent { name: "b".into(), ts_us: 5, dur_us: 7, tid: 3 },
+            // Largest magnitude that survives the parser's f64 numbers.
+            SpanEvent { name: "c".into(), ts_us: 1 << 52, dur_us: 0, tid: 3 },
+        ];
+        let doc = trace_json_from_events(&events);
+        let parsed = JsonValue::parse(&doc).expect("trace parses");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let complete: Vec<&JsonValue> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), events.len());
+        for (orig, got) in events.iter().zip(&complete) {
+            assert_eq!(got.get("name").and_then(JsonValue::as_str), Some(orig.name.as_str()));
+            assert_eq!(got.get("ts").and_then(JsonValue::as_u64), Some(orig.ts_us));
+            assert_eq!(got.get("dur").and_then(JsonValue::as_u64), Some(orig.dur_us));
+            assert_eq!(got.get("tid").and_then(JsonValue::as_u64), Some(orig.tid));
+            assert_eq!(got.get("pid").and_then(JsonValue::as_u64), Some(TRACE_PID));
+        }
+        // One thread_name metadata row per distinct tid (0 and 3).
+        let meta_threads = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                    && e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+            })
+            .count();
+        assert_eq!(meta_threads, 2);
+    }
 }

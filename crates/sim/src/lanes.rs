@@ -51,8 +51,9 @@
 
 use crate::network::{
     build_router, validate_and_build_topology, NetworkConfig, NetworkStats, Router, Routing,
-    HEARTBEAT_CHECK_CYCLES, MAX_STAGES, NIL,
+    TraceState, HEARTBEAT_CHECK_CYCLES, MAX_STAGES, NIL,
 };
+use banyan_obs::msgtrace::RepTrace;
 use banyan_obs::registry::POW2_BOUNDS;
 use banyan_obs::{Gauge, Histogram, Telemetry};
 use banyan_prng::rngs::SmallRng;
@@ -911,6 +912,10 @@ pub(crate) struct LaneBlock {
     digit_table: Vec<u64>,
     /// Scratch for the batched per-port Bernoulli (one word per lane).
     draws: Vec<u64>,
+    /// Per-lane message-trace state (see [`banyan_obs::msgtrace`]);
+    /// `None` outside [`LaneBlock::run_traced`]. Like telemetry, tracing
+    /// is a const-generic instantiation, never a hot-loop runtime check.
+    traces: Option<Vec<TraceState>>,
 }
 
 impl LaneBlock {
@@ -985,6 +990,7 @@ impl LaneBlock {
             lane_cycles: 0,
             digit_table,
             draws: vec![0; lanes],
+            traces: None,
             cfg: cfg.clone(),
         }
     }
@@ -1058,7 +1064,7 @@ impl LaneBlock {
     /// positive: destination/size/digit draws (scalar, through the
     /// lane's RNG view — the same code path as the scalar engine),
     /// routing, capacity check, slab allocation, enqueue.
-    fn finish_arrival(&mut self, input: usize, lane: usize, tracked_window: bool) {
+    fn finish_arrival<const TRACE: bool>(&mut self, input: usize, lane: usize, tracked_window: bool) {
         let (dest, size) = {
             let mut rng = LaneRng {
                 rngs: &mut self.rngs,
@@ -1094,6 +1100,26 @@ impl LaneBlock {
             self.tracked_in_flight[lane] += 1;
         }
         let id = self.alloc_slot(lane, self.now, size, tracked_window, digits);
+        if TRACE && tracked_window {
+            // Tracked-injection ordinal: the just-incremented count —
+            // the same message identity the scalar engine samples on.
+            let ord = self.stats[lane].injected - 1;
+            let tr = &mut self.traces.as_mut().expect("trace state")[lane];
+            if tr.rt.sampled(ord) {
+                let idx = tr.rt.begin(ord, self.now);
+                if self.random_digit {
+                    // Later digits are drawn per hop in serve().
+                    tr.rt.push_digit(idx, digit0 as u8);
+                } else {
+                    // Unpack the 4-bit packed digits MSB-first — the
+                    // exact digits the scalar engine extracts.
+                    for j in 0..self.stages {
+                        tr.rt.push_digit(idx, ((digits >> (4 * j)) & 0xF) as u8);
+                    }
+                }
+                tr.set_open(id, idx as u32);
+            }
+        }
         self.push_back(0, wire, lane, id);
     }
 
@@ -1103,7 +1129,7 @@ impl LaneBlock {
     /// drain) the per-port Bernoulli is one batched RNG bank step;
     /// a partial mask (late drain) draws lane-by-lane so frozen lanes
     /// never advance their RNG.
-    fn inject(&mut self, tracked_window: bool, step_mask: u64) {
+    fn inject<const TRACE: bool>(&mut self, tracked_window: bool, step_mask: u64) {
         let p = self.cfg.workload.p;
         for input in 0..self.ports {
             let mut arrivals = 0u64;
@@ -1131,7 +1157,7 @@ impl LaneBlock {
             while arrivals != 0 {
                 let lane = arrivals.trailing_zeros() as usize;
                 arrivals &= arrivals - 1;
-                self.finish_arrival(input, lane, tracked_window);
+                self.finish_arrival::<TRACE>(input, lane, tracked_window);
             }
         }
     }
@@ -1140,7 +1166,7 @@ impl LaneBlock {
     /// lane in `step_mask`. Stage/wire order is the scalar engine's
     /// (ascending stages, LSB-first wire bitset); within a wire, lanes
     /// are visited in lane order — invisible to any single lane.
-    fn serve(&mut self, step_mask: u64) {
+    fn serve<const TRACE: bool>(&mut self, step_mask: u64) {
         let stages = self.stages;
         let ports = self.ports;
         let k = self.k;
@@ -1193,6 +1219,17 @@ impl LaneBlock {
                                 }
                             }
                             self.pop_front(qidx, lane);
+                            if TRACE && random_digit {
+                                // Record the digit only once its forward
+                                // commits — a capacity-blocked head
+                                // redraws next cycle (same rule as the
+                                // scalar engine).
+                                let tr =
+                                    &mut self.traces.as_mut().expect("trace state")[lane];
+                                if let Some(idx) = tr.open_rec(head) {
+                                    tr.rt.push_digit(idx as usize, digit as u8);
+                                }
+                            }
                             self.busy_until[qi] = now + self.slabs[lane][hid].size as u64;
                             self.waits[lane][hid * stages + stage - 1] =
                                 (now - self.slabs[lane][hid].entered) as u32;
@@ -1203,7 +1240,7 @@ impl LaneBlock {
                             self.busy_until[qi] = now + self.slabs[lane][hid].size as u64;
                             self.waits[lane][hid * stages + stage - 1] =
                                 (now - self.slabs[lane][hid].entered) as u32;
-                            self.deliver(lane, head);
+                            self.deliver::<TRACE>(lane, head);
                         }
                         if self.heads[qi] == NIL {
                             self.lane_active[qidx] &= !(1u64 << lane);
@@ -1220,7 +1257,7 @@ impl LaneBlock {
     /// Records a delivery into the lane's statistics — the exact
     /// accounting of `NetworkSim::deliver`, against the lane's own slab
     /// and stride-`stages` wait array.
-    fn deliver(&mut self, lane: usize, id: u32) {
+    fn deliver<const TRACE: bool>(&mut self, lane: usize, id: u32) {
         self.stats[lane].delivered_total += 1;
         self.free[lane].push(id);
         let msg = self.slabs[lane][id as usize];
@@ -1230,13 +1267,20 @@ impl LaneBlock {
         self.tracked_in_flight[lane] -= 1;
         let n = self.stages;
         let waits = &self.waits[lane][id as usize * n..][..n];
+        if TRACE {
+            let tr = &mut self.traces.as_mut().expect("trace state")[lane];
+            if let Some(idx) = tr.open_rec(id) {
+                tr.open[id as usize] = NIL;
+                tr.rt.set_waits(idx as usize, waits);
+            }
+        }
         fold_tracked_delivery(&mut self.stats[lane], waits);
     }
 
     /// Advances the lanes in `step_mask` one cycle.
-    fn step(&mut self, tracked_window: bool, step_mask: u64) {
-        self.inject(tracked_window, step_mask);
-        self.serve(step_mask);
+    fn step<const TRACE: bool>(&mut self, tracked_window: bool, step_mask: u64) {
+        self.inject::<TRACE>(tracked_window, step_mask);
+        self.serve::<TRACE>(step_mask);
         self.now += 1;
         self.lane_cycles += u64::from(step_mask.count_ones());
     }
@@ -1272,11 +1316,35 @@ impl LaneBlock {
     /// to the scalar simulator.
     pub(crate) fn run_instrumented(self, tel: &Telemetry) -> Vec<NetworkStats> {
         match (sweep_eligible(&self.cfg, self.lanes), tel.active()) {
-            (true, true) => self.run_swept::<true>(tel),
-            (true, false) => self.run_swept::<false>(tel),
-            (false, true) => self.drive::<true>(tel),
-            (false, false) => self.drive::<false>(tel),
+            (true, true) => self.run_swept::<true, false>(tel).0,
+            (true, false) => self.run_swept::<false, false>(tel).0,
+            (false, true) => self.drive::<true, false>(tel).0,
+            (false, false) => self.drive::<false, false>(tel).0,
         }
+    }
+
+    /// Like [`LaneBlock::run_instrumented`], but additionally capturing
+    /// sampled per-message lifecycle records into `rts` (one
+    /// [`RepTrace`] per lane, in seed order). Tracing is strictly
+    /// observational — RNG and dynamics untouched — and the records are
+    /// identical to the ones the scalar engine emits for the same seeds,
+    /// whichever of the two lane engines (lock-step or stage sweep)
+    /// actually runs.
+    pub(crate) fn run_traced(
+        mut self,
+        tel: &Telemetry,
+        rts: Vec<RepTrace>,
+    ) -> (Vec<NetworkStats>, Vec<RepTrace>) {
+        assert_eq!(rts.len(), self.lanes, "one RepTrace per lane");
+        self.traces = Some(rts.into_iter().map(TraceState::new).collect());
+        let (stats, traces) = match (sweep_eligible(&self.cfg, self.lanes), tel.active()) {
+            (true, true) => self.run_swept::<true, true>(tel),
+            (true, false) => self.run_swept::<false, true>(tel),
+            (false, true) => self.drive::<true, true>(tel),
+            (false, false) => self.drive::<false, true>(tel),
+        };
+        let traces = traces.expect("trace state");
+        (stats, traces.into_iter().map(|t| t.rt).collect())
     }
 
     /// Generates lane `lane`'s injections for cycles `from..to`,
@@ -1293,7 +1361,7 @@ impl LaneBlock {
     /// final cycle, and injections at cycle `t` are a pure prefix
     /// function of the stream, so every record with `a < e` is the one
     /// the scalar run makes.
-    fn generate_lane(
+    fn generate_lane<const TRACE: bool>(
         &mut self,
         lane: usize,
         from: u64,
@@ -1303,6 +1371,18 @@ impl LaneBlock {
         tracked_count: &mut u32,
     ) {
         let p = self.cfg.workload.p;
+        let stages = self.stages;
+        let dig_k = self.cfg.k as u64;
+        // Sweep generation visits injections in cycle-then-port order —
+        // the scalar inject order — so the tracked counter *is* the
+        // cross-engine message ordinal and sampling here selects the
+        // exact set the other engines select. Waits are filled in after
+        // the lane's sweep is accepted (ordinal-indexed, no open map).
+        let mut tr = if TRACE {
+            Some(&mut self.traces.as_mut().expect("trace state")[lane])
+        } else {
+            None
+        };
         let tracked_from = self.cfg.warmup_cycles;
         let tracked_to = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let ports = self.ports;
@@ -1332,6 +1412,13 @@ impl LaneBlock {
                     let id = if tracked {
                         let i = *tracked_count;
                         *tracked_count += 1;
+                        if TRACE {
+                            let tr = tr.as_mut().expect("trace state");
+                            if tr.rt.sampled(u64::from(i)) {
+                                let idx = tr.rt.begin(u64::from(i), t);
+                                tr.rt.set_digits_from_dest(idx, dest, dig_k, stages);
+                            }
+                        }
                         i
                     } else {
                         UNTRACKED
@@ -1359,12 +1446,15 @@ impl LaneBlock {
     /// cycle loop. Bit-identical to [`Self::drive`] and the scalar
     /// engine — same RNG schedule, same FIFO orders, same fold order,
     /// same drain-failure condition.
-    fn run_swept<const OBS: bool>(mut self, tel: &Telemetry) -> Vec<NetworkStats> {
+    fn run_swept<const OBS: bool, const TRACE: bool>(
+        mut self,
+        tel: &Telemetry,
+    ) -> (Vec<NetworkStats>, Option<Vec<TraceState>>) {
         let Some(parents) = build_parent_tables(&self.router, self.ports, self.k, self.stages)
         else {
             // Not a k-in-regular wiring (cannot happen for the shipped
             // topologies) — run the lock-step engine instead.
-            return self.drive::<OBS>(tel);
+            return self.drive::<OBS, TRACE>(tel);
         };
         // Same auto-enable as the other drives: with metrics on, capture
         // per-stage pmfs for the distribution sketches.
@@ -1416,7 +1506,7 @@ impl LaneBlock {
                 let target = $target;
                 while generated[lane] < target {
                     let next = (generated[lane] + HEARTBEAT_CHECK_CYCLES).min(target);
-                    self.generate_lane(
+                    self.generate_lane::<TRACE>(
                         lane,
                         generated[lane],
                         next,
@@ -1491,6 +1581,20 @@ impl LaneBlock {
                         SweepOutcome::Done { e } => {
                             self.lane_cycles += e;
                             e_max = e_max.max(e);
+                            if TRACE {
+                                // Waits rows are ordinal-indexed, so the
+                                // sampled records (begun at generation
+                                // time) are completed straight from the
+                                // accepted sweep's wait matrix.
+                                let tr =
+                                    &mut self.traces.as_mut().expect("trace state")[lane];
+                                for (idx, ord) in tr.rt.entries() {
+                                    tr.rt.set_waits(
+                                        idx,
+                                        &self.waits[lane][ord as usize * stages..][..stages],
+                                    );
+                                }
+                            }
                             if collect_occ {
                                 let o = obs.as_ref().expect("telemetry state");
                                 let hist = o.occupancy_hist.as_ref().expect("metrics enabled");
@@ -1548,10 +1652,14 @@ impl LaneBlock {
         if OBS {
             obs.as_mut().expect("telemetry state").flush_final(&self);
         }
-        self.stats
+        let traces = self.traces.take();
+        (self.stats, traces)
     }
 
-    fn drive<const OBS: bool>(mut self, tel: &Telemetry) -> Vec<NetworkStats> {
+    fn drive<const OBS: bool, const TRACE: bool>(
+        mut self,
+        tel: &Telemetry,
+    ) -> (Vec<NetworkStats>, Option<Vec<TraceState>>) {
         // Same auto-enable as the scalar drive: with metrics on, capture
         // per-stage pmfs for the distribution sketches. Observational
         // only — dynamics and RNG untouched.
@@ -1571,7 +1679,7 @@ impl LaneBlock {
         {
             let _span = tel.span("net/warmup");
             for _ in 0..self.cfg.warmup_cycles {
-                self.step(false, full);
+                self.step::<TRACE>(false, full);
                 if OBS {
                     obs.as_mut().expect("telemetry state").tick(&self, full);
                 }
@@ -1580,7 +1688,7 @@ impl LaneBlock {
         {
             let _span = tel.span("net/measure");
             for _ in 0..self.cfg.measure_cycles {
-                self.step(true, full);
+                self.step::<TRACE>(true, full);
                 if OBS {
                     obs.as_mut().expect("telemetry state").tick(&self, full);
                 }
@@ -1596,7 +1704,7 @@ impl LaneBlock {
             self.finalize_done_lanes();
             while self.alive != 0 {
                 let mask = self.alive;
-                self.step(false, mask);
+                self.step::<TRACE>(false, mask);
                 drained += 1;
                 assert!(
                     drained <= max_drain,
@@ -1612,7 +1720,8 @@ impl LaneBlock {
         if OBS {
             obs.as_mut().expect("telemetry state").flush_final(&self);
         }
-        self.stats
+        let traces = self.traces.take();
+        (self.stats, traces)
     }
 }
 
@@ -2063,7 +2172,7 @@ mod tests {
         assert!(sweep_eligible(&cfg, 3), "config must exercise the sweep");
         let seeds: Vec<u64> = (0..3).map(|i| cfg.seed.wrapping_add(i)).collect();
         let swept = LaneBlock::new(&cfg, &seeds).run_instrumented(&Telemetry::off());
-        let lockstep = LaneBlock::new(&cfg, &seeds).drive::<false>(&Telemetry::off());
+        let lockstep = LaneBlock::new(&cfg, &seeds).drive::<false, false>(&Telemetry::off()).0;
         for (i, ((sw, ls), &seed)) in swept.iter().zip(&lockstep).zip(&seeds).enumerate() {
             let scalar = scalar_run(&cfg, seed);
             assert_stats_bit_identical(sw, &scalar, &format!("swept lane {i}"));
@@ -2100,9 +2209,9 @@ mod tests {
         let seeds: Vec<u64> = (0..4).map(|i| cfg.seed.wrapping_add(i)).collect();
         let mk = || Telemetry::new(TelemetryConfig::on().with_sample_every(64));
         let tel_sw = mk();
-        LaneBlock::new(&cfg, &seeds).run_swept::<true>(&tel_sw);
+        LaneBlock::new(&cfg, &seeds).run_swept::<true, false>(&tel_sw);
         let tel_ls = mk();
-        LaneBlock::new(&cfg, &seeds).drive::<true>(&tel_ls);
+        LaneBlock::new(&cfg, &seeds).drive::<true, false>(&tel_ls);
         let (a, b) = (tel_sw.registry(), tel_ls.registry());
         for name in [
             "net.injected_total",

@@ -54,8 +54,8 @@ pub use input_queued::{run_input_queued, InputQueuedConfig, InputQueuedSim};
 pub use network::{run_network, NetworkConfig, NetworkSim, NetworkStats};
 pub use queue::{run_queue, ArrivalDist, PortQueue, QueueConfig, QueueStats};
 pub use runner::{
-    run_network_replicated, run_network_replicated_with_engine, run_queue_replicated,
-    ReplicationEngine,
+    run_network_replicated, run_network_replicated_traced, run_network_replicated_with_engine,
+    run_queue_replicated, ReplicationEngine,
 };
 pub use topology::OmegaTopology;
 pub use traffic::{ServiceDist, Workload};

@@ -42,6 +42,7 @@
 use crate::butterfly::ButterflyTopology;
 use crate::topology::OmegaTopology;
 use crate::traffic::Workload;
+use banyan_obs::msgtrace::RepTrace;
 use banyan_obs::registry::POW2_BOUNDS;
 use banyan_obs::{Gauge, Histogram, Telemetry};
 use banyan_prng::rngs::SmallRng;
@@ -414,6 +415,45 @@ pub struct NetworkSim {
     now: u64,
     tracked_in_flight: u64,
     stats: NetworkStats,
+    /// Message-trace capture (see [`banyan_obs::msgtrace`]); `None`
+    /// outside [`NetworkSim::run_traced`]. The hot loop never checks
+    /// this at runtime — tracing is a const-generic instantiation.
+    trace: Option<TraceState>,
+}
+
+/// Per-replication message-trace state: the recording surface plus an
+/// open-record map keyed by slab id (slab ids are recycled, so the map
+/// is a dense vector with a [`NIL`] sentinel). Shared with the lane
+/// engine, which keeps one per lane.
+pub(crate) struct TraceState {
+    pub(crate) rt: RepTrace,
+    pub(crate) open: Vec<u32>,
+}
+
+impl TraceState {
+    pub(crate) fn new(rt: RepTrace) -> Self {
+        TraceState {
+            rt,
+            open: Vec::new(),
+        }
+    }
+
+    /// Maps slab id `id` to open record `idx`.
+    pub(crate) fn set_open(&mut self, id: u32, idx: u32) {
+        let id = id as usize;
+        if self.open.len() <= id {
+            self.open.resize(id + 1, NIL);
+        }
+        self.open[id] = idx;
+    }
+
+    /// The open record for slab id `id`, if any.
+    pub(crate) fn open_rec(&self, id: u32) -> Option<u32> {
+        self.open
+            .get(id as usize)
+            .copied()
+            .filter(|&idx| idx != NIL)
+    }
 }
 
 impl NetworkSim {
@@ -444,6 +484,7 @@ impl NetworkSim {
                 cfg.collect_correlations,
                 cfg.collect_stage_histograms,
             ),
+            trace: None,
             cfg,
         }
     }
@@ -497,7 +538,7 @@ impl NetworkSim {
     }
 
     /// Injects this cycle's fresh arrivals into the first-stage queues.
-    fn inject(&mut self, tracked_window: bool) {
+    fn inject<const TRACE: bool>(&mut self, tracked_window: bool) {
         let ports = self.ports;
         let random_digit = matches!(self.cfg.routing, Routing::RandomDigit { .. });
         for input in 0..ports {
@@ -532,6 +573,27 @@ impl NetworkSim {
                     self.tracked_in_flight += 1;
                 }
                 let id = self.alloc_slot(self.now, size, tracked_window, digits);
+                if TRACE && tracked_window {
+                    // Tracked-injection ordinal: the just-incremented
+                    // count, identical in all three engines.
+                    let ord = self.stats.injected - 1;
+                    let tr = self.trace.as_mut().expect("trace state");
+                    if tr.rt.sampled(ord) {
+                        let idx = tr.rt.begin(ord, self.now);
+                        if random_digit {
+                            // Later digits are drawn per hop in serve().
+                            tr.rt.push_digit(idx, digit0 as u8);
+                        } else {
+                            tr.rt.set_digits_from_dest(
+                                idx,
+                                dest,
+                                u64::from(self.cfg.k),
+                                self.cfg.stages as usize,
+                            );
+                        }
+                        tr.set_open(id, idx as u32);
+                    }
+                }
                 fifo_push_back(&mut self.queues, &mut self.slab, wire, id);
                 self.active[wire / 64] |= 1u64 << (wire % 64);
             }
@@ -556,7 +618,7 @@ impl NetworkSim {
     /// the *next* stage's words and a wire's own bit is cleared only
     /// after its local word copy already consumed it, so iterating a
     /// snapshot of each word is race-free.
-    fn serve(&mut self) {
+    fn serve<const TRACE: bool>(&mut self) {
         let stages = self.cfg.stages as usize;
         let ports = self.ports;
         let k = self.k;
@@ -602,6 +664,16 @@ impl NetworkSim {
                             }
                         }
                         fifo_pop_front(&mut self.queues, &self.slab, qidx);
+                        if TRACE && random_digit {
+                            // Random-digit routes are discovered hop by
+                            // hop; record the digit once its forward
+                            // commits (a capacity-blocked head redraws
+                            // next cycle, so draw time is too early).
+                            let tr = self.trace.as_mut().expect("trace state");
+                            if let Some(idx) = tr.open_rec(head) {
+                                tr.rt.push_digit(idx as usize, digit as u8);
+                            }
+                        }
                         self.queues[qidx].busy_until = now + self.slab[hid].size as u64;
                         self.slab[hid].waits[stage - 1] = (now - self.slab[hid].entered) as u32;
                         self.slab[hid].entered = now + 1;
@@ -611,7 +683,7 @@ impl NetworkSim {
                         fifo_pop_front(&mut self.queues, &self.slab, qidx);
                         self.queues[qidx].busy_until = now + self.slab[hid].size as u64;
                         self.slab[hid].waits[stage - 1] = (now - self.slab[hid].entered) as u32;
-                        self.deliver(head);
+                        self.deliver::<TRACE>(head);
                     }
                     if self.queues[qidx].head == NIL {
                         self.active[base + wi] &= !(1u64 << bit);
@@ -624,7 +696,7 @@ impl NetworkSim {
     /// Records statistics for a message whose final-stage service just
     /// started (all per-stage waits are known at that point) and returns
     /// its slab slot to the freelist.
-    fn deliver(&mut self, id: u32) {
+    fn deliver<const TRACE: bool>(&mut self, id: u32) {
         self.stats.delivered_total += 1;
         self.free.push(id);
         let msg = &self.slab[id as usize];
@@ -634,6 +706,13 @@ impl NetworkSim {
         self.tracked_in_flight -= 1;
         self.stats.delivered += 1;
         let n = self.cfg.stages as usize;
+        if TRACE {
+            let tr = self.trace.as_mut().expect("trace state");
+            if let Some(idx) = tr.open_rec(id) {
+                tr.open[id as usize] = NIL;
+                tr.rt.set_waits(idx as usize, &msg.waits[..n]);
+            }
+        }
         let mut total = 0u64;
         for (i, &w) in msg.waits[..n].iter().enumerate() {
             self.stats.stage_waits[i].push(w as f64);
@@ -656,9 +735,9 @@ impl NetworkSim {
     }
 
     /// Advances one cycle.
-    fn step(&mut self, tracked_window: bool) {
-        self.inject(tracked_window);
-        self.serve();
+    fn step<const TRACE: bool>(&mut self, tracked_window: bool) {
+        self.inject::<TRACE>(tracked_window);
+        self.serve::<TRACE>();
         self.now += 1;
     }
 
@@ -693,16 +772,34 @@ impl NetworkSim {
     /// that contract.
     pub fn run_instrumented(self, tel: &Telemetry) -> NetworkStats {
         if tel.active() {
-            self.drive::<true>(tel)
+            self.drive::<true, false>(tel).0
         } else {
-            self.drive::<false>(tel)
+            self.drive::<false, false>(tel).0
         }
     }
 
-    /// The run protocol, monomorphized over "is any telemetry active":
-    /// the `OBS = false` instantiation compiles to the original
-    /// telemetry-free loops.
-    fn drive<const OBS: bool>(mut self, tel: &Telemetry) -> NetworkStats {
+    /// Like [`NetworkSim::run_instrumented`], but additionally capturing
+    /// sampled per-message lifecycle records into `rt` (see
+    /// [`banyan_obs::msgtrace`]). Tracing is strictly observational: it
+    /// never touches the RNG or the dynamics, so the returned statistics
+    /// are bit-identical to an untraced run.
+    pub fn run_traced(mut self, tel: &Telemetry, rt: RepTrace) -> (NetworkStats, RepTrace) {
+        self.trace = Some(TraceState::new(rt));
+        let (stats, trace) = if tel.active() {
+            self.drive::<true, true>(tel)
+        } else {
+            self.drive::<false, true>(tel)
+        };
+        (stats, trace.expect("trace state").rt)
+    }
+
+    /// The run protocol, monomorphized over "is any telemetry active"
+    /// and "is message tracing on": the `OBS = false, TRACE = false`
+    /// instantiation compiles to the original telemetry-free loops.
+    fn drive<const OBS: bool, const TRACE: bool>(
+        mut self,
+        tel: &Telemetry,
+    ) -> (NetworkStats, Option<TraceState>) {
         // With metrics on, per-stage waiting-time pmfs are captured for
         // the distribution sketches. Flipping the existing `stage_hists`
         // option *before* the run reuses deliver()'s existing branch —
@@ -720,7 +817,7 @@ impl NetworkSim {
         {
             let _span = tel.span("net/warmup");
             for _ in 0..self.cfg.warmup_cycles {
-                self.step(false);
+                self.step::<TRACE>(false);
                 if OBS {
                     obs.as_mut().expect("telemetry state").tick(&self);
                 }
@@ -729,7 +826,7 @@ impl NetworkSim {
         {
             let _span = tel.span("net/measure");
             for _ in 0..self.cfg.measure_cycles {
-                self.step(true);
+                self.step::<TRACE>(true);
                 if OBS {
                     obs.as_mut().expect("telemetry state").tick(&self);
                 }
@@ -742,7 +839,7 @@ impl NetworkSim {
         {
             let _span = tel.span("net/drain");
             while self.tracked_in_flight > 0 {
-                self.step(false);
+                self.step::<TRACE>(false);
                 drained += 1;
                 assert!(
                     drained <= max_drain,
@@ -759,7 +856,8 @@ impl NetworkSim {
         if OBS {
             obs.as_mut().expect("telemetry state").flush_final(&self);
         }
-        self.stats
+        let trace = self.trace.take();
+        (self.stats, trace)
     }
 }
 
@@ -1356,7 +1454,7 @@ mod tests {
         // Cycles 0–2: downstream full (capacity 1, blocker queued) or
         // busy — the head must stay put, in order, unserved.
         for cycle in 0..3u64 {
-            sim.serve();
+            sim.serve::<false>();
             sim.now += 1;
             assert_eq!(sim.queues[0].head, first, "cycle {cycle}: head reordered");
             assert_eq!(sim.queues[0].len, 2, "cycle {cycle}: queue drained early");
@@ -1366,27 +1464,27 @@ mod tests {
         // order runs 1 then 2, so stage 1 sees the still-full buffer) —
         // no: stage 1 is served *before* stage 2, so `first` is still
         // blocked this cycle and forwards on cycle 4.
-        sim.serve();
+        sim.serve::<false>();
         sim.now += 1;
         assert_eq!(sim.queues[0].head, first);
         assert_eq!(sim.stats.delivered, 1, "blocker delivered");
         // Cycle 4: downstream now empty; `first` forwards with its full
         // stage-1 wait on record. It waited cycles 0..4 ⇒ wait = 4.
-        sim.serve();
+        sim.serve::<false>();
         sim.now += 1;
         assert_eq!(sim.queues[0].head, second, "FIFO order violated");
         assert_eq!(sim.slab[first as usize].waits[0], 4, "blocked cycles lost");
         // Cycle 5: stage 1 runs before stage 2, so `second` still sees a
         // full downstream buffer and stays blocked; `first` is delivered
         // at stage 2 (entered cycle 5, served cycle 5 ⇒ stage-2 wait 0).
-        sim.serve();
+        sim.serve::<false>();
         sim.now += 1;
         assert_eq!(sim.queues[0].head, second, "second served early");
         assert_eq!(sim.stats.delivered, 2);
         assert_eq!(sim.slab[first as usize].waits[1], 0);
         // Cycle 6: downstream finally empty; `second` forwards having
         // waited cycles 0..6 ⇒ wait = 6, all blocked cycles on record.
-        sim.serve();
+        sim.serve::<false>();
         sim.now += 1;
         assert_eq!(sim.slab[second as usize].waits[0], 6);
     }

@@ -13,6 +13,7 @@
 use crate::lanes::{lane_supported, sweep_eligible, LaneBlock, MAX_LANES};
 use crate::network::{NetworkConfig, NetworkSim, NetworkStats};
 use crate::queue::{run_queue_instrumented, QueueConfig, QueueStats};
+use banyan_obs::msgtrace::{MsgTracer, RepTrace};
 use banyan_obs::Telemetry;
 
 /// Default lane-block width when [`ReplicationEngine::Auto`] picks the
@@ -116,6 +117,31 @@ pub fn run_network_replicated_with_engine(
     tel: &Telemetry,
     engine: ReplicationEngine,
 ) -> NetworkStats {
+    run_network_replicated_traced(cfg, reps, threads, tel, engine, None)
+}
+
+/// [`run_network_replicated_with_engine`] with optional per-message
+/// lifecycle tracing (see [`banyan_obs::msgtrace`]). With
+/// `tracer = Some(..)`, replication `i` records its sampled messages
+/// into `tracer` under rep index `i` and seed `cfg.seed + i` — the
+/// sampling decision is a pure hash of `(seed, ordinal)`, so the traced
+/// message set (and, after rendering, the trace file bytes) is
+/// **identical** for any thread count and any [`ReplicationEngine`].
+/// Tracing never touches a replication's RNG or dynamics, so the merged
+/// statistics are bit-identical to an untraced run.
+///
+/// # Panics
+/// Panics if `reps == 0`, if a worker's simulation panics, or if
+/// [`ReplicationEngine::Lanes`] is forced on an unsupported
+/// configuration.
+pub fn run_network_replicated_traced(
+    cfg: &NetworkConfig,
+    reps: u32,
+    threads: usize,
+    tel: &Telemetry,
+    engine: ReplicationEngine,
+    tracer: Option<&MsgTracer>,
+) -> NetworkStats {
     assert!(reps > 0, "need at least one replication");
     let reps = reps as usize;
     let threads = threads.clamp(1, reps);
@@ -159,7 +185,22 @@ pub fn run_network_replicated_with_engine(
                             let seeds: Vec<u64> = (0..width)
                                 .map(|j| cfg.seed.wrapping_add((base + off + j) as u64))
                                 .collect();
-                            let stats = LaneBlock::new(cfg, &seeds).run_instrumented(tel);
+                            let block = LaneBlock::new(cfg, &seeds);
+                            let stats = match tracer {
+                                Some(tc) => {
+                                    let rts: Vec<RepTrace> = seeds
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(j, &s)| tc.rep((base + off + j) as u32, s))
+                                        .collect();
+                                    let (stats, rts) = block.run_traced(tel, rts);
+                                    for rt in rts {
+                                        tc.commit(rt);
+                                    }
+                                    stats
+                                }
+                                None => block.run_instrumented(tel),
+                            };
                             for (j, s) in stats.into_iter().enumerate() {
                                 chunk[off + j] = Some(s);
                             }
@@ -170,7 +211,15 @@ pub fn run_network_replicated_with_engine(
                         for (off, slot) in chunk.iter_mut().enumerate() {
                             let mut c = cfg.clone();
                             c.seed = cfg.seed.wrapping_add((base + off) as u64);
-                            *slot = Some(NetworkSim::new(c).run_instrumented(tel));
+                            *slot = Some(match tracer {
+                                Some(tc) => {
+                                    let rt = tc.rep((base + off) as u32, c.seed);
+                                    let (stats, rt) = NetworkSim::new(c).run_traced(tel, rt);
+                                    tc.commit(rt);
+                                    stats
+                                }
+                                None => NetworkSim::new(c).run_instrumented(tel),
+                            });
                         }
                     }
                 }

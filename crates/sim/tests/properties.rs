@@ -349,6 +349,143 @@ fn lane_engine_bit_identity() {
 }
 
 #[test]
+fn msgtrace_engines_byte_identical() {
+    // The message-tracing contract (PR 10 tentpole): the scalar engine
+    // and the lane engine (lock-step or stage-sweep, any width, any
+    // thread count) render byte-identical msgtrace JSONL documents for
+    // the same configuration and seed — the strongest cross-engine
+    // correctness check in the repo, since it compares individual
+    // message lifecycles rather than aggregate statistics.
+    use banyan_obs::msgtrace::{header_object, render_jsonl, MsgTracer};
+    use banyan_obs::Telemetry;
+    use banyan_sim::runner::run_network_replicated_traced;
+    use banyan_sim::ReplicationEngine;
+    check(CASES, |g| {
+        let (k, n) = g.pick(&[(2u32, 2u32), (2, 4), (2, 6), (3, 3), (4, 3), (8, 2)]);
+        let m = g.pick(&[1u32, 2, 4]);
+        let mut p = g.f64(0.05..0.9);
+        if p * m as f64 >= 0.85 {
+            p = 0.8 / m as f64;
+        }
+        let cap = g.pick(&[None, None, Some(2usize), Some(8)]);
+        let reps = g.pick(&[1u32, 2, 3, 5]);
+        let width = g.pick(&[1usize, 2, 4, 32]);
+        let rate = g.pick(&[0.05f64, 0.25, 1.0]);
+        let seed = g.any_u64();
+        let cfg = NetworkConfig {
+            warmup_cycles: 100,
+            measure_cycles: 600,
+            seed,
+            buffer_capacity: cap,
+            ..NetworkConfig::new(k, n, Workload::uniform(p, m))
+        };
+        let label = format!(
+            "k={k} n={n} m={m} p={p} cap={cap:?} reps={reps} width={width} rate={rate} seed={seed:#x}"
+        );
+        let render = |engine: ReplicationEngine, threads: usize| {
+            let tracer = MsgTracer::new(rate);
+            let stats = run_network_replicated_traced(
+                &cfg,
+                reps,
+                threads,
+                &Telemetry::off(),
+                engine,
+                Some(&tracer),
+            );
+            let header = header_object("net", cfg.stages, cfg.seed, reps, rate).finish();
+            (render_jsonl(&header, &tracer.finish()), stats)
+        };
+        let (base, base_stats) = render(ReplicationEngine::Scalar, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let (doc, stats) = render(ReplicationEngine::Lanes(width), threads);
+            assert_eq!(doc, base, "lanes width={width} threads={threads}: {label}");
+            assert_eq!(stats.delivered, base_stats.delivered, "{label}");
+            let (doc_s, _) = render(ReplicationEngine::Scalar, threads);
+            assert_eq!(doc_s, base, "scalar threads={threads}: {label}");
+        }
+        // A traced run never perturbs the simulation itself.
+        let untraced = banyan_sim::runner::run_network_replicated_with_engine(
+            &cfg,
+            reps,
+            1,
+            &Telemetry::off(),
+            ReplicationEngine::Scalar,
+        );
+        assert_eq!(untraced.delivered, base_stats.delivered, "{label}");
+        assert_eq!(
+            untraced.total_wait.mean().to_bits(),
+            base_stats.total_wait.mean().to_bits(),
+            "{label}"
+        );
+    });
+}
+
+#[test]
+fn msgtrace_sample_is_submultiset_of_full_pmf() {
+    // Contract (b) of the tracing design: the multiset of sampled
+    // end-to-end waits is a sub-multiset of the full waiting-time pmf
+    // the telemetry sketches record, and each record's stage waits sum
+    // to its total exactly (contract (a), enforced per record).
+    use banyan_obs::msgtrace::MsgTracer;
+    use banyan_obs::{Telemetry, TelemetryConfig};
+    use banyan_sim::runner::run_network_replicated_traced;
+    use banyan_sim::ReplicationEngine;
+    use std::collections::HashMap;
+    check(CASES, |g| {
+        let p = g.f64(0.1..0.8);
+        let n = g.u32(2..5);
+        let reps = g.pick(&[1u32, 2, 3]);
+        let rate = g.pick(&[0.1f64, 0.5, 1.0]);
+        let engine = g.pick(&[
+            ReplicationEngine::Scalar,
+            ReplicationEngine::Lanes(8),
+            ReplicationEngine::Auto,
+        ]);
+        let seed = g.any_u64();
+        let cfg = NetworkConfig {
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            seed,
+            ..NetworkConfig::new(2, n, Workload::uniform(p, 1))
+        };
+        let label = format!("p={p} n={n} reps={reps} rate={rate} engine={engine:?} seed={seed:#x}");
+        let tel = Telemetry::new(TelemetryConfig::on());
+        let tracer = MsgTracer::new(rate);
+        run_network_replicated_traced(&cfg, reps, 2, &tel, engine, Some(&tracer));
+        let records = tracer.finish();
+        let mut sampled: HashMap<u64, u64> = HashMap::new();
+        for r in &records {
+            assert_eq!(
+                r.waits.iter().map(|&w| u64::from(w)).sum::<u64>(),
+                r.total_wait(),
+                "{label}"
+            );
+            assert_eq!(r.waits.len(), n as usize, "{label}");
+            *sampled.entry(r.total_wait()).or_insert(0) += 1;
+        }
+        let full: HashMap<u64, u64> = tel
+            .sketches()
+            .get("net.wait.total")
+            .expect("total-wait sketch present")
+            .count_points()
+            .into_iter()
+            .collect();
+        for (&w, &c) in &sampled {
+            assert!(
+                full.get(&w).copied().unwrap_or(0) >= c,
+                "{label}: sampled wait {w} appears {c} times but pmf has {:?}",
+                full.get(&w)
+            );
+        }
+        if rate >= 1.0 {
+            // Every tracked message traced: the multisets are equal.
+            let full_count: u64 = full.values().sum();
+            assert_eq!(records.len() as u64, full_count, "{label}");
+        }
+    });
+}
+
+#[test]
 fn same_seed_same_results() {
     check(CASES, |g| {
         let p = g.f64(0.1..0.8);

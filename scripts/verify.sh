@@ -278,6 +278,28 @@ PY
 }
 timed "flow smoke" flow_smoke
 
+echo "== msg-trace smoke =="
+msgtrace_smoke() {
+    local workdir
+    workdir=$(mktemp -d)
+    # The tracer's core contract: the scalar and lane engines sample the
+    # same messages and emit byte-identical trace files.
+    ./target/release/banyan simulate --stages 4 --p 0.5 --cycles 2000 \
+        --reps 2 --engine scalar --msg-trace "$workdir/scalar.jsonl" \
+        --msg-trace-rate 0.5 > /dev/null
+    ./target/release/banyan simulate --stages 4 --p 0.5 --cycles 2000 \
+        --reps 2 --engine lanes --msg-trace "$workdir/lanes.jsonl" \
+        --msg-trace-rate 0.5 > /dev/null
+    cmp "$workdir/scalar.jsonl" "$workdir/lanes.jsonl"
+    echo "ok: scalar and lane engine trace files byte-identical"
+    # Structural validation (header schema, cycle chains, wait sums)
+    # by the dedicated tool, then the inspector must accept the file.
+    ./target/release/manifest_check "$workdir/scalar.jsonl"
+    ./target/release/banyan trace --file "$workdir/scalar.jsonl" > /dev/null
+    rm -rf "$workdir"
+}
+timed "msg-trace smoke" msgtrace_smoke
+
 if [ "$QUICK" -eq 1 ]; then
     echo "== offline unit tests (--quick: libs + bins, minus the bench suites) =="
     # banyan-bench's lib tests exercise real timed benchmark runs

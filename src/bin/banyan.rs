@@ -24,9 +24,12 @@
 
 use banyan_repro::cli::{get, get_prob, parse_flags, service_from_flags, validate_flags, Flags};
 use banyan_repro::obs::json::JsonObject;
+use banyan_repro::obs::msgtrace::{self, MsgTracer};
 use banyan_repro::obs::tail::{drift_array_json, drift_line, table_cdf, DriftReport};
-use banyan_repro::obs::trace::write_trace;
+use banyan_repro::obs::trace::{trace_json_from_events, write_trace};
+use banyan_repro::obs::DistSketch;
 use banyan_repro::prelude::*;
+use banyan_repro::sim::{run_network_replicated_traced, ReplicationEngine};
 use std::process::ExitCode;
 
 /// Known flags per subcommand: parse_flags accepts any `--name value`
@@ -34,11 +37,40 @@ use std::process::ExitCode;
 const FIRST_STAGE_FLAGS: &[&str] = &["k", "p", "q", "b", "m", "geometric-mu", "mix"];
 const TOTAL_FLAGS: &[&str] = &["k", "stages", "p", "m", "quantiles"];
 const SIMULATE_FLAGS: &[&str] = &[
-    "k", "stages", "p", "q", "cycles", "seed", "m", "geometric-mu", "mix", "capacity", "reps",
-    "threads", "telemetry", "dist-out", "trace-out", "progress",
+    "k",
+    "stages",
+    "p",
+    "q",
+    "cycles",
+    "seed",
+    "m",
+    "geometric-mu",
+    "mix",
+    "capacity",
+    "reps",
+    "threads",
+    "engine",
+    "telemetry",
+    "dist-out",
+    "trace-out",
+    "msg-trace",
+    "msg-trace-rate",
+    "progress",
 ];
-const REPORT_FLAGS: &[&str] =
-    &["k", "stages", "p", "m", "cycles", "seed", "reps", "threads", "progress"];
+const REPORT_FLAGS: &[&str] = &[
+    "k",
+    "stages",
+    "p",
+    "m",
+    "cycles",
+    "seed",
+    "reps",
+    "threads",
+    "progress",
+    "json",
+    "fail-on-drift",
+];
+const TRACE_FLAGS: &[&str] = &["file", "chrome-out"];
 const PMF_FLAGS: &[&str] = &["k", "p", "m", "len"];
 const FLOW_FLAGS: &[&str] = &[
     "topo", "k", "stages", "extra", "rows", "cols", "leaves", "spines", "hosts", "p", "m", "json",
@@ -225,6 +257,21 @@ fn drift_reports(
     out
 }
 
+/// Parses `--engine auto|scalar|lanes|lanesN` (N = lane width 1..=64).
+fn engine_from_flags(flags: &Flags) -> Result<ReplicationEngine, String> {
+    match flags.get("engine").map(String::as_str) {
+        None | Some("auto") => Ok(ReplicationEngine::Auto),
+        Some("scalar") => Ok(ReplicationEngine::Scalar),
+        Some("lanes") => Ok(ReplicationEngine::Lanes(32)),
+        Some(other) => match other.strip_prefix("lanes").and_then(|w| w.parse().ok()) {
+            Some(w) if (1..=64usize).contains(&w) => Ok(ReplicationEngine::Lanes(w)),
+            _ => Err(format!(
+                "--engine must be auto, scalar, lanes, or lanesN (N in 1..=64), got '{other}'"
+            )),
+        },
+    }
+}
+
 fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let k: u32 = get(flags, "k", 2)?;
     let n: u32 = get(flags, "stages", 6)?;
@@ -252,11 +299,19 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         }
         cfg.buffer_capacity = Some(cap);
     }
+    let engine = engine_from_flags(flags)?;
     let telemetry_path = flags.get("telemetry").cloned();
     let dist_path = flags.get("dist-out").cloned();
     let trace_path = flags.get("trace-out").cloned();
+    let msg_trace_path = flags.get("msg-trace").cloned();
+    if msg_trace_path.is_none() && flags.contains_key("msg-trace-rate") {
+        return Err("--msg-trace-rate requires --msg-trace FILE".into());
+    }
+    let msg_rate: f64 = get_prob(flags, "msg-trace-rate", 0.01)?;
+    let tracer = msg_trace_path.as_ref().map(|_| MsgTracer::new(msg_rate));
     // Any observability output needs the instrumented collection path;
-    // stdout stays byte-identical either way.
+    // stdout stays byte-identical either way. (The message tracer is
+    // independent of telemetry: it has its own sink.)
     let mut tcfg = if telemetry_path.is_some() || dist_path.is_some() || trace_path.is_some() {
         TelemetryConfig::on()
     } else {
@@ -267,7 +322,7 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     }
     let tel = Telemetry::new(tcfg);
     let started = std::time::Instant::now();
-    let stats = run_network_replicated_instrumented(&cfg, reps, threads, &tel);
+    let stats = run_network_replicated_traced(&cfg, reps, threads, &tel, engine, tracer.as_ref());
     let run_secs = started.elapsed().as_secs_f64();
     // Telemetry never touches the RNG or the dynamics, so everything
     // printed below (stdout) is byte-identical with or without
@@ -346,6 +401,35 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
         eprintln!("trace written to {path}");
     }
+    if let Some(path) = &msg_trace_path {
+        let tracer = tracer.as_ref().expect("tracer exists when --msg-trace is set");
+        let records = tracer.finish();
+        let mut h = msgtrace::header_object("banyan-simulate", n, seed, reps, tracer.rate());
+        h.field_u64("k", u64::from(k))
+            .field_f64("p", p)
+            .field_str("service", &service_desc);
+        if let ServiceDist::Constant(m) = &cfg.workload.service {
+            h.field_u64("m", u64::from(*m));
+        }
+        if q > 0.0 {
+            h.field_f64("q", q);
+        }
+        if let Some(cap) = cfg.buffer_capacity {
+            h.field_u64("capacity", cap as u64);
+        }
+        let doc = msgtrace::render_jsonl(&h.finish(), &records);
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory for --msg-trace {path}: {e}"))?;
+        }
+        std::fs::write(path, doc).map_err(|e| format!("cannot write --msg-trace {path}: {e}"))?;
+        eprintln!(
+            "message trace written to {path} ({} records, rate {})",
+            records.len(),
+            tracer.rate()
+        );
+    }
     if let Some(path) = telemetry_path {
         let mut m = Manifest::new("banyan-simulate");
         m.config("k", k)
@@ -366,6 +450,9 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         }
         if let Some(trace) = &trace_path {
             m.artifact(trace);
+        }
+        if let Some(mt) = &msg_trace_path {
+            m.artifact(mt);
         }
         if !drift.is_empty() {
             m.section_raw("drift", &drift_array_json(&drift));
@@ -414,27 +501,190 @@ fn cmd_report(flags: &Flags) -> Result<(), String> {
     if drift.is_empty() {
         return Err("no delivered messages to report on (try more --cycles)".into());
     }
-    println!(
-        "waiting-time distributions, observed vs analytic (k={k}, stages={n}, p={p}, m={m}, \
-         {} messages)",
-        stats.delivered
-    );
-    for r in &drift {
-        println!("{}", drift_line(r));
+    if flags.contains_key("json") {
+        // Machine-readable drift table for CI gates and dashboards.
+        let mut o = JsonObject::new();
+        o.field_str("schema", "banyan-obs/report/v1")
+            .field_u64("k", u64::from(k))
+            .field_u64("stages", u64::from(n))
+            .field_f64("p", p)
+            .field_u64("m", u64::from(m))
+            .field_u64("cycles", cycles)
+            .field_u64("seed", seed)
+            .field_u64("reps", u64::from(reps))
+            .field_u64("delivered", stats.delivered)
+            .field_raw("drift", &drift_array_json(&drift));
+        let mut json = o.finish_pretty(2);
+        json.push('\n');
+        print!("{json}");
+    } else {
+        println!(
+            "waiting-time distributions, observed vs analytic (k={k}, stages={n}, p={p}, m={m}, \
+             {} messages)",
+            stats.delivered
+        );
+        for r in &drift {
+            println!("{}", drift_line(r));
+        }
+        println!("quantiles (observed):");
+        for (name, sk) in tel.sketches().snapshot() {
+            let qs: Vec<String> = banyan_repro::obs::sketch::REPORT_QUANTILES
+                .iter()
+                .map(|&level| {
+                    format!(
+                        "{} {}",
+                        banyan_repro::obs::sketch::quantile_label(level),
+                        sk.quantile(level)
+                    )
+                })
+                .collect();
+            println!("  {name:<18} {}", qs.join("  "));
+        }
     }
-    println!("quantiles (observed):");
-    for (name, sk) in tel.sketches().snapshot() {
-        let qs: Vec<String> = banyan_repro::obs::sketch::REPORT_QUANTILES
+    if flags.contains_key("fail-on-drift") {
+        let gate: u64 = get(flags, "fail-on-drift", 0u64)?;
+        if gate == 0 {
+            return Err("--fail-on-drift needs a positive KS threshold in ppm".into());
+        }
+        let offenders: Vec<String> = drift
             .iter()
-            .map(|&level| {
-                format!(
-                    "{} {}",
-                    banyan_repro::obs::sketch::quantile_label(level),
-                    sk.quantile(level)
-                )
-            })
+            .filter(|r| r.ks_ppm() > gate)
+            .map(|r| format!("{} ks={} ppm", r.name, r.ks_ppm()))
             .collect();
-        println!("  {name:<18} {}", qs.join("  "));
+        if !offenders.is_empty() {
+            return Err(format!(
+                "drift gate exceeded ({} ppm allowed): {}",
+                gate,
+                offenders.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `banyan trace` — inspect a `banyan-obs/msgtrace/v1` file written by
+/// `banyan simulate --msg-trace`: validate it, print per-stage
+/// observed waiting moments rebuilt from the sampled records, compare
+/// them against the analytic model when the header carries the
+/// workload (KS drift per stage: Theorem 1 exact for stage 1, the §IV
+/// stage-constant gammas beyond, the §V gamma for the total — the
+/// drill-down companion to `banyan report`), and list the slowest
+/// sampled messages with their full per-stage wait decomposition.
+/// `--chrome-out FILE` additionally renders the records as
+/// `chrome://tracing` span events (one lane per message).
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    use banyan_repro::obs::json::JsonValue;
+    let path = flags.get("file").ok_or("--file FILE is required")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --file {path}: {e}"))?;
+    let parsed = msgtrace::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let records = &parsed.records;
+    let stages_desc = parsed
+        .stages
+        .map_or("variable".to_string(), |s| s.to_string());
+    println!(
+        "{}: {} sampled records (stages {stages_desc}, seed {}, reps {}, rate {})",
+        parsed.name,
+        records.len(),
+        parsed.seed,
+        parsed.reps,
+        parsed.rate
+    );
+    // Write the artifact before the (long) stdout report: a reader
+    // closing the pipe early must not cost the --chrome-out file.
+    if let Some(out) = flags.get("chrome-out") {
+        let events = msgtrace::chrome_events(records);
+        let json = trace_json_from_events(&events);
+        if let Some(dir) = std::path::Path::new(out).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory for --chrome-out {out}: {e}"))?;
+        }
+        std::fs::write(out, json).map_err(|e| format!("cannot write --chrome-out {out}: {e}"))?;
+        eprintln!("chrome trace written to {out} ({} events)", events.len());
+    }
+    if records.is_empty() {
+        println!("no records to analyze (raise --msg-trace-rate or --cycles)");
+        return Ok(());
+    }
+    // Rebuild the per-stage and total pmfs from the records. Flow
+    // traces have per-record hop counts; stage j covers the records
+    // long enough to reach it.
+    let max_hops = records.iter().map(|r| r.waits.len()).max().unwrap_or(0);
+    let mut stage_sk: Vec<DistSketch> = (0..max_hops).map(|_| DistSketch::new_exact()).collect();
+    let mut total_sk = DistSketch::new_exact();
+    for r in records {
+        for (j, &w) in r.waits.iter().enumerate() {
+            stage_sk[j].record(u64::from(w));
+        }
+        total_sk.record(r.total_wait());
+    }
+    // Drift vs the analytic model when the header identifies a uniform
+    // constant-service workload (the model's reach — mirrors the
+    // gating in drift_reports).
+    let hdr = &parsed.header;
+    let hdr_u32 = |key: &str| hdr.get(key).and_then(JsonValue::as_u64).map(|v| v as u32);
+    let workload = match (parsed.stages, hdr_u32("k"), hdr.get("p").and_then(JsonValue::as_f64)) {
+        (Some(n), Some(k), Some(p)) => Some((n, k, p, hdr_u32("m").unwrap_or(1))),
+        _ => None,
+    };
+    let finite = hdr.get("capacity").is_some();
+    let q = hdr.get("q").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let drift = workload.map_or_else(Vec::new, |(n, k, p, m)| {
+        let tel = Telemetry::new(TelemetryConfig::on());
+        for (j, sk) in stage_sk.iter().enumerate() {
+            tel.sketches()
+                .merge_sketch(&format!("net.wait.stage{:02}", j + 1), sk);
+        }
+        tel.sketches().merge_sketch("net.wait.total", &total_sk);
+        drift_reports(&tel, k, n, p, q, &ServiceDist::Constant(m), finite)
+    });
+    if drift.is_empty() {
+        println!("observed (no analytic reference for this workload):");
+        for (j, sk) in stage_sk.iter().enumerate() {
+            println!(
+                "  stage {:>2}: n = {:>7}  E(w) = {:.4}  Var(w) = {:.4}  p99 = {}",
+                j + 1,
+                sk.count(),
+                sk.mean(),
+                sk.variance(),
+                sk.quantile(0.99)
+            );
+        }
+        println!(
+            "  total   : n = {:>7}  E(w) = {:.4}  Var(w) = {:.4}  p99 = {}",
+            total_sk.count(),
+            total_sk.mean(),
+            total_sk.variance(),
+            total_sk.quantile(0.99)
+        );
+    } else {
+        println!("observed vs analytic (sampled records only):");
+        for r in &drift {
+            println!("{}", drift_line(r));
+        }
+    }
+    // The slowest sampled messages, fully decomposed — the provenance
+    // view aggregate reports cannot give.
+    let mut slowest: Vec<&banyan_repro::obs::MsgRecord> = records.iter().collect();
+    slowest.sort_by_key(|r| std::cmp::Reverse(r.total_wait()));
+    println!("slowest sampled messages:");
+    for r in slowest.iter().take(5) {
+        let waits: Vec<String> = r.waits.iter().map(|w| w.to_string()).collect();
+        let digits = if r.digits.is_empty() {
+            String::new()
+        } else {
+            let d: Vec<String> = r.digits.iter().map(|d| d.to_string()).collect();
+            format!("  digits {}", d.join(""))
+        };
+        println!(
+            "  rep {:>3} msg {:>8}: injected @{:<8} total {:>5}  waits [{}]{digits}",
+            r.rep,
+            r.ord,
+            r.inject,
+            r.total_wait(),
+            waits.join(", ")
+        );
     }
     Ok(())
 }
@@ -651,10 +901,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: banyan <command> [--flag value ...]\n\
-commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  flow         end-to-end delay per flow on a routed feed-forward topology\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  pmf          print the exact first-stage waiting distribution\n  serve        capacity-planning HTTP daemon (POST /query, GET /metrics)\n\
+commands:\n  first-stage  exact Theorem-1 analysis of one output port\n  total        total waiting/delay through an n-stage network\n  flow         end-to-end delay per flow on a routed feed-forward topology\n  simulate     run the clocked network simulator\n  report       simulate, then print observed-vs-analytic drift per stage\n  trace        inspect a --msg-trace file (per-stage drift, slowest messages)\n  pmf          print the exact first-stage waiting distribution\n  serve        capacity-planning HTTP daemon (POST /query, GET /metrics)\n\
 common flags: --k --p --m --stages --q --b --geometric-mu --mix 4:0.5,8:0.5\n              --cycles --seed --capacity --quantiles --len\n\
 flow-only:     --topo mesh|omega|butterfly|fat-tree --rows --cols --extra\n               --leaves --spines --hosts --json (print the /v1/flow body)\n               --dist-out FILE (event-check sketches + KS drift; --cycles\n               --reps --seed size the simulation)\n\
-simulate-only: --reps N --threads T (replicated run, merged stats)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --progress (heartbeat on stderr; stdout unchanged)\n\
+simulate-only: --reps N --threads T (replicated run, merged stats)\n               --engine auto|scalar|lanes|lanesN (replication engine)\n               --telemetry FILE (write a JSON run manifest)\n               --dist-out FILE (per-stage waiting-time pmfs + drift vs theory)\n               --trace-out FILE (chrome://tracing span events)\n               --msg-trace FILE (sampled per-message lifecycle JSONL;\n               --msg-trace-rate R sets the sampling probability, default 0.01)\n               --progress (heartbeat on stderr; stdout unchanged)\n\
+report-only:   --json (machine-readable drift table)\n               --fail-on-drift PPM (exit nonzero when any KS gauge exceeds)\n\
+trace-only:    --file FILE (the msg-trace JSONL to inspect)\n               --chrome-out FILE (render records as chrome://tracing spans)\n\
 serve-only:    --addr HOST:PORT (port 0 = ephemeral) --threads N --cache-cap N\n               --drift-threshold KS --probe-cycles N --probe-reps R\n               --sim-cycles N --sim-reps R --telemetry FILE\n               --access-log FILE (JSONL; --access-log-sample-ms MS rate-limits)\n               --admin-port PORT (separate ops listener; 0 = ephemeral)\n               --drift-poll-ms MS (0 disables the drift monitor)\n               --no-rolling (disable rolling-window SLO aggregation)";
 
 fn main() -> ExitCode {
@@ -678,6 +930,7 @@ fn main() -> ExitCode {
         "flow" => validate_flags(&flags, FLOW_FLAGS).and_then(|()| cmd_flow(&flags)),
         "simulate" => validate_flags(&flags, SIMULATE_FLAGS).and_then(|()| cmd_simulate(&flags)),
         "report" => validate_flags(&flags, REPORT_FLAGS).and_then(|()| cmd_report(&flags)),
+        "trace" => validate_flags(&flags, TRACE_FLAGS).and_then(|()| cmd_trace(&flags)),
         "pmf" => validate_flags(&flags, PMF_FLAGS).and_then(|()| cmd_pmf(&flags)),
         "serve" => validate_flags(&flags, SERVE_FLAGS).and_then(|()| cmd_serve(&flags)),
         "help" | "--help" | "-h" => {
